@@ -1,0 +1,68 @@
+"""Ablation — double buffering and prefetch (Sections 4.2.3 / 4.4.3).
+
+FA3C double-buffers everywhere: parameter buffers, the TLU pair, and the
+RMSProp module's theta/g staging all overlap off-chip transfers with
+computation.  This bench turns the overlap off (stage time = DMA +
+compute instead of max(DMA, compute)) and measures the cost at the
+Figure 8 operating point.
+"""
+
+from repro.fpga.platform import FA3CPlatform
+from repro.harness import format_table
+from repro.platforms import measure_ips
+
+
+def test_ablation_double_buffering(benchmark, topology, show):
+    def run():
+        rows = []
+        for enabled in (True, False):
+            platform = FA3CPlatform.fa3c(topology,
+                                         double_buffering=enabled)
+            result = measure_ips(platform, 16, routines_per_agent=20)
+            rows.append({
+                "double_buffering": enabled,
+                "inference_us": platform.inference_latency() * 1e6,
+                "training_us": platform.training_latency(5) * 1e6,
+                "ips_at_16_agents": result.ips,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(rows, title="Ablation: DMA/compute overlap "
+                                  "(double buffering)"))
+    on, off = rows
+    # Overlap helps every metric...
+    assert on["inference_us"] < off["inference_us"]
+    assert on["training_us"] < off["training_us"]
+    assert on["ips_at_16_agents"] > off["ips_at_16_agents"] * 1.05
+    # ...but less than 2x: stages are rarely perfectly balanced.
+    assert off["ips_at_16_agents"] > on["ips_at_16_agents"] * 0.5
+
+
+def test_ablation_tlu_prefetch_depth(benchmark, show):
+    """The TLU stages patches in a FIFO ahead of PE consumption
+    (Section 4.4.3).  Functionally the depth only bounds back-pressure;
+    this bench verifies a depth-2 FIFO sustains the alternating
+    double-buffered TLU pair without overflow on a full FC3 load."""
+    import numpy as np
+    from repro.fpga.layouts import PATCH, dram_image_from_fw, fw_layout
+    from repro.fpga.tlu import TransposeLoadUnit
+
+    weight = np.random.default_rng(0).standard_normal(
+        (256, 2592)).astype(np.float32)
+    image = dram_image_from_fw(fw_layout(weight))
+    patches = image.reshape(-1, PATCH * PATCH)
+
+    def run():
+        tlus = (TransposeLoadUnit(fifo_depth=2),
+                TransposeLoadUnit(fifo_depth=2))
+        for index in range(0, len(patches), 8):  # sample the stream
+            tlu = tlus[(index // 8) % 2]
+            tlu.stage(patches[index])
+            tlu.transpose_next()
+        return sum(t.patches_transposed for t in tlus)
+
+    transposed = benchmark(run)
+    show(f"TLU pair transposed {transposed} sampled 16x16 patches of the "
+         f"FC3 image without FIFO overflow")
+    assert transposed > 0

@@ -1,0 +1,79 @@
+"""Ablation — inference latency under load, and energy-to-milestone.
+
+Two claims of the paper quantified beyond its own figures:
+
+* Section 3 lists "low execution latency even with frequent kernel
+  launches" among the FPGA's advantages: because an A3C agent cannot act
+  until its inference returns, per-request latency under full load is as
+  important as throughput.  The discrete-event simulation exposes it
+  directly (queueing + service per request at n = 16).
+* Section 5.6 notes that "FA3C reaches a higher score earlier due to the
+  better IPS"; combined with Figure 9's power numbers this becomes an
+  energy-to-milestone metric: joules to process the same number of
+  training steps.
+"""
+
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.gpu.platform import A3CcuDNNPlatform
+from repro.harness import format_table
+from repro.platforms import measure_ips
+from repro.power import PowerModel
+
+
+def test_ablation_inference_latency_under_load(benchmark, topology,
+                                               show):
+    def run():
+        rows = []
+        for platform in (FA3CPlatform.fa3c(topology),
+                         A3CcuDNNPlatform(topology)):
+            result = measure_ips(platform, 16, routines_per_agent=25)
+            rows.append({
+                "platform": result.platform,
+                "ips": result.ips,
+                "latency_p50_ms": result.latency_percentile(50) * 1e3,
+                "latency_p99_ms": result.latency_percentile(99) * 1e3,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(rows, title="Inference latency under full load "
+                                  "(n = 16 agents)"))
+    fa3c, cudnn = rows
+    # The FPGA serves inferences with far lower latency under load —
+    # dedicated inference CUs vs one GPU shared with training kernels.
+    assert fa3c["latency_p50_ms"] < 0.6 * cudnn["latency_p50_ms"]
+    assert fa3c["latency_p99_ms"] < cudnn["latency_p99_ms"]
+    # Tail behaviour stays bounded on both (no runaway queueing).
+    assert fa3c["latency_p99_ms"] < 5 * fa3c["latency_p50_ms"]
+
+
+def test_ablation_energy_to_milestone(benchmark, topology, show):
+    """Joules to process 1M training steps at the n = 16 operating
+    point: throughput and power folded into one number."""
+    def run():
+        rows = []
+        power = PowerModel()
+        for platform in (FA3CPlatform.fa3c(topology),
+                         A3CcuDNNPlatform(topology)):
+            result = measure_ips(platform, 16, routines_per_agent=25)
+            report = power.report(result)
+            seconds = 1_000_000 / result.ips
+            rows.append({
+                "platform": result.platform,
+                "watts": report.watts,
+                "hours_per_1M_steps": seconds / 3600,
+                "kJ_per_1M_steps": report.watts * seconds / 1000,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(rows, title="Energy to process 1M training steps "
+                                  "(accelerator delta power)"))
+    fa3c, cudnn = rows
+    # FA3C is faster AND lower power: the energy advantage compounds to
+    # roughly the Figure 9b efficiency ratio.
+    energy_ratio = cudnn["kJ_per_1M_steps"] / fa3c["kJ_per_1M_steps"]
+    assert energy_ratio == pytest.approx(1.7, abs=0.25)
+    assert fa3c["hours_per_1M_steps"] < cudnn["hours_per_1M_steps"]

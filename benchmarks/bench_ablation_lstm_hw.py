@@ -1,0 +1,64 @@
+"""Ablation — FA3C running the A3C-LSTM variant.
+
+The paper's generic-PE argument (Section 4.2.1) is that one datapath
+serves *any* layer mix; the original A3C's LSTM variant is the natural
+stress test.  The LSTM step is a 1024x512 dense matvec per inference —
+~79 % more parameter traffic than the feed-forward net — so the same
+platform model predicts how much throughput the recurrent agent costs,
+with no hardware change.
+"""
+
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.gpu.platform import A3CcuDNNPlatform
+from repro.harness import format_table
+from repro.nn.network import A3CNetwork
+from repro.nn.network_lstm import lstm_a3c_network
+from repro.platforms import measure_ips
+
+
+def test_ablation_lstm_on_fa3c(benchmark, show):
+    feedforward = A3CNetwork(num_actions=6).topology()
+    recurrent = lstm_a3c_network(num_actions=6).topology()
+
+    def run():
+        rows = []
+        for label, topology in (("A3C (Table 1)", feedforward),
+                                ("A3C-LSTM", recurrent)):
+            fa3c = FA3CPlatform.fa3c(topology)
+            cudnn = A3CcuDNNPlatform(topology)
+            rows.append({
+                "network": label,
+                "params": topology.num_params,
+                "fa3c_inference_us": fa3c.inference_latency() * 1e6,
+                "fa3c_ips_n16": measure_ips(fa3c, 16,
+                                            routines_per_agent=20).ips,
+                "cudnn_ips_n16": measure_ips(cudnn, 16,
+                                             routines_per_agent=20).ips,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(rows, title="Ablation: FA3C running the A3C-LSTM "
+                                  "variant (n = 16 agents)"))
+
+    ff, lstm = rows
+    # The LSTM adds 4H x (I+H) + 4H = 525,312 parameters.
+    assert lstm["params"] - ff["params"] == 525_312
+    # Both platforms slow down, the DRAM-bound FPGA more than the
+    # HBM2-backed GPU: the bigger the dense parameter traffic, the more
+    # the P100's 5x bandwidth advantage matters.  FA3C's Table 1 margin
+    # narrows to roughly parity on the LSTM variant — an honest model
+    # prediction consistent with the paper's framing that the FPGA's win
+    # comes from small-batch efficiency and launch overhead, both of
+    # which amortise as the network grows.
+    assert lstm["fa3c_ips_n16"] < ff["fa3c_ips_n16"]
+    assert lstm["cudnn_ips_n16"] < ff["cudnn_ips_n16"]
+    assert lstm["fa3c_ips_n16"] == pytest.approx(
+        lstm["cudnn_ips_n16"], rel=0.15)
+    # FPGA throughput scales roughly with parameter traffic (the FC
+    # layers dominate both nets).
+    ratio = lstm["fa3c_ips_n16"] / ff["fa3c_ips_n16"]
+    traffic_ratio = ff["params"] / lstm["params"]
+    assert ratio == pytest.approx(traffic_ratio, abs=0.15)

@@ -1,0 +1,58 @@
+"""Ablation — RMSProp-unit count vs DRAM interface width (Section 4.2.3).
+
+The paper sizes the RMSProp module at four RUs per 16-word channel (each
+RU consumes/produces four words per cycle).  This bench sweeps the RU
+count and shows the update time saturating exactly where the RUs match
+the memory interface: fewer RUs leave the module compute-bound, more RUs
+buy nothing.
+"""
+
+import pytest
+
+from repro.fpga.dram import DRAMChannel
+from repro.fpga.rmsprop_module import RMSPropModule
+from repro.fpga.timing import TimingModel
+from repro.harness import format_table
+
+
+def test_ablation_ru_count(benchmark, topology, show):
+    words = TimingModel(topology).total_param_words()
+
+    def run():
+        import numpy as np
+        rows = []
+        for num_rus in (1, 2, 4, 8, 16):
+            module = RMSPropModule(num_rus=num_rus)
+            channel = DRAMChannel("g", efficiency=1.0)
+            theta = np.zeros(words, dtype=np.float32)
+            g = np.zeros_like(theta)
+            grad = np.ones_like(theta)
+            stats = module.update_with_stats(theta, g, grad,
+                                             channel=channel)
+            rows.append({
+                "rus": num_rus,
+                "compute_cycles": stats.compute_cycles,
+                "memory_cycles": stats.memory_cycles,
+                "update_cycles": stats.pipelined_cycles,
+                "bound": "compute" if stats.compute_cycles >
+                stats.memory_cycles else "memory",
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(rows, title="Ablation: RMSProp RUs vs one 16-word "
+                                  "DRAM channel"))
+
+    by_rus = {row["rus"]: row for row in rows}
+    # Four RUs balance a 16-word interface (the paper's sizing): compute
+    # and memory cycles agree to within a few percent.
+    four = by_rus[4]
+    assert four["compute_cycles"] == pytest.approx(
+        four["memory_cycles"], rel=0.05)
+    # Fewer RUs leave the module compute-bound; more are memory-bound.
+    assert by_rus[2]["bound"] == "compute"
+    assert by_rus[8]["bound"] == "memory"
+    # Beyond saturation, more RUs buy almost nothing.
+    assert by_rus[8]["update_cycles"] > 0.95 * four["update_cycles"]
+    # One RU is ~4x slower than the balanced design.
+    assert by_rus[1]["update_cycles"] > 3 * four["update_cycles"]

@@ -1,0 +1,56 @@
+"""Figure 10 — Performance of different FA3C configurations.
+
+The paper runs this ablation on a Stratix V with a *single* CU pair and
+normalises to FA3C at n = 16.  Shape anchors:
+
+* FA3C-Alt1 (FW layout everywhere) loses ~33 % at n = 16 — idle PEs in
+  the fully-connected backward pass;
+* FA3C-Alt2 (both layouts materialised in DRAM) is only slightly slower —
+  extra parameter-store traffic per RMSProp update;
+* FA3C-SingleCU (one CU with 2N PEs) wins for small n, loses from n ~ 4
+  where the dual CUs' bandwidth sharing takes over.
+"""
+
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.harness import format_series
+from repro.platforms import sweep_agents
+
+AGENTS = (1, 2, 4, 8, 16)
+
+
+def test_fig10_configurations(benchmark, topology, show):
+    def run():
+        variants = {
+            "FA3C": FA3CPlatform.fa3c(topology, cu_pairs=1),
+            "FA3C-Alt1": FA3CPlatform.alt1(topology, cu_pairs=1),
+            "FA3C-Alt2": FA3CPlatform.alt2(topology, cu_pairs=1),
+            "FA3C-SingleCU": FA3CPlatform.single_cu(topology,
+                                                    cu_pairs=1),
+        }
+        series = {}
+        for name, platform in variants.items():
+            results = sweep_agents(platform, AGENTS,
+                                   routines_per_agent=25)
+            series[name] = [r.ips for r in results]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    base16 = series["FA3C"][-1]
+    normalised = {name: [v / base16 for v in values]
+                  for name, values in series.items()}
+    show(format_series(AGENTS, normalised,
+                       title="Figure 10: relative performance "
+                             "(normalised to FA3C at n = 16, 1 CU pair)"))
+
+    # Alt1: ~33 % lower at n = 16.
+    assert normalised["FA3C-Alt1"][-1] == pytest.approx(0.67, abs=0.12)
+    # Alt2: slightly lower, within ~10 %.
+    assert 0.88 < normalised["FA3C-Alt2"][-1] < 1.01
+    # SingleCU: better at n = 1, worse at n >= 4.
+    assert normalised["FA3C-SingleCU"][0] > normalised["FA3C"][0]
+    for index, n in enumerate(AGENTS):
+        if n >= 4:
+            assert normalised["FA3C-SingleCU"][index] < \
+                normalised["FA3C"][index]

@@ -1,0 +1,52 @@
+"""Figure 11 — GPU computation time under different parameter layouts.
+
+Reproduces the Section 5.5 OpenCL experiment on the FC layers only:
+one A3C routine's FC compute time under (a) the FW layout for both tasks,
+(b) the BW layout for both tasks, (c) matching layouts plus the extra
+transformation kernel.  Anchors: inference with the mismatched BW layout
+is 41.7 % slower, and the transform kernel offsets most of the matched
+policy's gain.
+"""
+
+import pytest
+
+from repro.gpu import GPULayoutExperiment
+from repro.harness import format_table
+
+
+def test_fig11_gpu_layouts(benchmark, topology, show):
+    experiment = GPULayoutExperiment(topology)
+    results = benchmark(experiment.run, 5)
+
+    rows = [{
+        "policy": r.policy,
+        "inference_us": r.inference_seconds * 1e6,
+        "training_us": r.training_seconds * 1e6,
+        "transform_us": r.transform_seconds * 1e6,
+        "total_us": r.total_seconds * 1e6,
+    } for r in results]
+    show(format_table(rows, title="Figure 11: GPU FC-layer time per "
+                                  "routine under layout policies"))
+
+    fw_both, bw_both, matched = results
+    # Inference under the BW layout: 41.7 % slower (paper's figure).
+    slowdown = experiment.inference_slowdown_with_bw_layout()
+    assert slowdown == pytest.approx(0.417, abs=0.10)
+    # Training suffers symmetrically under the FW-only policy.
+    assert fw_both.training_seconds > matched.training_seconds
+    assert bw_both.inference_seconds > matched.inference_seconds
+    # Matched layouts give the fastest compute...
+    compute = [r.inference_seconds + r.training_seconds for r in results]
+    assert compute[2] == min(compute)
+    # ...but the transformation kernel offsets much of the gain.
+    assert matched.total_seconds > 0.8 * min(fw_both.total_seconds,
+                                             bw_both.total_seconds)
+
+
+def test_fig11_opencl_calibration(benchmark, topology, show):
+    """Section 5.5: the custom OpenCL A3C is within 12 % of cuDNN."""
+    experiment = GPULayoutExperiment(topology)
+    factor = benchmark(lambda: experiment.opencl_factor)
+    show(f"OpenCL/cuDNN calibration factor: {factor:.2f} "
+         f"(paper: within 12%)")
+    assert factor <= 1.12

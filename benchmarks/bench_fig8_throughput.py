@@ -1,0 +1,67 @@
+"""Figure 8 — Performance of A3C Deep RL platforms (IPS vs #agents).
+
+Sweeps n = 1..64 agents over all five platforms through the
+discrete-event contention simulation and checks the paper's shape:
+
+* IPS grows with n and peaks for n >= 16;
+* FA3C exceeds 2,550 IPS at n = 16;
+* FA3C's best IPS is ~27.9 % above A3C-cuDNN's best;
+* ordering FA3C > A3C-cuDNN > GA3C-TF > A3C-TF-GPU > A3C-TF-CPU at
+  saturation.
+"""
+
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.gpu.platform import (
+    A3CTFCPUPlatform,
+    A3CTFGPUPlatform,
+    A3CcuDNNPlatform,
+    GA3CTFPlatform,
+)
+from repro.harness import format_series
+from repro.platforms import sweep_agents
+
+AGENTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _platforms(topology):
+    return [
+        FA3CPlatform.fa3c(topology),
+        A3CcuDNNPlatform(topology),
+        GA3CTFPlatform(topology),
+        A3CTFGPUPlatform(topology),
+        A3CTFCPUPlatform(topology),
+    ]
+
+
+def test_fig8_throughput(benchmark, topology, show):
+    def run():
+        series = {}
+        for platform in _platforms(topology):
+            results = sweep_agents(platform, AGENTS,
+                                   routines_per_agent=30)
+            series[results[0].platform] = [r.ips for r in results]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_series(AGENTS, series,
+                       title="Figure 8: IPS vs number of agents"))
+
+    fa3c = series["FA3C"]
+    cudnn = series["A3C-cuDNN"]
+
+    # Peak at n >= 16 (within a few percent of the best).
+    n16_index = AGENTS.index(16)
+    assert fa3c[n16_index] > 0.97 * max(fa3c)
+    # FA3C > 2,550 IPS at n = 16.
+    assert fa3c[n16_index] > 2550
+    # 27.9 % over the best GPU configuration.
+    assert max(fa3c) / max(cudnn) == pytest.approx(1.279, abs=0.10)
+    # Saturation ordering.
+    best = {name: max(values) for name, values in series.items()}
+    assert best["FA3C"] > best["A3C-cuDNN"] > best["GA3C-TF"] \
+        > best["A3C-TF-GPU"] > best["A3C-TF-CPU"]
+    # Throughput rises with n for every platform before saturation.
+    for values in series.values():
+        assert values[1] > values[0]

@@ -1,0 +1,59 @@
+"""Figure 9 — Power consumption and energy efficiency.
+
+Applies the paper's dummy-platform methodology over the modelled power
+envelopes at the Figure 8 operating point (n = 16) and checks:
+
+* FA3C draws ~18 W, about 30 % less than A3C-cuDNN (Figure 9a);
+* FA3C delivers > ~140 inferences per Watt, roughly 1.6x A3C-cuDNN
+  (Figure 9b; the paper quotes 1.62x, while its own 27.9 % / -30 %
+  figures imply 1.83x — we land between).
+"""
+
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.gpu.platform import (
+    A3CTFCPUPlatform,
+    A3CTFGPUPlatform,
+    A3CcuDNNPlatform,
+    GA3CTFPlatform,
+)
+from repro.harness import format_table
+from repro.platforms import measure_ips
+from repro.power import PowerModel
+
+
+def test_fig9_energy(benchmark, topology, show):
+    platforms = [
+        FA3CPlatform.fa3c(topology),
+        A3CcuDNNPlatform(topology),
+        GA3CTFPlatform(topology),
+        A3CTFGPUPlatform(topology),
+        A3CTFCPUPlatform(topology),
+    ]
+
+    def run():
+        results = [measure_ips(p, 16, routines_per_agent=25)
+                   for p in platforms]
+        return PowerModel().figure9(results)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        rows, columns=["platform", "watts", "ips", "ips_per_watt",
+                       "relative_power", "relative_efficiency"],
+        title="Figure 9: power (a) and inferences/Watt (b), "
+              "normalised to A3C-cuDNN"))
+
+    by_name = {row["platform"]: row for row in rows}
+    fa3c = by_name["FA3C"]
+    # Figure 9a anchors.
+    assert fa3c["watts"] == pytest.approx(18.0, abs=1.5)
+    assert fa3c["relative_power"] == pytest.approx(0.70, abs=0.08)
+    # Figure 9b anchors.
+    assert fa3c["ips_per_watt"] > 135
+    assert 1.5 < fa3c["relative_efficiency"] < 1.9
+    # FA3C is the most efficient platform overall.
+    assert fa3c["ips_per_watt"] == max(r["ips_per_watt"] for r in rows)
+    # The CPU platform is the least efficient.
+    assert by_name["A3C-TF-CPU"]["ips_per_watt"] == \
+        min(r["ips_per_watt"] for r in rows)

@@ -1,0 +1,71 @@
+"""Sections 3.2-3.3 — Operational intensity and the batch-size wall.
+
+The paper's performance argument in numbers: A3C's batch sizes (1 for
+inference, t_max = 5 for training) give the DNN tasks operational
+intensities far below what a GPU needs, and the fully-connected layers —
+which hold ~98 % of the parameters — are the worst.  This bench prints
+the per-layer intensity across batch sizes and the roofline-implied task
+times on the P100's numbers.
+"""
+
+from repro.analysis import operational_intensity, roofline_time
+from repro.analysis.roofline import (
+    accumulation_frequency_table,
+    intensity_table,
+)
+from repro.gpu.specs import P100
+from repro.harness import format_table
+
+
+def test_s33_operational_intensity(benchmark, topology, show):
+    rows = benchmark(intensity_table, topology, (1, 5, 32, 256))
+    show(format_table(rows, title="Operational intensity (FLOPs/byte) "
+                                  "vs batch size, FW stage"))
+
+    conv1, conv2, fc3, fc4 = topology.layers
+    # Convolutions are compute-rich even at batch 1...
+    assert operational_intensity(conv1, 1) > 10
+    # ...fully-connected layers are hopeless at A3C's batch sizes.
+    assert operational_intensity(fc3, 1) < 1.0
+    assert operational_intensity(fc3, 5) < 3.0
+    # Only the large batches A3C cannot use would fix that.
+    assert operational_intensity(fc3, 256) > \
+        50 * operational_intensity(fc3, 1)
+    # The P100 needs flops/byte ~ peak/bandwidth to be compute-bound.
+    ridge = P100.peak_flops / P100.mem_bandwidth
+    assert operational_intensity(fc3, 5) < ridge / 2
+
+
+def test_s33_roofline_task_times(benchmark, topology, show):
+    def run():
+        rows = []
+        for batch, label in ((1, "inference"), (5, "training FW")):
+            for spec in topology.layers:
+                rows.append({
+                    "task": label, "layer": spec.name,
+                    "roofline_us": roofline_time(
+                        spec, batch, P100.peak_flops,
+                        P100.mem_bandwidth) * 1e6,
+                })
+        return rows
+
+    rows = benchmark(run)
+    show(format_table(rows, title="Roofline-implied layer times on the "
+                                  "P100 (no launch overhead)"))
+    by_key = {(r["task"], r["layer"]): r["roofline_us"] for r in rows}
+    # FC3 dominates the memory-bound side of every task.
+    assert by_key[("inference", "FC3")] > \
+        by_key[("inference", "Conv2")]
+    # Even ideal roofline times are tiny: the real GPU cost is overhead,
+    # which is Section 3.4's point.
+    total_inference = sum(v for (task, _), v in by_key.items()
+                          if task == "inference")
+    assert total_inference < 50  # microseconds
+
+
+def test_s33_accumulation_frequencies(benchmark, topology, show):
+    rows = benchmark(accumulation_frequency_table, topology, 5)
+    show(format_table(rows, title="Accumulation frequency per layer and "
+                                  "stage (Section 4.2.1)"))
+    values = [row["fw"] for row in rows] + [row["gc"] for row in rows]
+    assert max(values) / min(values) > 100

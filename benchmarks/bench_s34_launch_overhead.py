@@ -1,0 +1,49 @@
+"""Section 3.4 — Kernel launch overhead.
+
+The paper measures launch overhead by comparing A3C kernels against dummy
+kernels with no computation: on the GPU, launches account for **more than
+38 %** of overall kernel execution time; on the FPGA the task-start
+overhead is **less than 0.02 %**.
+"""
+
+from repro.fpga.platform import FA3CPlatform
+from repro.gpu.platform import A3CcuDNNPlatform
+from repro.harness import format_table
+
+
+def test_s34_gpu_launch_overhead(benchmark, topology, show):
+    platform = A3CcuDNNPlatform(topology)
+    fraction = benchmark(platform.launch_fraction)
+
+    # The dummy-kernel decomposition per routine.
+    calls = []
+    for _ in range(6):
+        calls.extend(platform.model.inference_kernels(1))
+    calls.extend(platform.model.training_kernels(5))
+    total = platform.kernels.sequence_seconds(calls)
+    launches = len(calls) * platform.cal.launch_overhead
+    show(format_table([{
+        "kernels_per_routine": len(calls),
+        "launch_us_per_kernel": platform.cal.launch_overhead * 1e6,
+        "total_kernel_ms": total * 1e3,
+        "launch_ms": launches * 1e3,
+        "launch_fraction": fraction,
+    }], title="Section 3.4: GPU kernel-launch overhead (dummy-kernel "
+              "comparison)"))
+    assert fraction > 0.38      # "more than 38%"
+    assert fraction < 0.55      # still dominated by real work
+
+
+def test_s34_fpga_task_overhead(benchmark, topology, show):
+    platform = FA3CPlatform.fa3c(topology)
+
+    def fraction():
+        routine = 6 * platform.inference_latency() \
+            + platform.training_latency(5) + platform.sync_latency()
+        overhead = 8 * platform.task_launch_overhead()
+        return overhead / routine
+
+    value = benchmark(fraction)
+    show(f"FPGA task-start overhead per routine: {value * 100:.4f}% "
+         f"(paper: < 0.02%)")
+    assert value < 0.0002     # the paper's bound

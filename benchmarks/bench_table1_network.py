@@ -1,0 +1,25 @@
+"""Table 1 — DNN layers used in A3C for Atari 2600 games.
+
+Regenerates the layer/parameter/output-feature table from the implemented
+network and checks it against the paper's rounded figures (4K/6K, 8K/3K,
+664K/256, 8K/32; 28K input features).
+"""
+
+from repro.harness import format_table
+
+
+def test_table1_network(benchmark, topology, show):
+    rows = benchmark(topology.table1_rows)
+    show(format_table(rows, title="Table 1: A3C DNN layers"))
+
+    by_layer = {row["layer"].split(" ")[0]: row for row in rows}
+    assert by_layer["Input"]["outputs"] == 28224            # 28K
+    assert by_layer["Conv1"]["params"] == 4112              # 4K
+    assert by_layer["Conv1"]["outputs"] == 6400             # 6K
+    assert by_layer["Conv2"]["params"] == 8224              # 8K
+    assert by_layer["Conv2"]["outputs"] == 2592             # 3K
+    assert by_layer["FC3"]["params"] == 663808              # 664K
+    assert by_layer["FC3"]["outputs"] == 256
+    assert by_layer["FC4"]["params"] == 8224                # 8K
+    assert by_layer["FC4"]["outputs"] == 32
+    assert topology.num_params == 684368

@@ -1,0 +1,41 @@
+"""Table 3 — Sizes of line buffers.
+
+Instantiates the stage/port line-buffer plan for every Table 1 layer with
+N_PE = 64 and checks the closed-form counts the paper gives:
+FW uses one C_in-wide input line; GC uses K input lines plus
+M_GC = floor(N_PE/K^2) gradient lines; BW uses
+M_BW = floor(N_PE/(M_w*C_in)) gradient lines.
+"""
+
+from repro.analysis import line_buffer_table
+from repro.harness import format_table
+
+
+def test_table3_line_buffers(benchmark, topology, show):
+    table = benchmark(line_buffer_table, topology, 64)
+
+    rows = []
+    for layer, plans in table.items():
+        for plan in plans:
+            rows.append({"layer": layer, "stage": plan.stage,
+                         "port": plan.port, "buffer": plan.buffer,
+                         "width": plan.width, "count": plan.count})
+    show(format_table(rows, title="Table 3: line buffers (N_PE = 64)"))
+
+    def plan(layer, stage, port):
+        return [p for p in table[layer]
+                if p.stage == stage and p.port == port][0]
+
+    # FW input line buffer width = C_in, one instance.
+    assert plan("Conv1", "FW", "Input 0").width == 84
+    assert plan("Conv1", "FW", "Input 0").count == 1
+    # GC: K input lines; M_GC gradient lines.
+    assert plan("Conv1", "GC", "Input 0").count == 8
+    assert plan("Conv1", "GC", "Input 1").count == 64 // 64
+    assert plan("Conv2", "GC", "Input 1").count == 64 // 16
+    assert plan("FC3", "GC", "Input 1").count == 64          # K = 1
+    # Parameter ports are fed straight from the on-chip buffer.
+    assert plan("Conv2", "FW", "Input 1").count == 0
+    assert plan("FC3", "BW", "Input 0").count == 0
+    # Output line buffers are N_PE wide.
+    assert plan("Conv1", "FW", "Output").width == 64

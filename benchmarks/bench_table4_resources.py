@@ -1,0 +1,41 @@
+"""Table 4 — FPGA resource usage breakdown on the VU9P.
+
+Regenerates the per-component resource estimate for the paper's build
+(2 CU pairs x 64 PEs) and checks the utilisation totals: 57.3 % logic,
+37.0 % registers, 40.6 % memory blocks, 34.3 % DSPs.
+"""
+
+import pytest
+
+from repro.fpga.resources import ResourceModel, resource_table
+from repro.harness import format_table
+
+
+def test_table4_resources(benchmark, show):
+    model = ResourceModel(num_cus=4, n_pe=64)
+    rows = benchmark(resource_table, model)
+    show(format_table(rows, title="Table 4: VU9P resource breakdown"))
+
+    util = model.utilisation()
+    assert util["logic_luts"] == pytest.approx(0.573, abs=0.06)
+    assert util["registers"] == pytest.approx(0.370, abs=0.06)
+    assert util["memory_blocks"] == pytest.approx(0.406, abs=0.08)
+    assert util["dsp_blocks"] == pytest.approx(0.343, abs=0.05)
+    assert model.fits()
+
+    components = {row["component"]: row for row in rows}
+    assert components["PEs"]["dsp_blocks"] == 2048   # the Table 4 anchor
+
+
+def test_table4_headroom_for_more_cu_pairs(benchmark, show):
+    """The paper notes more CU pairs fit 'when FPGA resource allows':
+    a third pair still fits the VU9P, a fourth runs out of DSPs."""
+    def sweep():
+        return {pairs: ResourceModel(num_cus=2 * pairs, n_pe=64).fits()
+                for pairs in (1, 2, 3, 4, 5)}
+    fits = benchmark(sweep)
+    show(format_table([{"cu_pairs": k, "fits_vu9p": v}
+                       for k, v in fits.items()],
+                      title="CU-pair scaling headroom"))
+    assert fits[2] and fits[3]
+    assert not fits[5]

@@ -1,0 +1,38 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every bench prints the same rows/series the paper reports (via
+``repro.harness.report``) and asserts the *shape* anchors from DESIGN.md —
+who wins, by roughly what factor, where crossovers fall.
+"""
+
+import os
+
+import pytest
+
+from repro.nn.network import A3CNetwork
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The Table 1 network topology used throughout the evaluation."""
+    return A3CNetwork(num_actions=6).topology()
+
+
+@pytest.fixture(scope="session")
+def fig12_steps():
+    """Per-game training steps for the Figure 12 bench.
+
+    The default keeps the full six-game sweep to a few minutes; set
+    ``REPRO_FIG12_STEPS`` (e.g. 100000) for longer, smoother curves.
+    """
+    return int(os.environ.get("REPRO_FIG12_STEPS", "6000"))
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report through the captured-output fence."""
+    def _show(text):
+        with capsys.disabled():
+            print()
+            print(text)
+    return _show

@@ -1,0 +1,36 @@
+"""repro — a full Python reproduction of *FA3C: FPGA-Accelerated Deep
+Reinforcement Learning* (Cho, Oh, Park, Jung & Lee, ASPLOS 2019).
+
+Subpackages:
+
+* :mod:`repro.nn` — from-scratch NumPy DNN library with explicit
+  FW / BW / GC stages and shared RMSProp.
+* :mod:`repro.core` — the A3C algorithm plus the GA3C and PAAC baselines.
+* :mod:`repro.envs` / :mod:`repro.ale` — environment substrate and six
+  simulated Atari 2600 games behind an ALE-style interface.
+* :mod:`repro.fpga` — functional + cycle-level simulator of the FA3C
+  microarchitecture (PEs, CUs, buffers, layouts, TLU, RMSProp module,
+  DRAM, resources, platform variants).
+* :mod:`repro.gpu` — calibrated cost models of the GPU/CPU baselines.
+* :mod:`repro.platforms` — the multi-agent throughput experiment.
+* :mod:`repro.power` — the dummy-platform power methodology.
+* :mod:`repro.analysis` — Table 2/3 accounting and roofline analysis.
+* :mod:`repro.sim` — the discrete-event simulation engine.
+* :mod:`repro.harness` — experiment registry and report rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ale",
+    "analysis",
+    "core",
+    "envs",
+    "fpga",
+    "gpu",
+    "harness",
+    "nn",
+    "platforms",
+    "power",
+    "sim",
+]

@@ -1,0 +1,167 @@
+"""Simulated Beam Rider.
+
+The player ship sits at the bottom of five energy beams and can jump
+between adjacent beams; enemy saucers descend along the beams in sectors of
+15 ships.  Shooting a saucer scores 44 points (the real game's base value);
+clearing a sector awards a bonus and starts a faster one.  Collision with a
+saucer costs a life.  Minimal action set mirrors the core of ALE Beam
+Rider's nine actions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ale.games.base import SCREEN_HEIGHT, SCREEN_WIDTH, AtariGame
+
+_BG = (0, 0, 24)
+_BEAM = (60, 60, 120)
+_PLAYER = (210, 210, 64)
+_ENEMY = (200, 72, 72)
+_SHOT = (236, 236, 236)
+
+_N_BEAMS = 5
+_BEAM_TOP = 40.0
+_BEAM_BOTTOM = 180.0
+_PLAYER_Y = 180.0
+_PLAYER_W = 10.0
+_PLAYER_H = 8.0
+_ENEMY_SIZE = 8.0
+_SHOT_SPEED = 5.0
+
+
+def _beam_x(beam: int) -> float:
+    """Horizontal centre of a beam at the bottom of the screen."""
+    spacing = SCREEN_WIDTH / (_N_BEAMS + 1)
+    return spacing * (beam + 1)
+
+
+class BeamRider(AtariGame):
+    """Lane-based shooter with sectors of 15 enemies."""
+
+    ACTION_MEANINGS = ("NOOP", "FIRE", "RIGHT", "LEFT",
+                       "RIGHTFIRE", "LEFTFIRE")
+    START_LIVES = 3
+    MAX_FRAMES = 40_000
+
+    SECTOR_SIZE = 15
+    ENEMY_SCORE = 44.0
+    SECTOR_BONUS = 100.0
+    ENEMY_SPEED = 1.1
+    SPAWN_PERIOD = 55      # frames between enemy spawns
+    MOVE_COOLDOWN = 10     # frames between beam jumps
+
+    def __init__(self):
+        super().__init__()
+        self.player_beam = 0
+        self.enemies: list = []      # each: [beam, y]
+        self.shot: "np.ndarray | None" = None
+        self._spawn_timer = 0
+        self._move_cooldown = 0
+        self._sector = 0
+        self._sector_remaining = 0   # enemies left to destroy this sector
+        self._sector_to_spawn = 0    # enemies left to spawn this sector
+        self._respawn_timer = 0
+
+    def _reset_game(self) -> None:
+        self.player_beam = _N_BEAMS // 2
+        self._sector = 0
+        self._respawn_timer = 0
+        self._start_sector()
+
+    def _start_sector(self) -> None:
+        self.enemies = []
+        self.shot = None
+        self._spawn_timer = self.SPAWN_PERIOD
+        self._move_cooldown = 0
+        self._sector_remaining = self.SECTOR_SIZE
+        self._sector_to_spawn = self.SECTOR_SIZE
+
+    def _enemy_speed(self) -> float:
+        return self.ENEMY_SPEED * (1.0 + 0.15 * self._sector)
+
+    def _spawn_enemy(self) -> None:
+        self._spawn_timer -= 1
+        if self._spawn_timer > 0 or self._sector_to_spawn == 0:
+            return
+        self._spawn_timer = max(self.SPAWN_PERIOD - 4 * self._sector, 25)
+        beam = int(self.rng.integers(_N_BEAMS))
+        self.enemies.append(np.array([float(beam), _BEAM_TOP]))
+        self._sector_to_spawn -= 1
+
+    def _step_frame(self, meaning: str) -> float:
+        if self._respawn_timer > 0:
+            self._respawn_timer -= 1
+            return 0.0
+
+        dx, _, fire = self.decode_move(meaning)
+        if self._move_cooldown > 0:
+            self._move_cooldown -= 1
+        elif dx != 0:
+            new_beam = int(np.clip(self.player_beam + dx, 0, _N_BEAMS - 1))
+            if new_beam != self.player_beam:
+                self.player_beam = new_beam
+                self._move_cooldown = self.MOVE_COOLDOWN
+        if fire and self.shot is None:
+            self.shot = np.array([float(self.player_beam), _PLAYER_Y - 2])
+
+        reward = 0.0
+        self._spawn_enemy()
+
+        # Enemies descend along their beams.
+        remaining = []
+        for enemy in self.enemies:
+            enemy[1] += self._enemy_speed()
+            if enemy[1] >= _BEAM_BOTTOM:
+                if int(enemy[0]) == self.player_beam:
+                    self.lives -= 1
+                    self._respawn_timer = 30
+                    self._start_sector()
+                    return reward
+                # Escaped off the bottom; it re-enters at the top (the
+                # sector only ends when all 15 are destroyed).
+                enemy[1] = _BEAM_TOP
+            remaining.append(enemy)
+        self.enemies = remaining
+
+        # Shot flight.
+        if self.shot is not None:
+            self.shot[1] -= _SHOT_SPEED
+            if self.shot[1] < _BEAM_TOP:
+                self.shot = None
+            else:
+                for index, enemy in enumerate(self.enemies):
+                    if int(enemy[0]) == int(self.shot[0]) and \
+                            abs(enemy[1] - self.shot[1]) < _ENEMY_SIZE:
+                        del self.enemies[index]
+                        self.shot = None
+                        reward += self.ENEMY_SCORE
+                        self._sector_remaining -= 1
+                        break
+
+        if self._sector_remaining == 0:
+            reward += self.SECTOR_BONUS
+            self._sector += 1
+            self._start_sector()
+        return reward
+
+    def _render(self) -> None:
+        screen = self.screen
+        screen.clear(_BG)
+        for beam in range(_N_BEAMS):
+            x = _beam_x(beam)
+            screen.fill_rect(_BEAM_TOP, x - 1, _BEAM_BOTTOM - _BEAM_TOP + 10,
+                             2, _BEAM)
+        for i in range(self.lives):
+            screen.fill_rect(8, 8 + 10 * i, 6, 6, _PLAYER)
+        for enemy in self.enemies:
+            x = _beam_x(int(enemy[0]))
+            screen.fill_rect(enemy[1], x - _ENEMY_SIZE / 2, _ENEMY_SIZE,
+                             _ENEMY_SIZE, _ENEMY)
+        if self.shot is not None:
+            x = _beam_x(int(self.shot[0]))
+            screen.fill_rect(self.shot[1], x - 1, 6, 2, _SHOT)
+        if self._respawn_timer == 0:
+            x = _beam_x(self.player_beam)
+            screen.fill_rect(_PLAYER_Y, x - _PLAYER_W / 2, _PLAYER_H,
+                             _PLAYER_W, _PLAYER)

@@ -1,0 +1,165 @@
+"""Simulated Pong.
+
+The agent controls the right paddle; a scripted opponent with limited paddle
+speed controls the left.  Like ALE Pong the minimal action set has six
+actions (RIGHT/LEFT move the paddle up/down on the original hardware), the
+reward is +1 when the opponent misses and -1 when the agent misses, and the
+game ends when either side reaches 21 points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ale.games.base import SCREEN_HEIGHT, SCREEN_WIDTH, AtariGame
+
+_BG = (17, 72, 144)
+_AGENT = (92, 186, 92)
+_OPPONENT = (213, 130, 74)
+_BALL = (236, 236, 236)
+_WALL = (236, 236, 236)
+
+_COURT_TOP = 34
+_COURT_BOTTOM = 194
+_PADDLE_H = 16.0
+_PADDLE_W = 4.0
+_BALL_SIZE = 4.0
+_AGENT_X = SCREEN_WIDTH - 16.0
+_OPPONENT_X = 12.0
+_WIN_SCORE = 21
+
+
+class Pong(AtariGame):
+    """Two-paddle Pong against a tracking opponent."""
+
+    ACTION_MEANINGS = ("NOOP", "FIRE", "RIGHT", "LEFT",
+                       "RIGHTFIRE", "LEFTFIRE")
+    START_LIVES = 1
+    MAX_FRAMES = 40_000
+
+    PADDLE_SPEED = 4.0
+    OPPONENT_SPEED = 2.6
+    BALL_SPEED_X = 2.4
+    BALL_SPEED_Y_MAX = 2.8
+
+    def __init__(self):
+        super().__init__()
+        self.agent_y = 0.0
+        self.opponent_y = 0.0
+        self.ball = np.zeros(2)
+        self.ball_vel = np.zeros(2)
+        self.agent_score = 0
+        self.opponent_score = 0
+        self._serve_delay = 0
+        self._serve_direction = 1
+
+    def _reset_game(self) -> None:
+        mid = (_COURT_TOP + _COURT_BOTTOM) / 2
+        self.agent_y = mid - _PADDLE_H / 2
+        self.opponent_y = mid - _PADDLE_H / 2
+        self.agent_score = 0
+        self.opponent_score = 0
+        self._serve_direction = 1 if self.rng.random() < 0.5 else -1
+        self._serve()
+
+    def _serve(self) -> None:
+        """Place the ball at the centre moving toward the receiving side."""
+        self.ball = np.array([SCREEN_WIDTH / 2,
+                              self.rng.uniform(_COURT_TOP + 20,
+                                               _COURT_BOTTOM - 20)])
+        vy = self.rng.uniform(-1.5, 1.5)
+        self.ball_vel = np.array([self.BALL_SPEED_X * self._serve_direction,
+                                  vy])
+        self._serve_delay = 20
+
+    def _move_paddles(self, meaning: str) -> None:
+        # On the Atari console Pong maps RIGHT to up and LEFT to down.
+        if "RIGHT" in meaning:
+            self.agent_y -= self.PADDLE_SPEED
+        elif "LEFT" in meaning:
+            self.agent_y += self.PADDLE_SPEED
+        self.agent_y = float(np.clip(self.agent_y, _COURT_TOP,
+                                     _COURT_BOTTOM - _PADDLE_H))
+        # Scripted opponent tracks the ball with bounded speed and a small
+        # dead zone so it is beatable.
+        target = self.ball[1] - _PADDLE_H / 2
+        delta = target - self.opponent_y
+        if abs(delta) > 4:
+            step = float(np.clip(delta, -self.OPPONENT_SPEED,
+                                 self.OPPONENT_SPEED))
+            self.opponent_y += step
+        self.opponent_y = float(np.clip(self.opponent_y, _COURT_TOP,
+                                        _COURT_BOTTOM - _PADDLE_H))
+
+    def _paddle_bounce(self, paddle_y: float) -> bool:
+        """Check a paddle hit; on hit, reflect with english and speed up."""
+        ball_y = self.ball[1]
+        if not (paddle_y - _BALL_SIZE <= ball_y <= paddle_y + _PADDLE_H):
+            return False
+        offset = (ball_y + _BALL_SIZE / 2 - paddle_y - _PADDLE_H / 2) \
+            / (_PADDLE_H / 2)
+        self.ball_vel[0] = -self.ball_vel[0] * 1.03
+        self.ball_vel[0] = float(np.clip(self.ball_vel[0], -4.0, 4.0))
+        self.ball_vel[1] = float(np.clip(offset * self.BALL_SPEED_Y_MAX,
+                                         -self.BALL_SPEED_Y_MAX,
+                                         self.BALL_SPEED_Y_MAX))
+        return True
+
+    def _step_frame(self, meaning: str) -> float:
+        self._move_paddles(meaning)
+        if self._serve_delay > 0:
+            self._serve_delay -= 1
+            return 0.0
+
+        self.ball += self.ball_vel
+        # Wall bounces.
+        if self.ball[1] <= _COURT_TOP:
+            self.ball[1] = _COURT_TOP
+            self.ball_vel[1] = abs(self.ball_vel[1])
+        elif self.ball[1] >= _COURT_BOTTOM - _BALL_SIZE:
+            self.ball[1] = _COURT_BOTTOM - _BALL_SIZE
+            self.ball_vel[1] = -abs(self.ball_vel[1])
+
+        reward = 0.0
+        # Agent side (right).
+        if self.ball_vel[0] > 0 and \
+                self.ball[0] + _BALL_SIZE >= _AGENT_X:
+            if self._paddle_bounce(self.agent_y):
+                self.ball[0] = _AGENT_X - _BALL_SIZE
+            elif self.ball[0] > SCREEN_WIDTH:
+                self.opponent_score += 1
+                reward = -1.0
+                self._serve_direction = 1
+                self._serve()
+        # Opponent side (left).
+        elif self.ball_vel[0] < 0 and \
+                self.ball[0] <= _OPPONENT_X + _PADDLE_W:
+            if self._paddle_bounce(self.opponent_y):
+                self.ball[0] = _OPPONENT_X + _PADDLE_W
+            elif self.ball[0] < -_BALL_SIZE:
+                self.agent_score += 1
+                reward = 1.0
+                self._serve_direction = -1
+                self._serve()
+
+        if self.agent_score >= _WIN_SCORE or \
+                self.opponent_score >= _WIN_SCORE:
+            self.lives = 0
+        return reward
+
+    def _render(self) -> None:
+        screen = self.screen
+        screen.clear(_BG)
+        screen.fill_rect(_COURT_TOP - 4, 0, 4, SCREEN_WIDTH, _WALL)
+        screen.fill_rect(_COURT_BOTTOM, 0, 4, SCREEN_WIDTH, _WALL)
+        # Score bars at the top: width encodes each side's points.
+        screen.fill_rect(8, 10, 8, 3 * self.opponent_score, _OPPONENT)
+        screen.fill_rect(8, SCREEN_WIDTH - 10 - 3 * self.agent_score,
+                         8, 3 * self.agent_score, _AGENT)
+        screen.fill_rect(self.opponent_y, _OPPONENT_X, _PADDLE_H, _PADDLE_W,
+                         _OPPONENT)
+        screen.fill_rect(self.agent_y, _AGENT_X, _PADDLE_H, _PADDLE_W,
+                         _AGENT)
+        if self._serve_delay == 0:
+            screen.fill_rect(self.ball[1], self.ball[0], _BALL_SIZE,
+                             _BALL_SIZE, _BALL)

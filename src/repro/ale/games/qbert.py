@@ -1,0 +1,184 @@
+"""Simulated Q*bert.
+
+A 7-row pyramid of cubes; hopping onto a cube flips it to the target colour
+for +25 points; colouring the whole pyramid awards a bonus and starts the
+next (faster) round.  A purple ball spawns at the top and bounces down,
+costing a life on contact.  Hops take several frames (the real game's hop
+animation), which makes the control problem non-trivial under frame skip.
+Minimal action set matches ALE Q*bert: NOOP, FIRE, UP, RIGHT, LEFT, DOWN.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.ale.games.base import SCREEN_WIDTH, AtariGame
+
+_BG = (40, 40, 40)
+_CUBE_OFF = (182, 138, 20)
+_CUBE_ON = (60, 120, 210)
+_PLAYER = (210, 100, 30)
+_ENEMY = (146, 70, 192)
+
+_N_ROWS = 7
+_CUBE_W = 18.0
+_CUBE_H = 14.0
+_TOP_X = SCREEN_WIDTH / 2
+_TOP_Y = 40.0
+
+# Diagonal hops: (d_row, d_col) in pyramid coordinates.
+_HOPS = {
+    "UP": (-1, 0),       # up-right on screen
+    "LEFT": (-1, -1),    # up-left
+    "DOWN": (1, 1),      # down-right
+    "RIGHT": (1, 0),     # down-left... see note below
+}
+# Note: the real game maps the four diagonals to the joystick diagonals;
+# here each of the four directions is one diagonal hop, which preserves the
+# control structure (choose one of four neighbours) without diagonal
+# joystick actions.
+
+
+def _cube_center(row: int, col: int) -> typing.Tuple[float, float]:
+    """Screen position of cube (row, col); row 0 is the apex."""
+    x = _TOP_X + (col - row / 2.0) * _CUBE_W
+    y = _TOP_Y + row * _CUBE_H
+    return x, y
+
+
+class Qbert(AtariGame):
+    """Pyramid-hopping with a pursuing enemy ball."""
+
+    ACTION_MEANINGS = ("NOOP", "FIRE", "UP", "RIGHT", "LEFT", "DOWN")
+    START_LIVES = 4
+    MAX_FRAMES = 40_000
+
+    HOP_FRAMES = 8          # frames a hop takes
+    ENEMY_HOP_FRAMES = 12   # enemy is slower than the player
+    ENEMY_SPAWN_DELAY = 120
+    CUBE_SCORE = 25.0
+    ROUND_BONUS = 100.0
+
+    def __init__(self):
+        super().__init__()
+        self.colored = np.zeros((_N_ROWS, _N_ROWS), dtype=bool)
+        self.player = (0, 0)
+        self.enemy: "typing.Optional[typing.Tuple[int, int]]" = None
+        self._hop_timer = 0
+        self._pending_hop: "typing.Optional[typing.Tuple[int, int]]" = None
+        self._enemy_timer = 0
+        self._round = 0
+        self._respawn_timer = 0
+
+    @staticmethod
+    def _valid(row: int, col: int) -> bool:
+        return 0 <= row < _N_ROWS and 0 <= col <= row
+
+    def _reset_game(self) -> None:
+        self._round = 0
+        self._start_round()
+
+    def _start_round(self) -> None:
+        self.colored[:] = False
+        self.player = (0, 0)
+        self.enemy = None
+        self._hop_timer = 0
+        self._pending_hop = None
+        self._enemy_timer = self.ENEMY_SPAWN_DELAY
+        self._respawn_timer = 0
+        self._color(0, 0)
+
+    def _color(self, row: int, col: int) -> float:
+        if not self.colored[row, col]:
+            self.colored[row, col] = True
+            return self.CUBE_SCORE
+        return 0.0
+
+    def _pyramid_done(self) -> bool:
+        return all(self.colored[row, col]
+                   for row in range(_N_ROWS) for col in range(row + 1))
+
+    def _step_enemy(self) -> None:
+        if self.enemy is None:
+            self._enemy_timer -= 1
+            if self._enemy_timer <= 0:
+                self.enemy = (0, 0)
+                self._enemy_timer = self.ENEMY_HOP_FRAMES
+            return
+        self._enemy_timer -= 1
+        if self._enemy_timer > 0:
+            return
+        self._enemy_timer = max(self.ENEMY_HOP_FRAMES - self._round, 6)
+        row, col = self.enemy
+        # The ball bounces downhill, drifting toward the player's column.
+        if row + 1 < _N_ROWS:
+            prefer_right = self.player[1] > col
+            dcol = 1 if prefer_right else 0
+            if self.rng.random() < 0.25:
+                dcol = 1 - dcol
+            self.enemy = (row + 1, col + dcol)
+        else:
+            # Fell off the bottom; respawn at the top after a delay.
+            self.enemy = None
+            self._enemy_timer = self.ENEMY_SPAWN_DELAY
+
+    def _step_frame(self, meaning: str) -> float:
+        if self._respawn_timer > 0:
+            self._respawn_timer -= 1
+            return 0.0
+
+        reward = 0.0
+        if self._hop_timer > 0:
+            self._hop_timer -= 1
+            if self._hop_timer == 0 and self._pending_hop is not None:
+                row, col = self._pending_hop
+                self._pending_hop = None
+                if self._valid(row, col):
+                    self.player = (row, col)
+                    reward += self._color(row, col)
+                else:
+                    # Hopped off the pyramid.
+                    self.lives -= 1
+                    self._respawn_timer = 30
+                    self.player = (0, 0)
+        elif meaning in _HOPS:
+            d_row, d_col = _HOPS[meaning]
+            self._pending_hop = (self.player[0] + d_row,
+                                 self.player[1] + d_col)
+            self._hop_timer = self.HOP_FRAMES
+
+        self._step_enemy()
+        if self.enemy is not None and self.enemy == self.player \
+                and self._respawn_timer == 0:
+            self.lives -= 1
+            self._respawn_timer = 30
+            self.enemy = None
+            self._enemy_timer = self.ENEMY_SPAWN_DELAY
+            self.player = (0, 0)
+
+        if self._pyramid_done():
+            reward += self.ROUND_BONUS
+            self._round += 1
+            self._start_round()
+        return reward
+
+    def _render(self) -> None:
+        screen = self.screen
+        screen.clear(_BG)
+        for i in range(self.lives):
+            screen.fill_rect(8, 8 + 10 * i, 6, 6, _PLAYER)
+        for row in range(_N_ROWS):
+            for col in range(row + 1):
+                x, y = _cube_center(row, col)
+                color = _CUBE_ON if self.colored[row, col] else _CUBE_OFF
+                screen.fill_rect(y, x - _CUBE_W / 2 + 1,
+                                 _CUBE_H - 2, _CUBE_W - 2, color)
+        if self._respawn_timer == 0:
+            px, py = _cube_center(*self.player)
+            lift = 4.0 if self._hop_timer > 0 else 0.0
+            screen.fill_rect(py - 8 - lift, px - 4, 8, 8, _PLAYER)
+        if self.enemy is not None:
+            ex, ey = _cube_center(*self.enemy)
+            screen.fill_rect(ey - 7, ex - 3, 7, 7, _ENEMY)

@@ -1,0 +1,190 @@
+"""Simulated Seaquest.
+
+A submarine hunts sharks (+20 each) and rescues divers while managing an
+oxygen tank: oxygen drains underwater and refills at the surface; running
+dry costs a life.  Surfacing with rescued divers scores a bonus.  The
+minimal action set here is the six-action movement/fire subset (the real
+cartridge exposes all 18; the strategy space — shoot, rescue, surface — is
+preserved).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ale.games.base import SCREEN_HEIGHT, SCREEN_WIDTH, AtariGame
+
+_SKY = (120, 180, 240)
+_WATER = (24, 59, 157)
+_SUB = (210, 210, 64)
+_SHARK = (92, 186, 92)
+_DIVER = (236, 200, 96)
+_TORPEDO = (236, 236, 236)
+_OXYGEN_BAR = (214, 214, 214)
+_OXYGEN_LOW = (200, 72, 72)
+
+_SURFACE_Y = 46.0
+_FLOOR_Y = 194.0
+_SUB_W = 12.0
+_SUB_H = 8.0
+_SHARK_W = 10.0
+_SHARK_H = 6.0
+_DIVER_W = 6.0
+_DIVER_H = 8.0
+_TORPEDO_SPEED = 4.0
+
+
+class Seaquest(AtariGame):
+    """Underwater shooter with an oxygen resource loop."""
+
+    ACTION_MEANINGS = ("NOOP", "FIRE", "UP", "RIGHT", "LEFT", "DOWN")
+    START_LIVES = 3
+    MAX_FRAMES = 40_000
+
+    SUB_SPEED = 2.5
+    SHARK_SPEED = 1.4
+    DIVER_SPEED = 0.8
+    OXYGEN_MAX = 400.0
+    SHARK_SCORE = 20.0
+    DIVER_BONUS = 50.0
+    SPAWN_PROBABILITY = 0.03
+    DIVER_PROBABILITY = 0.01
+    MAX_DIVERS_HELD = 6
+
+    def __init__(self):
+        super().__init__()
+        self.sub = np.zeros(2)
+        self.oxygen = 0.0
+        self.sharks: list = []       # each: [x, y, direction]
+        self.divers: list = []       # each: [x, y, direction]
+        self.torpedo: "np.ndarray | None" = None
+        self.divers_held = 0
+        self._respawn_timer = 0
+
+    def _reset_game(self) -> None:
+        self.sub = np.array([SCREEN_WIDTH / 2, _SURFACE_Y + 30])
+        self.oxygen = self.OXYGEN_MAX
+        self.sharks = []
+        self.divers = []
+        self.torpedo = None
+        self.divers_held = 0
+        self._respawn_timer = 0
+
+    def _spawn(self) -> None:
+        if self.rng.random() < self.SPAWN_PROBABILITY:
+            direction = 1 if self.rng.random() < 0.5 else -1
+            x = -_SHARK_W if direction > 0 else SCREEN_WIDTH
+            y = self.rng.uniform(_SURFACE_Y + 20, _FLOOR_Y - 10)
+            self.sharks.append(np.array([x, y, direction]))
+        if self.rng.random() < self.DIVER_PROBABILITY:
+            direction = 1 if self.rng.random() < 0.5 else -1
+            x = -_DIVER_W if direction > 0 else SCREEN_WIDTH
+            y = self.rng.uniform(_SURFACE_Y + 30, _FLOOR_Y - 10)
+            self.divers.append(np.array([x, y, direction]))
+
+    def _lose_life(self) -> None:
+        self.lives -= 1
+        self._respawn_timer = 30
+        self.sub = np.array([SCREEN_WIDTH / 2, _SURFACE_Y + 30])
+        self.oxygen = self.OXYGEN_MAX
+        self.torpedo = None
+        self.divers_held = 0
+
+    def _step_frame(self, meaning: str) -> float:
+        if self._respawn_timer > 0:
+            self._respawn_timer -= 1
+            return 0.0
+
+        dx, dy, fire = self.decode_move(meaning)
+        self.sub[0] = float(np.clip(self.sub[0] + dx * self.SUB_SPEED,
+                                    0, SCREEN_WIDTH - _SUB_W))
+        self.sub[1] = float(np.clip(self.sub[1] + dy * self.SUB_SPEED,
+                                    _SURFACE_Y, _FLOOR_Y - _SUB_H))
+        if fire and self.torpedo is None:
+            facing = 1.0 if dx >= 0 else -1.0
+            self.torpedo = np.array([self.sub[0] + _SUB_W / 2,
+                                     self.sub[1] + _SUB_H / 2, facing])
+
+        reward = 0.0
+        at_surface = self.sub[1] <= _SURFACE_Y + 1
+
+        # Oxygen economy.
+        if at_surface:
+            refill = self.oxygen < self.OXYGEN_MAX
+            self.oxygen = min(self.OXYGEN_MAX, self.oxygen + 8.0)
+            if refill and self.oxygen >= self.OXYGEN_MAX \
+                    and self.divers_held > 0:
+                reward += self.DIVER_BONUS * self.divers_held
+                self.divers_held = 0
+        else:
+            self.oxygen -= 1.0
+            if self.oxygen <= 0:
+                self._lose_life()
+                return reward
+
+        self._spawn()
+
+        # Sharks drift horizontally; collide with the sub.
+        remaining = []
+        for shark in self.sharks:
+            shark[0] += shark[2] * self.SHARK_SPEED
+            if -_SHARK_W <= shark[0] <= SCREEN_WIDTH:
+                remaining.append(shark)
+        self.sharks = remaining
+        for shark in self.sharks:
+            if (abs(shark[0] - self.sub[0]) < (_SHARK_W + _SUB_W) / 2 and
+                    abs(shark[1] - self.sub[1]) < (_SHARK_H + _SUB_H) / 2):
+                self._lose_life()
+                return reward
+
+        # Divers drift; pick them up by touching.
+        remaining = []
+        for diver in self.divers:
+            diver[0] += diver[2] * self.DIVER_SPEED
+            touched = (abs(diver[0] - self.sub[0]) <
+                       (_DIVER_W + _SUB_W) / 2 and
+                       abs(diver[1] - self.sub[1]) <
+                       (_DIVER_H + _SUB_H) / 2)
+            if touched and self.divers_held < self.MAX_DIVERS_HELD:
+                self.divers_held += 1
+            elif -_DIVER_W <= diver[0] <= SCREEN_WIDTH:
+                remaining.append(diver)
+        self.divers = remaining
+
+        # Torpedo flight and shark hits.
+        if self.torpedo is not None:
+            self.torpedo[0] += self.torpedo[2] * _TORPEDO_SPEED
+            if not 0 <= self.torpedo[0] <= SCREEN_WIDTH:
+                self.torpedo = None
+            else:
+                for index, shark in enumerate(self.sharks):
+                    if (abs(shark[0] - self.torpedo[0]) < _SHARK_W and
+                            abs(shark[1] - self.torpedo[1]) < _SHARK_H):
+                        del self.sharks[index]
+                        self.torpedo = None
+                        reward += self.SHARK_SCORE
+                        break
+        return reward
+
+    def _render(self) -> None:
+        screen = self.screen
+        screen.clear(_WATER)
+        screen.fill_rect(0, 0, _SURFACE_Y, SCREEN_WIDTH, _SKY)
+        # Oxygen gauge along the bottom.
+        frac = max(self.oxygen, 0.0) / self.OXYGEN_MAX
+        color = _OXYGEN_BAR if frac > 0.25 else _OXYGEN_LOW
+        screen.fill_rect(SCREEN_HEIGHT - 10, 20, 6,
+                         (SCREEN_WIDTH - 40) * frac, color)
+        for i in range(self.lives):
+            screen.fill_rect(8, 8 + 10 * i, 6, 6, _SUB)
+        for i in range(self.divers_held):
+            screen.fill_rect(8, SCREEN_WIDTH - 16 - 10 * i, 6, 6, _DIVER)
+        for shark in self.sharks:
+            screen.fill_rect(shark[1], shark[0], _SHARK_H, _SHARK_W, _SHARK)
+        for diver in self.divers:
+            screen.fill_rect(diver[1], diver[0], _DIVER_H, _DIVER_W, _DIVER)
+        if self.torpedo is not None:
+            screen.fill_rect(self.torpedo[1], self.torpedo[0], 2, 6,
+                             _TORPEDO)
+        if self._respawn_timer == 0:
+            screen.fill_rect(self.sub[1], self.sub[0], _SUB_H, _SUB_W, _SUB)

@@ -1,0 +1,194 @@
+"""Simulated Space Invaders.
+
+A 6x6 grid of aliens marches side to side and descends; the player cannon
+shoots upward (one shot on screen at a time, as on the real cartridge) and
+dodges alien bombs behind the action timer.  Row scores are 30/25/20/15/10/5
+points from top to bottom.  Minimal action set matches ALE Space Invaders:
+NOOP, FIRE, RIGHT, LEFT, RIGHTFIRE, LEFTFIRE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ale.games.base import SCREEN_HEIGHT, SCREEN_WIDTH, AtariGame
+
+_BG = (0, 0, 0)
+_GROUND = (78, 50, 30)
+_PLAYER = (50, 205, 50)
+_ALIEN = (134, 134, 29)
+_BOMB = (213, 130, 74)
+_SHOT = (236, 236, 236)
+_SHIELD = (181, 83, 40)
+
+_N_ROWS = 6
+_N_COLS = 6
+_ROW_SCORES = (30, 25, 20, 15, 10, 5)
+_ALIEN_W = 8.0
+_ALIEN_H = 8.0
+_ALIEN_GAP_X = 16.0
+_ALIEN_GAP_Y = 14.0
+_PLAYER_Y = 185.0
+_PLAYER_W = 8.0
+_PLAYER_H = 6.0
+_SHOT_SPEED = 5.0
+_BOMB_SPEED = 1.6
+
+
+class SpaceInvaders(AtariGame):
+    """March-and-shoot with descending alien waves and three lives."""
+
+    ACTION_MEANINGS = ("NOOP", "FIRE", "RIGHT", "LEFT",
+                       "RIGHTFIRE", "LEFTFIRE")
+    START_LIVES = 3
+    MAX_FRAMES = 40_000
+
+    PLAYER_SPEED = 3.0
+    MARCH_PERIOD = 16      # frames between alien steps
+    MARCH_STEP = 4.0
+    DESCEND_STEP = 8.0
+    BOMB_PROBABILITY = 0.02
+
+    def __init__(self):
+        super().__init__()
+        self.player_x = 0.0
+        self.alive = np.ones((_N_ROWS, _N_COLS), dtype=bool)
+        self.grid_origin = np.zeros(2)  # (x, y) of the grid's top-left
+        self.march_direction = 1
+        self.shot: "np.ndarray | None" = None
+        self.bombs: list = []
+        self._march_timer = 0
+        self._wave = 0
+        self._respawn_timer = 0
+
+    def _reset_game(self) -> None:
+        self.player_x = SCREEN_WIDTH / 2 - _PLAYER_W / 2
+        self._wave = 0
+        self._respawn_timer = 0
+        self._new_wave()
+
+    def _new_wave(self) -> None:
+        self.alive = np.ones((_N_ROWS, _N_COLS), dtype=bool)
+        self.grid_origin = np.array([24.0, 40.0 + 4.0 * self._wave])
+        self.march_direction = 1
+        self.shot = None
+        self.bombs = []
+        self._march_timer = self.MARCH_PERIOD
+
+    def _alien_rect(self, row: int, col: int):
+        x = self.grid_origin[0] + col * _ALIEN_GAP_X
+        y = self.grid_origin[1] + row * _ALIEN_GAP_Y
+        return x, y
+
+    def _grid_extent(self):
+        cols_alive = np.where(self.alive.any(axis=0))[0]
+        left = self.grid_origin[0] + cols_alive[0] * _ALIEN_GAP_X
+        right = self.grid_origin[0] + cols_alive[-1] * _ALIEN_GAP_X \
+            + _ALIEN_W
+        return left, right
+
+    def _march(self) -> None:
+        self._march_timer -= 1
+        if self._march_timer > 0:
+            return
+        self._march_timer = self.MARCH_PERIOD
+        left, right = self._grid_extent()
+        nxt_left = left + self.march_direction * self.MARCH_STEP
+        nxt_right = right + self.march_direction * self.MARCH_STEP
+        if nxt_left < 8 or nxt_right > SCREEN_WIDTH - 8:
+            self.march_direction *= -1
+            self.grid_origin[1] += self.DESCEND_STEP
+        else:
+            self.grid_origin[0] += self.march_direction * self.MARCH_STEP
+
+    def _drop_bombs(self) -> None:
+        if self.rng.random() >= self.BOMB_PROBABILITY * self.alive.sum():
+            return
+        cols = np.where(self.alive.any(axis=0))[0]
+        col = int(self.rng.choice(cols))
+        row = int(np.where(self.alive[:, col])[0][-1])
+        x, y = self._alien_rect(row, col)
+        self.bombs.append(np.array([x + _ALIEN_W / 2, y + _ALIEN_H]))
+
+    def _step_shot(self) -> float:
+        if self.shot is None:
+            return 0.0
+        self.shot[1] -= _SHOT_SPEED
+        if self.shot[1] < 20:
+            self.shot = None
+            return 0.0
+        # Hit test against aliens.
+        for row in range(_N_ROWS):
+            for col in range(_N_COLS):
+                if not self.alive[row, col]:
+                    continue
+                x, y = self._alien_rect(row, col)
+                if x <= self.shot[0] <= x + _ALIEN_W and \
+                        y <= self.shot[1] <= y + _ALIEN_H:
+                    self.alive[row, col] = False
+                    self.shot = None
+                    return float(_ROW_SCORES[row])
+        return 0.0
+
+    def _step_bombs(self) -> None:
+        remaining = []
+        for bomb in self.bombs:
+            bomb[1] += _BOMB_SPEED
+            if _PLAYER_Y <= bomb[1] <= _PLAYER_Y + _PLAYER_H and \
+                    self.player_x <= bomb[0] <= self.player_x + _PLAYER_W:
+                self.lives -= 1
+                self._respawn_timer = 30
+                self.bombs = []
+                return
+            if bomb[1] < SCREEN_HEIGHT - 12:
+                remaining.append(bomb)
+        self.bombs = remaining
+
+    def _step_frame(self, meaning: str) -> float:
+        if self._respawn_timer > 0:
+            self._respawn_timer -= 1
+            return 0.0
+
+        dx, _, fire = self.decode_move(meaning)
+        self.player_x = float(np.clip(self.player_x
+                                      + dx * self.PLAYER_SPEED,
+                                      8, SCREEN_WIDTH - 8 - _PLAYER_W))
+        if fire and self.shot is None:
+            self.shot = np.array([self.player_x + _PLAYER_W / 2,
+                                  _PLAYER_Y - 1])
+
+        self._march()
+        self._drop_bombs()
+        reward = self._step_shot()
+        self._step_bombs()
+
+        # Aliens reached the ground: lose the game.
+        rows_alive = np.where(self.alive.any(axis=1))[0]
+        if rows_alive.size:
+            lowest = self.grid_origin[1] + rows_alive[-1] * _ALIEN_GAP_Y \
+                + _ALIEN_H
+            if lowest >= _PLAYER_Y:
+                self.lives = 0
+        if not self.alive.any():
+            self._wave += 1
+            self._new_wave()
+        return reward
+
+    def _render(self) -> None:
+        screen = self.screen
+        screen.clear(_BG)
+        screen.fill_rect(SCREEN_HEIGHT - 12, 0, 12, SCREEN_WIDTH, _GROUND)
+        for i in range(self.lives):
+            screen.fill_rect(8, 8 + 10 * i, 6, 6, _PLAYER)
+        for row in range(_N_ROWS):
+            for col in range(_N_COLS):
+                if self.alive[row, col]:
+                    x, y = self._alien_rect(row, col)
+                    screen.fill_rect(y, x, _ALIEN_H, _ALIEN_W, _ALIEN)
+        if self._respawn_timer == 0:
+            screen.fill_rect(_PLAYER_Y, self.player_x, _PLAYER_H,
+                             _PLAYER_W, _PLAYER)
+        if self.shot is not None:
+            screen.fill_rect(self.shot[1], self.shot[0], 5, 2, _SHOT)
+        for bomb in self.bombs:
+            screen.fill_rect(bomb[1], bomb[0], 5, 2, _BOMB)

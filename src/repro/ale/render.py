@@ -1,0 +1,41 @@
+"""Terminal rendering of game screens.
+
+Turns a 210x160 RGB frame into ASCII art (luminance-mapped), so agents
+can be watched and game dynamics debugged without any display stack —
+handy in the same headless environments this reproduction targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.preprocessing import bilinear_resize, rgb_to_grayscale
+
+#: Dark-to-bright character ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def screen_to_ascii(frame: np.ndarray, width: int = 64,
+                    height: int = 28) -> str:
+    """Render an ``(H, W, 3)`` RGB (or 2-D grayscale) frame as text."""
+    gray = rgb_to_grayscale(frame) if frame.ndim == 3 \
+        else frame.astype(np.float32)
+    small = bilinear_resize(gray, height, width)
+    lo, hi = float(small.min()), float(small.max())
+    span = (hi - lo) or 1.0
+    indices = ((small - lo) / span * (len(_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in indices)
+
+
+def side_by_side(left: str, right: str, gap: str = "   ") -> str:
+    """Join two ASCII frames horizontally."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    height = max(len(left_lines), len(right_lines))
+    width = max((len(line) for line in left_lines), default=0)
+    out = []
+    for index in range(height):
+        l = left_lines[index] if index < len(left_lines) else ""
+        r = right_lines[index] if index < len(right_lines) else ""
+        out.append(l.ljust(width) + gap + r)
+    return "\n".join(out)

@@ -1,0 +1,24 @@
+"""Analytical reproductions of the paper's accounting tables."""
+
+from repro.analysis.linebuffers import LineBufferPlan, line_buffer_table
+from repro.analysis.model_card import CalibrationEntry, model_card, \
+    model_card_rows
+from repro.analysis.roofline import (
+    accumulation_frequency_table,
+    operational_intensity,
+    roofline_time,
+)
+from repro.analysis.traffic import TrafficReport, traffic_table
+
+__all__ = [
+    "CalibrationEntry",
+    "LineBufferPlan",
+    "TrafficReport",
+    "accumulation_frequency_table",
+    "line_buffer_table",
+    "model_card",
+    "model_card_rows",
+    "operational_intensity",
+    "roofline_time",
+    "traffic_table",
+]

@@ -1,0 +1,85 @@
+"""Line-buffer sizing (paper Table 3 / Section 4.5.1).
+
+For each computation stage, Table 3 gives the width and count of the line
+buffers feeding each PE port:
+
+* **FW** — input port 0 reads the input feature map through one line
+  buffer of width C_in (stitched from ceil(C_in / 16) buffer rows and
+  shifted one word per cycle); port 1 reads the FW-layout parameter buffer
+  directly (width min(N_PE, O), no line buffer required); the output port
+  uses one N_PE-wide line buffer for scattering.
+* **GC** — K input-feature lines plus M_GC = floor(N_PE / K^2)
+  output-gradient lines.
+* **BW** — parameters in the BW layout (no line buffer) plus
+  M_BW = floor(N_PE / (M_w * C_in)) output-gradient lines, with
+  M_w = floor(O / K^2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.nn.network import LayerSpec, NetworkTopology
+
+
+@dataclasses.dataclass
+class LineBufferPlan:
+    """One Table 3 row instantiated for a concrete layer."""
+
+    stage: str                 # FW | GC | BW
+    port: str                  # Input 0 | Input 1 | Output
+    buffer: str                # which on-chip buffer feeds it
+    width: int                 # words per line buffer
+    count: int                 # number of line buffers
+
+    @property
+    def register_words(self) -> int:
+        """Total register words this plan occupies."""
+        return self.width * self.count
+
+
+def _m_w(spec: LayerSpec) -> int:
+    """M_w = floor(O / K^2): input channels per BW-layout buffer row."""
+    return max(1, spec.out_channels // spec.kernel ** 2)
+
+
+def layer_line_buffers(spec: LayerSpec,
+                       n_pe: int = 64) -> typing.List[LineBufferPlan]:
+    """Instantiate Table 3 for one layer."""
+    c_in = spec.in_width            # input feature-map width
+    c_out = spec.out_width          # output feature-map width
+    ksq = spec.kernel ** 2
+    m_gc = max(1, n_pe // ksq)
+    m_bw = max(1, n_pe // (_m_w(spec) * max(c_in, 1)))
+    param_width = min(n_pe, spec.out_channels)
+    return [
+        LineBufferPlan("FW", "Input 0", "Input feature map", c_in, 1),
+        LineBufferPlan("FW", "Input 1", "Parameter (FW layout)",
+                       param_width, 0),
+        LineBufferPlan("FW", "Output", "Output feature map", n_pe, 1),
+        LineBufferPlan("GC", "Input 0", "Input feature map", c_in,
+                       spec.kernel),
+        LineBufferPlan("GC", "Input 1", "Output feature map (gradient)",
+                       c_out, m_gc),
+        LineBufferPlan("GC", "Output", "Gradient", n_pe, 1),
+        LineBufferPlan("BW", "Input 0", "Parameter (BW layout)",
+                       param_width, 0),
+        LineBufferPlan("BW", "Input 1", "Output feature map (gradient)",
+                       c_out, m_bw),
+        LineBufferPlan("BW", "Output", "Input feature map (gradient)",
+                       n_pe, 1),
+    ]
+
+
+def line_buffer_table(topology: NetworkTopology, n_pe: int = 64
+                      ) -> typing.Dict[str, typing.List[LineBufferPlan]]:
+    """Table 3 instantiated for every parameterised layer."""
+    return {spec.name: layer_line_buffers(spec, n_pe)
+            for spec in topology.layers}
+
+
+def stitching_rows(width: int, row_words: int = 16) -> int:
+    """Buffer rows the BCU stitches to build one ``width``-word line
+    (Section 4.5: needed when the feature map is wider than 16 words)."""
+    return -(-width // row_words)

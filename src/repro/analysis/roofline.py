@@ -1,0 +1,88 @@
+"""Operational intensity and roofline analysis (paper Sections 3.2-3.3).
+
+The paper's core performance argument: A3C's tiny batches give its DNN
+tasks a low *operational intensity* (FLOPs per off-chip byte), so a GPU's
+huge peak FLOPs are unreachable and achievable performance is set by the
+off-chip bandwidth and by fixed overheads.  These helpers quantify that
+argument for any layer/batch combination and back the Section 3.2 bench.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.nn.network import WORD_BYTES, LayerSpec, NetworkTopology
+
+
+def operational_intensity(spec: LayerSpec, batch: int,
+                          stage: str = "fw") -> float:
+    """FLOPs per off-chip byte for one layer stage.
+
+    Off-chip traffic counts the parameters plus the input/output feature
+    maps; increasing the batch amortises the parameter traffic — which is
+    exactly what A3C cannot do (Section 3.2).
+    """
+    if stage == "fw":
+        flops = 2.0 * spec.macs_fw(batch)
+    elif stage == "bw":
+        flops = 2.0 * spec.macs_bw(batch)
+    elif stage == "gc":
+        flops = 2.0 * spec.macs_gc(batch)
+    else:
+        raise ValueError(f"unknown stage {stage!r}")
+    traffic = (spec.num_params
+               + batch * (spec.num_inputs + spec.num_outputs)) * WORD_BYTES
+    return flops / traffic
+
+
+def roofline_time(spec: LayerSpec, batch: int, peak_flops: float,
+                  mem_bandwidth: float, stage: str = "fw") -> float:
+    """Roofline execution time: max of compute-limit and memory-limit."""
+    if stage == "fw":
+        flops = 2.0 * spec.macs_fw(batch)
+    elif stage == "bw":
+        flops = 2.0 * spec.macs_bw(batch)
+    else:
+        flops = 2.0 * spec.macs_gc(batch)
+    traffic = (spec.num_params
+               + batch * (spec.num_inputs + spec.num_outputs)) * WORD_BYTES
+    return max(flops / peak_flops, traffic / mem_bandwidth)
+
+
+def intensity_table(topology: NetworkTopology,
+                    batches: typing.Sequence[int] = (1, 5, 32, 256)
+                    ) -> typing.List[typing.Dict[str, object]]:
+    """Per-layer operational intensity across batch sizes.
+
+    Shows the Section 2.2/3.2 contrast: convolution layers have high
+    intensity even at batch 1, fully-connected layers only at large
+    batches A3C cannot use.
+    """
+    rows = []
+    for spec in topology.layers:
+        row: typing.Dict[str, object] = {"layer": spec.name,
+                                         "kind": spec.kind}
+        for batch in batches:
+            row[f"oi_b{batch}"] = operational_intensity(spec, batch)
+        rows.append(row)
+    return rows
+
+
+def accumulation_frequency_table(topology: NetworkTopology, batch: int = 5
+                                 ) -> typing.List[typing.Dict[str, object]]:
+    """Accumulation frequency per layer and stage (Section 4.2.1).
+
+    The spread of these values across one training pass is the paper's
+    argument for the controllable-accumulation PE over fixed adder trees
+    or systolic arrays.
+    """
+    rows = []
+    for spec in topology.layers:
+        rows.append({
+            "layer": spec.name,
+            "fw": spec.accumulation_frequency_fw,
+            "gc": spec.accumulation_frequency_gc(batch),
+            "bw": spec.out_channels * spec.kernel ** 2
+            // max(spec.stride ** 2, 1),
+        })
+    return rows

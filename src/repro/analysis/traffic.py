@@ -1,0 +1,123 @@
+r"""Off-chip data traffic per A3C training routine (paper Table 2).
+
+Table 2 itemises the theoretical DRAM traffic of one agent routine with
+t_max = 5 (six batch-1 inferences including the bootstrap, one batch-5
+training task, one parameter sync):
+
+=================  ===============  ===========  ===========
+Task               Data             Load         Store
+=================  ===============  ===========  ===========
+Parameter sync     Global theta     2,592 KB x1  --
+\                  Local theta      --           2,592 KB x1
+Inference x6       Local theta      2,592 KB x6  --
+\                  Input data       110 KB x6    --
+Training           Global theta     2,592 KB x1  2,592 KB x1
+\                  RMS g            2,592 KB x1  2,592 KB x1
+\                  Local theta      2,592 KB x1  --
+\                  Input data       110 KB x5    --
+=================  ===============  ===========  ===========
+
+The paper's "2,592 KB" parameter-set size corresponds to the FC3 weight
+matrix alone (2592 x 256 words x 4 B); the full Table 1 parameter set is
+2,673 KB.  We compute the itemisation from the real topology and expose
+both the paper's approximate figure and the exact one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.fpga.timing import TimingModel
+from repro.nn.network import NetworkTopology
+
+KB = 1024
+
+
+@dataclasses.dataclass
+class TrafficItem:
+    """One Table 2 row."""
+
+    task: str
+    data: str
+    load_bytes: int
+    store_bytes: int
+    count: int = 1
+
+    @property
+    def total_load(self) -> int:
+        return self.load_bytes * self.count
+
+    @property
+    def total_store(self) -> int:
+        return self.store_bytes * self.count
+
+
+@dataclasses.dataclass
+class TrafficReport:
+    """The Table 2 itemisation plus totals."""
+
+    items: typing.List[TrafficItem]
+
+    @property
+    def total_load_bytes(self) -> int:
+        return sum(item.total_load for item in self.items)
+
+    @property
+    def total_store_bytes(self) -> int:
+        return sum(item.total_store for item in self.items)
+
+    def rows(self) -> typing.List[typing.Dict[str, object]]:
+        """Printable rows in Table 2 order (KB, with counts)."""
+        rows = []
+        for item in self.items:
+            rows.append({
+                "task": item.task,
+                "data": item.data,
+                "load": f"{item.load_bytes / KB:,.0f}KB x{item.count}"
+                if item.load_bytes else "-",
+                "store": f"{item.store_bytes / KB:,.0f}KB x{item.count}"
+                if item.store_bytes else "-",
+            })
+        rows.append({
+            "task": "Total", "data": "",
+            "load": f"{self.total_load_bytes / KB:,.0f}KB",
+            "store": f"{self.total_store_bytes / KB:,.0f}KB",
+        })
+        return rows
+
+
+def traffic_table(topology: NetworkTopology, t_max: int = 5,
+                  include_feature_maps: bool = False) -> TrafficReport:
+    """Compute the Table 2 itemisation for a topology.
+
+    ``include_feature_maps`` extends the paper's accounting with the
+    feature-map save/reload traffic of Section 4.3, which Table 2 omits
+    (it is ~1.5 % of the total).
+    """
+    timing = TimingModel(topology)
+    theta = timing.total_param_words() * 4
+    input_data = timing.input_words(1) * 4
+    items = [
+        TrafficItem("Parameter sync", "Global theta", theta, 0),
+        TrafficItem("Parameter sync", "Local theta", 0, theta),
+        TrafficItem("Inference task", "Local theta", theta, 0,
+                    count=t_max + 1),
+        TrafficItem("Inference task", "Input data", input_data, 0,
+                    count=t_max + 1),
+        TrafficItem("Training task", "Global theta", theta, theta),
+        TrafficItem("Training task", "RMS g", theta, theta),
+        TrafficItem("Training task", "Local theta", theta, 0),
+        TrafficItem("Training task", "Input data", input_data, 0,
+                    count=t_max),
+    ]
+    if include_feature_maps:
+        fmaps = sum(timing.feature_words(spec, 1) * 4
+                    for spec in topology.layers)
+        items.append(TrafficItem("Inference task", "Feature maps (4.3)",
+                                 0, fmaps, count=t_max + 1))
+        items.append(TrafficItem("Training task", "Feature maps (4.3)",
+                                 fmaps * t_max, 0))
+        items.append(TrafficItem("Training task", "Gradients",
+                                 0, theta))
+    return TrafficReport(items=items)

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``train``   — train A3C on a simulated Atari game (optionally the
+  LSTM variant), with checkpointing.
+* ``compare`` — the Figure 8/9 platform comparison.
+* ``ablate``  — the Figure 10 configuration ablation.
+* ``tables``  — print Tables 1-4 from the implemented models.
+* ``card``    — the calibration model card with live anchor checks.
+* ``sweep``   — the paper's per-game learning-rate tuning protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.ale import GAME_NAMES, make_game
+from repro.core import A3CConfig, A3CTrainer, RecurrentA3CAgent
+from repro.envs import make_atari_env
+from repro.harness import format_curve, format_series, format_table
+from repro.nn.checkpoint import save_checkpoint
+from repro.nn.network import A3CNetwork
+from repro.nn.network_lstm import lstm_a3c_network
+
+
+def _build_trainer(args) -> A3CTrainer:
+    num_actions = make_game(args.game).action_space.n
+
+    def env_factory(agent_id: int):
+        return make_atari_env(make_game(args.game),
+                              max_episode_steps=args.episode_cap)
+
+    config = A3CConfig(num_agents=args.agents, t_max=args.t_max,
+                       learning_rate=args.learning_rate,
+                       anneal_steps=args.anneal_steps,
+                       max_steps=args.steps, seed=args.seed)
+    if args.lstm:
+        return A3CTrainer(env_factory,
+                          lambda: lstm_a3c_network(num_actions),
+                          config, agent_class=RecurrentA3CAgent)
+    return A3CTrainer(env_factory, lambda: A3CNetwork(num_actions),
+                      config)
+
+
+def cmd_train(args) -> int:
+    trainer = _build_trainer(args)
+    variant = "A3C-LSTM" if args.lstm else "A3C"
+    print(f"Training {variant} on {args.game}: {args.agents} agents, "
+          f"{args.steps} steps, lr {args.learning_rate}")
+    result = trainer.train(
+        threads=not args.serial,
+        progress=lambda step, tracker: print(
+            f"  step {step:>8}: episodes={len(tracker)} "
+            f"mean={tracker.recent_mean(100):.1f}"),
+        progress_interval=max(args.steps // 10, 1))
+    steps, scores = result.tracker.curve()
+    print(format_curve(steps, scores, args.game))
+    print(f"{result.global_steps} steps, {result.episodes} episodes, "
+          f"{result.steps_per_second:.0f} steps/s")
+    if args.checkpoint:
+        save_checkpoint(args.checkpoint, result.params,
+                        optimizer=trainer.server.optimizer,
+                        metadata={"game": args.game,
+                                  "global_step": result.global_steps,
+                                  "lstm": args.lstm})
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.fpga.platform import FA3CPlatform
+    from repro.gpu.platform import (
+        A3CTFCPUPlatform, A3CTFGPUPlatform, A3CcuDNNPlatform,
+        GA3CTFPlatform)
+    from repro.platforms import measure_ips, sweep_agents
+    from repro.power import PowerModel
+
+    topology = A3CNetwork(num_actions=6).topology()
+    platforms = [FA3CPlatform.fa3c(topology),
+                 A3CcuDNNPlatform(topology), GA3CTFPlatform(topology),
+                 A3CTFGPUPlatform(topology), A3CTFCPUPlatform(topology)]
+    agents = tuple(args.agents_sweep)
+    series = {}
+    for platform in platforms:
+        results = sweep_agents(platform, agents, routines_per_agent=30)
+        series[results[0].platform] = [round(r.ips) for r in results]
+    print(format_series(agents, series,
+                        title="Figure 8: IPS vs number of agents"))
+    results16 = [measure_ips(p, 16, routines_per_agent=25)
+                 for p in platforms]
+    print()
+    print(format_table(PowerModel().figure9(results16),
+                       columns=["platform", "watts", "ips_per_watt",
+                                "relative_power", "relative_efficiency"],
+                       title="Figure 9: power and efficiency at n=16"))
+    return 0
+
+
+def cmd_ablate(args) -> int:
+    from repro.fpga.platform import FA3CPlatform
+    from repro.platforms import sweep_agents
+
+    topology = A3CNetwork(num_actions=6).topology()
+    agents = tuple(args.agents_sweep)
+    variants = {
+        "FA3C": FA3CPlatform.fa3c(topology, cu_pairs=1),
+        "FA3C-Alt1": FA3CPlatform.alt1(topology, cu_pairs=1),
+        "FA3C-Alt2": FA3CPlatform.alt2(topology, cu_pairs=1),
+        "FA3C-SingleCU": FA3CPlatform.single_cu(topology, cu_pairs=1),
+    }
+    series = {}
+    for name, platform in variants.items():
+        results = sweep_agents(platform, agents, routines_per_agent=25)
+        series[name] = [round(r.ips) for r in results]
+    print(format_series(agents, series,
+                        title="Figure 10: FA3C configurations "
+                              "(1 CU pair)"))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    del args
+    from repro.analysis import line_buffer_table, traffic_table
+    from repro.fpga.resources import resource_table
+
+    topology = A3CNetwork(num_actions=6).topology()
+    print(format_table(topology.table1_rows(),
+                       title="Table 1: A3C DNN layers"))
+    print()
+    print(format_table(traffic_table(topology).rows(),
+                       title="Table 2: off-chip traffic per routine"))
+    print()
+    rows = []
+    for layer, plans in line_buffer_table(topology).items():
+        for plan in plans:
+            rows.append({"layer": layer, "stage": plan.stage,
+                         "port": plan.port, "width": plan.width,
+                         "count": plan.count})
+    print(format_table(rows, title="Table 3: line buffers"))
+    print()
+    print(format_table(resource_table(),
+                       title="Table 4: VU9P resources"))
+    return 0
+
+
+def cmd_card(args) -> int:
+    del args
+    from repro.analysis import model_card_rows
+
+    topology = A3CNetwork(num_actions=6).topology()
+    print(format_table(model_card_rows(topology),
+                       title="Calibration model card (anchors from the "
+                             "paper, checks computed live)"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.core.sweep import sweep_learning_rates
+
+    num_actions = make_game(args.game).action_space.n
+    config = A3CConfig(num_agents=args.agents, t_max=args.t_max,
+                       max_steps=args.steps, anneal_steps=10 ** 9,
+                       seed=args.seed)
+    result = sweep_learning_rates(
+        lambda i: make_atari_env(make_game(args.game),
+                                 max_episode_steps=args.episode_cap),
+        lambda: A3CNetwork(num_actions), config,
+        learning_rates=args.rates, seeds=tuple(range(args.seeds)),
+        threads=True)
+    print(format_table(result.rows(),
+                       title=f"Learning-rate sweep on {args.game} "
+                             f"({args.steps} steps/run)"))
+    best = result.best
+    print(f"best: lr={best.learning_rate} (seed {best.seed}), "
+          f"final score {best.final_score:.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FA3C (ASPLOS 2019) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train A3C on a simulated game")
+    train.add_argument("--game", choices=GAME_NAMES, default="breakout")
+    train.add_argument("--steps", type=int, default=20_000)
+    train.add_argument("--agents", type=int, default=4)
+    train.add_argument("--t-max", type=int, default=5)
+    train.add_argument("--learning-rate", type=float, default=7e-4)
+    train.add_argument("--anneal-steps", type=int, default=100_000_000)
+    train.add_argument("--episode-cap", type=int, default=1500)
+    train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--lstm", action="store_true",
+                       help="use the A3C-LSTM variant")
+    train.add_argument("--serial", action="store_true",
+                       help="deterministic round-robin agents")
+    train.add_argument("--checkpoint", default=None,
+                       help="write final parameters to this .npz")
+    train.set_defaults(func=cmd_train)
+
+    compare = sub.add_parser("compare",
+                             help="Figure 8/9 platform comparison")
+    compare.add_argument("--agents-sweep", type=int, nargs="+",
+                         default=[1, 2, 4, 8, 16, 32])
+    compare.set_defaults(func=cmd_compare)
+
+    ablate = sub.add_parser("ablate", help="Figure 10 ablation")
+    ablate.add_argument("--agents-sweep", type=int, nargs="+",
+                        default=[1, 2, 4, 8, 16])
+    ablate.set_defaults(func=cmd_ablate)
+
+    tables = sub.add_parser("tables", help="print Tables 1-4")
+    tables.set_defaults(func=cmd_tables)
+
+    card = sub.add_parser("card",
+                          help="print the calibration model card")
+    card.set_defaults(func=cmd_card)
+
+    sweep = sub.add_parser("sweep", help="learning-rate sweep")
+    sweep.add_argument("--game", choices=GAME_NAMES, default="breakout")
+    sweep.add_argument("--steps", type=int, default=10_000)
+    sweep.add_argument("--agents", type=int, default=4)
+    sweep.add_argument("--t-max", type=int, default=5)
+    sweep.add_argument("--episode-cap", type=int, default=1500)
+    sweep.add_argument("--seeds", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--rates", type=float, nargs="+",
+                       default=[1e-4, 7e-4, 3e-3])
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

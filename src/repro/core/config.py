@@ -1,0 +1,54 @@
+"""A3C hyper-parameters.
+
+Defaults follow the paper's evaluation setup (Section 5.6): 16 agents,
+t_max = 5, initial learning rate 7e-4 annealed linearly to zero over the
+full run, discount 0.99, entropy regularisation 0.01, shared RMSProp with
+decay 0.99.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass
+class A3CConfig:
+    """Hyper-parameters for A3C training."""
+
+    num_agents: int = 16
+    t_max: int = 5                       # rollout length per training task
+    gamma: float = 0.99                  # reward discount
+    entropy_beta: float = 0.01           # entropy regularisation weight
+    learning_rate: float = 7e-4          # initial learning rate
+    anneal_steps: typing.Optional[int] = None
+    """Global steps over which the learning rate anneals linearly to zero.
+    ``None`` means anneal over ``max_steps`` (the paper uses 100M)."""
+    rmsprop_rho: float = 0.99
+    rmsprop_eps: float = 0.1
+    max_steps: int = 100_000_000         # total inference steps to train for
+    grad_clip_norm: typing.Optional[float] = 40.0
+    """Global gradient-norm clipping (the reference A3C implementation the
+    paper benchmarks uses 40.0); ``None`` disables clipping."""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_agents < 1:
+            raise ValueError(f"num_agents must be >= 1: {self.num_agents}")
+        if self.t_max < 1:
+            raise ValueError(f"t_max must be >= 1: {self.t_max}")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1]: {self.gamma}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1: {self.max_steps}")
+
+    @property
+    def effective_anneal_steps(self) -> int:
+        """The annealing horizon, defaulting to ``max_steps``."""
+        return self.anneal_steps if self.anneal_steps is not None \
+            else self.max_steps
+
+    def learning_rate_at(self, global_step: int) -> float:
+        """Linearly annealed learning rate at a global step count."""
+        remaining = max(0.0, 1.0 - global_step / self.effective_anneal_steps)
+        return self.learning_rate * remaining

@@ -1,0 +1,112 @@
+"""Policy evaluation: score a trained agent without learning.
+
+Paper Section 5.6 discusses the *human starts* evaluation metric of the
+original A3C publication, which needs crafted initial conditions that
+were never released; like the paper, we evaluate from natural starts with
+per-episode random seeds instead.  ``epsilon`` adds the small random-
+action floor DeepMind-style evaluations use so deterministic policies
+cannot loop forever; ``sample=True`` draws from pi instead (matching how
+training-time scores are produced).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.envs.base import Env
+from repro.nn.losses import softmax
+from repro.nn.parameters import ParameterSet
+
+
+@dataclasses.dataclass
+class EvaluationResult:
+    """Scores of an evaluation run."""
+
+    scores: typing.List[float]
+    steps: int
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.scores)) if self.scores \
+            else float("nan")
+
+    @property
+    def best(self) -> float:
+        return float(np.max(self.scores)) if self.scores \
+            else float("nan")
+
+
+def evaluate_policy(env: Env, network, params: ParameterSet,
+                    episodes: int = 10, epsilon: float = 0.0,
+                    sample: bool = True,
+                    max_steps_per_episode: int = 20_000,
+                    seed: int = 0) -> EvaluationResult:
+    """Play ``episodes`` full episodes with frozen parameters.
+
+    ``network`` is any object with ``forward(states, params) ->
+    (logits, values)`` (the feed-forward interface); use
+    :func:`evaluate_recurrent_policy` for LSTM agents.
+    """
+    rng = np.random.default_rng(seed)
+    scores = []
+    total_steps = 0
+    for episode in range(episodes):
+        env.seed(seed * 7919 + episode)
+        obs = env.reset()
+        score = 0.0
+        for _ in range(max_steps_per_episode):
+            logits, _ = network.forward(obs[None].astype(np.float32),
+                                        params)
+            action = _select_action(logits[0], rng, epsilon, sample)
+            obs, reward, done, info = env.step(action)
+            score += info.get("raw_reward", reward)
+            total_steps += 1
+            if done and not info.get("life_lost"):
+                break
+            if done:
+                obs = env.reset()
+        scores.append(score)
+    return EvaluationResult(scores=scores, steps=total_steps)
+
+
+def evaluate_recurrent_policy(env: Env, network, params: ParameterSet,
+                              episodes: int = 10, epsilon: float = 0.0,
+                              sample: bool = True,
+                              max_steps_per_episode: int = 20_000,
+                              seed: int = 0) -> EvaluationResult:
+    """Like :func:`evaluate_policy` for recurrent networks
+    (``forward_step`` interface with an LSTM carry)."""
+    rng = np.random.default_rng(seed)
+    scores = []
+    total_steps = 0
+    for episode in range(episodes):
+        env.seed(seed * 7919 + episode)
+        obs = env.reset()
+        carry = network.initial_state()
+        score = 0.0
+        for _ in range(max_steps_per_episode):
+            logits, _, carry = network.forward_step(
+                obs[None].astype(np.float32), params, carry)
+            action = _select_action(logits[0], rng, epsilon, sample)
+            obs, reward, done, info = env.step(action)
+            score += info.get("raw_reward", reward)
+            total_steps += 1
+            if done and not info.get("life_lost"):
+                break
+            if done:
+                obs = env.reset()
+                carry = network.initial_state()
+        scores.append(score)
+    return EvaluationResult(scores=scores, steps=total_steps)
+
+
+def _select_action(logits: np.ndarray, rng: np.random.Generator,
+                   epsilon: float, sample: bool) -> int:
+    if epsilon > 0 and rng.random() < epsilon:
+        return int(rng.integers(len(logits)))
+    if sample:
+        return int(rng.choice(len(logits), p=softmax(logits)))
+    return int(np.argmax(logits))

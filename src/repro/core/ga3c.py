@@ -1,0 +1,146 @@
+"""GA3C baseline (Babaeizadeh et al., ICLR 2017).
+
+GA3C removes the per-agent local θ: *all* inference and training runs
+against the single global model, which lets requests from many agents be
+batched into large GPU-friendly kernels (paper Section 6).  The cost is
+*policy lag*: by the time an agent's rollout trains, the model has moved on
+from the one that generated it — which is why the paper notes GA3C "can
+lead to unstable or slow learning".
+
+This implementation reproduces the predictor/trainer queue structure
+functionally: agents deposit prediction requests and finished rollouts into
+queues that are served in batches.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import time
+import typing
+
+import numpy as np
+
+from repro.core.config import A3CConfig
+from repro.core.evaluation import ScoreTracker
+from repro.core.parameter_server import ParameterServer
+from repro.core.rollout import Rollout
+from repro.core.trainer import TrainResult
+from repro.envs.base import Env
+from repro.nn.losses import a3c_loss_and_head_gradients, softmax
+from repro.nn.network import A3CNetwork
+
+
+@dataclasses.dataclass
+class _GA3CWorker:
+    """Host-side state of one GA3C agent (no local parameters)."""
+
+    env: Env
+    rng: np.random.Generator
+    state: np.ndarray
+    rollout: Rollout
+    episode_score: float = 0.0
+    episodes: int = 0
+
+
+class GA3CTrainer:
+    """Batched single-model A3C (GA3C)."""
+
+    def __init__(self, env_factory: typing.Callable[[int], Env],
+                 network_factory: typing.Callable[[], A3CNetwork],
+                 config: A3CConfig,
+                 prediction_batch: typing.Optional[int] = None,
+                 training_batch_rollouts: int = 4,
+                 tracker: typing.Optional[ScoreTracker] = None):
+        self.config = config
+        self.tracker = tracker or ScoreTracker()
+        self.prediction_batch = prediction_batch or config.num_agents
+        self.training_batch_rollouts = training_batch_rollouts
+        rng = np.random.default_rng(config.seed)
+        self.network = network_factory()
+        self.server = ParameterServer(self.network.init_params(rng), config)
+        self.workers: typing.List[_GA3CWorker] = []
+        for agent_id in range(config.num_agents):
+            env = env_factory(agent_id)
+            env.seed(config.seed * 1009 + agent_id)
+            self.workers.append(_GA3CWorker(
+                env=env,
+                rng=np.random.default_rng(config.seed + agent_id),
+                state=env.reset(),
+                rollout=Rollout()))
+        self._train_queue: collections.deque = collections.deque()
+        self._routines = 0
+
+    def _predict(self, workers: typing.Sequence[_GA3CWorker]
+                 ) -> typing.Tuple[np.ndarray, np.ndarray]:
+        """One batched inference over the *global* model."""
+        states = np.stack([w.state for w in workers]).astype(np.float32)
+        logits, values = self.network.forward(states, self.server.params)
+        return logits, values
+
+    def _finish_rollout(self, worker: _GA3CWorker, terminal: bool) -> None:
+        """Queue a finished rollout with its bootstrap value."""
+        bootstrap = 0.0
+        if not terminal:
+            _, values = self.network.forward(worker.state[None],
+                                             self.server.params)
+            bootstrap = float(values[0])
+        states, actions, returns = worker.rollout.batch(
+            bootstrap, self.config.gamma)
+        self._train_queue.append((states, actions, returns))
+        worker.rollout = Rollout()
+
+    def _train_from_queue(self) -> None:
+        """Drain queued rollouts into one combined training batch."""
+        if len(self._train_queue) < self.training_batch_rollouts:
+            return
+        batches = [self._train_queue.popleft()
+                   for _ in range(self.training_batch_rollouts)]
+        states = np.concatenate([b[0] for b in batches])
+        actions = np.concatenate([b[1] for b in batches])
+        returns = np.concatenate([b[2] for b in batches])
+        logits, values = self.network.forward(states, self.server.params)
+        loss = a3c_loss_and_head_gradients(
+            logits, values, actions, returns,
+            entropy_beta=self.config.entropy_beta)
+        grads = self.network.backward_and_grads(loss.dlogits, loss.dvalues,
+                                                self.server.params)
+        self.server.apply_gradients(grads)
+        self._routines += 1
+
+    def train(self, max_steps: typing.Optional[int] = None) -> TrainResult:
+        """Run the predictor/trainer loop until ``max_steps``."""
+        if max_steps is not None:
+            self.config.max_steps = max_steps
+        start = time.time()
+        while self.server.global_step < self.config.max_steps:
+            # Predictor: one batched inference for every waiting agent.
+            logits, values = self._predict(self.workers)
+            for index, worker in enumerate(self.workers):
+                probs = softmax(logits[index])
+                action = int(worker.rng.choice(len(probs), p=probs))
+                obs, reward, done, info = worker.env.step(action)
+                worker.episode_score += info.get("raw_reward", reward)
+                worker.rollout.add(worker.state, action, reward,
+                                   float(values[index]))
+                worker.state = obs
+                if done:
+                    if not info.get("life_lost"):
+                        self.tracker.record(self.server.global_step,
+                                            worker.episode_score)
+                        worker.episode_score = 0.0
+                        worker.episodes += 1
+                    worker.state = worker.env.reset()
+                    self._finish_rollout(worker, terminal=True)
+                elif len(worker.rollout) >= self.config.t_max:
+                    self._finish_rollout(worker, terminal=False)
+            self.server.add_steps(len(self.workers))
+            # Trainer: combine queued rollouts into large batches.
+            self._train_from_queue()
+        elapsed = time.time() - start
+        return TrainResult(global_steps=self.server.global_step,
+                           routines=self._routines,
+                           episodes=sum(w.episodes for w in self.workers),
+                           wall_seconds=elapsed,
+                           tracker=self.tracker,
+                           params=self.server.snapshot())

@@ -1,0 +1,121 @@
+"""PAAC baseline (Clemente et al., 2017).
+
+PAAC keeps a single parameter set like GA3C but makes everything
+*synchronous*: all agents step in lockstep for t_max steps via a
+vectorised environment, then one update is computed from the combined
+batch and every agent waits for it (paper Section 6: "since all training
+steps are synchronized, the performance may not scale to a larger number
+of agents").
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+import numpy as np
+
+from repro.core.config import A3CConfig
+from repro.core.evaluation import ScoreTracker
+from repro.core.parameter_server import ParameterServer
+from repro.core.trainer import TrainResult
+from repro.envs.base import Env
+from repro.envs.vector import SyncVectorEnv
+from repro.nn.losses import a3c_loss_and_head_gradients, softmax
+from repro.nn.network import A3CNetwork
+
+
+class PAACTrainer:
+    """Synchronous batched advantage actor-critic."""
+
+    def __init__(self, env_factory: typing.Callable[[int], Env],
+                 network_factory: typing.Callable[[], A3CNetwork],
+                 config: A3CConfig,
+                 tracker: typing.Optional[ScoreTracker] = None):
+        self.config = config
+        self.tracker = tracker or ScoreTracker()
+        rng = np.random.default_rng(config.seed)
+        self.network = network_factory()
+        self.server = ParameterServer(self.network.init_params(rng), config)
+        self.vector_env = SyncVectorEnv(
+            [lambda i=i: env_factory(i)
+             for i in range(config.num_agents)],
+            seed=config.seed)
+        self.rngs = [np.random.default_rng(config.seed + agent_id)
+                     for agent_id in range(config.num_agents)]
+        self.vector_env.reset()
+        self.episodes = 0
+        self._routines = 0
+
+    def _rollout_phase(self) -> typing.Tuple[np.ndarray, np.ndarray,
+                                             np.ndarray, np.ndarray,
+                                             np.ndarray]:
+        """Step all agents t_max times in lockstep.
+
+        Shapes: states ``(T, N, ...)``, actions/rewards/dones ``(T, N)``,
+        final bootstrap values ``(N,)``.
+        """
+        n = self.config.num_agents
+        all_states, all_actions, all_rewards, all_dones = [], [], [], []
+        for _ in range(self.config.t_max):
+            states = self.vector_env.observations
+            logits, _values = self.network.forward(states,
+                                                   self.server.params)
+            probs = softmax(logits)
+            actions = np.array([
+                self.rngs[i].choice(probs.shape[1], p=probs[i])
+                for i in range(n)])
+            all_states.append(states.copy())
+            step = self.vector_env.step(actions)
+            for _slot, score in step.finished_scores:
+                self.tracker.record(self.server.global_step, score)
+                self.episodes += 1
+            all_actions.append(actions)
+            all_rewards.append(step.rewards)
+            all_dones.append(step.dones)
+            self.server.add_steps(n)
+        _, bootstrap = self.network.forward(self.vector_env.observations,
+                                            self.server.params)
+        return (np.stack(all_states), np.stack(all_actions),
+                np.stack(all_rewards), np.stack(all_dones), bootstrap)
+
+    def _returns(self, rewards: np.ndarray, dones: np.ndarray,
+                 bootstrap: np.ndarray) -> np.ndarray:
+        """Per-agent n-step returns with terminal masking; ``(T, N)``."""
+        t_max, _ = rewards.shape
+        returns = np.zeros_like(rewards)
+        running = bootstrap.astype(np.float32).copy()
+        for t in range(t_max - 1, -1, -1):
+            running = np.where(dones[t], 0.0, running)
+            running = rewards[t] + self.config.gamma * running
+            returns[t] = running
+        return returns
+
+    def train(self, max_steps: typing.Optional[int] = None) -> TrainResult:
+        """Run synchronous update rounds until ``max_steps``."""
+        if max_steps is not None:
+            self.config.max_steps = max_steps
+        start = time.time()
+        while self.server.global_step < self.config.max_steps:
+            states, actions, rewards, dones, bootstrap = \
+                self._rollout_phase()
+            returns = self._returns(rewards, dones, bootstrap)
+            # One synchronous update over the combined (T*N) batch.
+            flat_states = states.reshape((-1,) + states.shape[2:])
+            logits, values = self.network.forward(flat_states,
+                                                  self.server.params)
+            loss = a3c_loss_and_head_gradients(
+                logits, values, actions.reshape(-1).astype(np.int64),
+                returns.reshape(-1),
+                entropy_beta=self.config.entropy_beta)
+            grads = self.network.backward_and_grads(
+                loss.dlogits, loss.dvalues, self.server.params)
+            self.server.apply_gradients(grads)
+            self._routines += 1
+        elapsed = time.time() - start
+        return TrainResult(global_steps=self.server.global_step,
+                           routines=self._routines,
+                           episodes=self.episodes,
+                           wall_seconds=elapsed,
+                           tracker=self.tracker,
+                           params=self.server.snapshot())

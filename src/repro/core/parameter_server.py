@@ -1,0 +1,97 @@
+"""The global parameter set and its shared-RMSProp update path.
+
+In FA3C the global θ lives in the FPGA's off-chip DRAM and gradients are
+applied by the dedicated RMSProp module (paper Section 4.2.3); in the
+software A3C it is a shared, lock-protected parameter set.  Either way the
+update is serialised per gradient batch, which this class models with a
+lock (Python threads deliver the same memory model as the paper's host
+threads sharing a device queue).
+"""
+
+from __future__ import annotations
+
+import threading
+import typing
+
+import numpy as np
+
+from repro.core.config import A3CConfig
+from repro.nn.optim import SharedRMSProp
+from repro.nn.parameters import ParameterSet
+
+
+def clip_by_global_norm(grads: ParameterSet,
+                        max_norm: float) -> float:
+    """Scale all gradients so their joint L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    total = 0.0
+    for name in grads:
+        g = grads[name]
+        total += float(np.vdot(g, g))
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0:
+        scale = max_norm / norm
+        for name in grads:
+            grads[name] *= scale
+    return norm
+
+
+class ParameterServer:
+    """Thread-safe owner of global θ and the shared RMSProp statistics."""
+
+    def __init__(self, params: ParameterSet, config: A3CConfig):
+        self.params = params
+        self.config = config
+        self.optimizer = SharedRMSProp(learning_rate=config.learning_rate,
+                                       rho=config.rmsprop_rho,
+                                       eps=config.rmsprop_eps)
+        self.optimizer.attach(params)
+        self._lock = threading.Lock()
+        self._global_step = 0
+        self.updates_applied = 0
+
+    @property
+    def global_step(self) -> int:
+        """Total inference steps processed across all agents."""
+        return self._global_step
+
+    def add_steps(self, count: int) -> int:
+        """Atomically advance the global step counter; returns new value."""
+        with self._lock:
+            self._global_step += count
+            return self._global_step
+
+    def set_global_step(self, value: int) -> None:
+        """Restore the step counter (checkpoint resume)."""
+        with self._lock:
+            self._global_step = int(value)
+
+    def snapshot_into(self, local: ParameterSet) -> None:
+        """Parameter sync: copy global θ into an agent's local θ."""
+        with self._lock:
+            local.copy_from(self.params)
+
+    def snapshot(self) -> ParameterSet:
+        """A fresh copy of global θ."""
+        with self._lock:
+            return self.params.copy()
+
+    def apply_gradients(self, grads: ParameterSet) -> float:
+        """Apply one gradient batch with the annealed learning rate.
+
+        Returns the learning rate used.
+        """
+        with self._lock:
+            lr = self.config.learning_rate_at(self._global_step)
+            if self.config.grad_clip_norm is not None:
+                clip_by_global_norm(grads, self.config.grad_clip_norm)
+            self.optimizer.step(self.params, grads, learning_rate=lr)
+            self.updates_applied += 1
+            return lr
+
+    @property
+    def rmsprop_statistics(self) -> typing.Optional[ParameterSet]:
+        """The shared second-moment estimates g (for checkpoint/inspect)."""
+        return self.optimizer.statistics

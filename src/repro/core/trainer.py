@@ -1,0 +1,177 @@
+"""The multi-agent asynchronous A3C trainer.
+
+``A3CTrainer`` drives ``num_agents`` agents against a shared
+:class:`~repro.core.parameter_server.ParameterServer`.  Two execution modes
+are provided:
+
+* ``threads=True`` — each agent runs in a host thread, exactly the paper's
+  host-side structure (Figure 3/4: one thread per agent interacting with
+  its own environment).  NumPy releases the GIL inside large kernels, so
+  updates genuinely interleave (Hogwild-style, serialised only at the
+  parameter server as in FA3C's RMSProp module).
+* ``threads=False`` — agents are stepped round-robin on the calling thread.
+  Deterministic given the seed; used by the test-suite and the shorter
+  benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import typing
+
+import numpy as np
+
+from repro.core.agent import A3CAgent
+from repro.core.config import A3CConfig
+from repro.core.evaluation import ScoreTracker
+from repro.core.parameter_server import ParameterServer
+from repro.envs.base import Env
+from repro.nn.network import A3CNetwork
+from repro.nn.parameters import ParameterSet
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    global_steps: int
+    routines: int
+    episodes: int
+    wall_seconds: float
+    tracker: ScoreTracker
+    params: ParameterSet
+
+    @property
+    def steps_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.global_steps / self.wall_seconds
+
+
+class A3CTrainer:
+    """Owns the agents, the parameter server, and the training loop."""
+
+    def __init__(self, env_factory: typing.Callable[[int], Env],
+                 network_factory: typing.Callable[[], A3CNetwork],
+                 config: A3CConfig,
+                 tracker: typing.Optional[ScoreTracker] = None,
+                 agent_class: type = A3CAgent):
+        """``env_factory(agent_id)`` must build an independent environment
+        per agent; ``network_factory()`` an A3C network (topologies must
+        match across agents).  ``agent_class`` selects the worker type —
+        pass :class:`~repro.core.recurrent_agent.RecurrentA3CAgent` with a
+        recurrent network factory for the A3C-LSTM variant."""
+        self.config = config
+        self.tracker = tracker or ScoreTracker()
+        rng = np.random.default_rng(config.seed)
+        template = network_factory()
+        self.server = ParameterServer(template.init_params(rng), config)
+        self.agents: typing.List[A3CAgent] = []
+        for agent_id in range(config.num_agents):
+            env = env_factory(agent_id)
+            env.seed(config.seed * 1009 + agent_id)
+            network = network_factory()
+            self.agents.append(agent_class(agent_id, env, network,
+                                           self.server, config))
+        self._routines = 0
+        self._routines_lock = threading.Lock()
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write global theta, shared RMSProp statistics, and the step
+        counter to a resumable archive."""
+        from repro.nn.checkpoint import save_checkpoint
+        save_checkpoint(path, self.server.snapshot(),
+                        optimizer=self.server.optimizer,
+                        metadata={
+                            "global_step": self.server.global_step,
+                            "config": dataclasses.asdict(self.config),
+                        })
+
+    def restore_checkpoint(self, path: str) -> dict:
+        """Resume from :meth:`save_checkpoint`: restores theta, the
+        optimizer statistics, the step counter (and hence the annealed
+        learning rate), and re-syncs every agent's local parameters.
+        Returns the checkpoint metadata."""
+        from repro.nn.checkpoint import load_checkpoint, \
+            restore_optimizer
+        params, statistics, metadata = load_checkpoint(path)
+        self.server.params.copy_from(params)
+        if statistics is not None:
+            restore_optimizer(self.server.optimizer, statistics)
+        self.server.set_global_step(metadata.get("global_step", 0))
+        for agent in self.agents:
+            self.server.snapshot_into(agent.local_params)
+        return metadata
+
+    def _agent_loop(self, agent: A3CAgent, stop: threading.Event) -> None:
+        while not stop.is_set() and \
+                self.server.global_step < self.config.max_steps:
+            stats = agent.run_routine()
+            with self._routines_lock:
+                self._routines += 1
+            for score in stats.episode_scores:
+                self.tracker.record(self.server.global_step, score)
+
+    def train(self, max_steps: typing.Optional[int] = None,
+              threads: bool = True,
+              progress: typing.Optional[
+                  typing.Callable[[int, ScoreTracker], None]] = None,
+              progress_interval: int = 10_000) -> TrainResult:
+        """Run until ``max_steps`` global inference steps.
+
+        ``progress(global_step, tracker)`` is invoked roughly every
+        ``progress_interval`` steps (only in round-robin mode is the exact
+        cadence deterministic).
+        """
+        if max_steps is not None:
+            self.config.max_steps = max_steps
+        start = time.time()
+        if threads:
+            self._train_threaded(progress, progress_interval)
+        else:
+            self._train_round_robin(progress, progress_interval)
+        elapsed = time.time() - start
+        episodes = sum(agent.episodes_finished for agent in self.agents)
+        return TrainResult(global_steps=self.server.global_step,
+                           routines=self._routines,
+                           episodes=episodes,
+                           wall_seconds=elapsed,
+                           tracker=self.tracker,
+                           params=self.server.snapshot())
+
+    def _train_threaded(self, progress, progress_interval: int) -> None:
+        stop = threading.Event()
+        workers = [threading.Thread(target=self._agent_loop,
+                                    args=(agent, stop),
+                                    name=f"a3c-agent-{agent.agent_id}",
+                                    daemon=True)
+                   for agent in self.agents]
+        for worker in workers:
+            worker.start()
+        try:
+            next_report = progress_interval
+            while any(worker.is_alive() for worker in workers):
+                time.sleep(0.05)
+                if progress and self.server.global_step >= next_report:
+                    progress(self.server.global_step, self.tracker)
+                    next_report += progress_interval
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+
+    def _train_round_robin(self, progress, progress_interval: int) -> None:
+        next_report = progress_interval
+        while self.server.global_step < self.config.max_steps:
+            for agent in self.agents:
+                if self.server.global_step >= self.config.max_steps:
+                    break
+                stats = agent.run_routine()
+                self._routines += 1
+                for score in stats.episode_scores:
+                    self.tracker.record(self.server.global_step, score)
+            if progress and self.server.global_step >= next_report:
+                progress(self.server.global_step, self.tracker)
+                next_report += progress_interval

@@ -1,0 +1,43 @@
+"""Environment substrate: spaces, base API, classic control, and the
+DeepMind-style Atari preprocessing pipeline.
+
+The API mirrors the familiar gym interface (``reset() -> obs``,
+``step(a) -> (obs, reward, done, info)``) because the paper's software
+baselines are built on gym + the Arcade Learning Environment; ALE itself is
+simulated in :mod:`repro.ale`.
+"""
+
+from repro.envs.base import Env, TimeLimit
+from repro.envs.classic import CartPole, Catch, GridWorld, MemoryCue
+from repro.envs.preprocessing import bilinear_resize, rgb_to_grayscale
+from repro.envs.spaces import Box, Discrete
+from repro.envs.vector import SyncVectorEnv, VectorStep
+from repro.envs.wrappers import (
+    AtariPreprocessing,
+    ClipReward,
+    EpisodicLife,
+    FrameStack,
+    MaxAndSkip,
+    make_atari_env,
+)
+
+__all__ = [
+    "AtariPreprocessing",
+    "Box",
+    "CartPole",
+    "Catch",
+    "ClipReward",
+    "Discrete",
+    "Env",
+    "EpisodicLife",
+    "FrameStack",
+    "GridWorld",
+    "MemoryCue",
+    "MaxAndSkip",
+    "SyncVectorEnv",
+    "TimeLimit",
+    "VectorStep",
+    "bilinear_resize",
+    "make_atari_env",
+    "rgb_to_grayscale",
+]

@@ -1,0 +1,231 @@
+"""Small, fast environments for unit tests and quickstart examples.
+
+These run thousands of steps per second with tiny observations, so the A3C
+core can be integration-tested (including end-to-end learning) in seconds,
+without the pixel pipeline.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.envs.base import Env
+from repro.envs.spaces import Box, Discrete
+
+
+class Catch(Env):
+    """Catch a falling ball with a paddle on a ``size x size`` grid.
+
+    Observation: the grid as floats (1 at the ball and paddle cells).
+    Actions: 0 = left, 1 = stay, 2 = right.  Reward +1 for catching,
+    -1 for missing, episode length = ``size`` steps.  Solvable by A3C in a
+    few hundred episodes — the standard sanity-check environment.
+    """
+
+    def __init__(self, size: int = 7):
+        super().__init__()
+        if size < 3:
+            raise ValueError(f"grid too small: {size}")
+        self.size = size
+        self.observation_space = Box(0.0, 1.0, (size, size))
+        self.action_space = Discrete(3)
+        self._ball_row = 0
+        self._ball_col = 0
+        self._paddle = 0
+        self._done = True
+
+    def _observation(self) -> np.ndarray:
+        obs = np.zeros((self.size, self.size), dtype=np.float32)
+        obs[self._ball_row, self._ball_col] = 1.0
+        obs[self.size - 1, self._paddle] = 1.0
+        return obs
+
+    def reset(self) -> np.ndarray:
+        self._ball_row = 0
+        self._ball_col = int(self.rng.integers(self.size))
+        self._paddle = self.size // 2
+        self._done = False
+        return self._observation()
+
+    def step(self, action: int):
+        if self._done:
+            raise RuntimeError("step() called on a finished episode")
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid action {action!r}")
+        self._paddle = int(np.clip(self._paddle + (int(action) - 1),
+                                   0, self.size - 1))
+        self._ball_row += 1
+        reward = 0.0
+        done = False
+        if self._ball_row == self.size - 1:
+            done = True
+            reward = 1.0 if self._paddle == self._ball_col else -1.0
+        self._done = done
+        return self._observation(), reward, done, {}
+
+
+class GridWorld(Env):
+    """A deterministic shortest-path grid with a goal and step penalty.
+
+    The agent starts at the top-left and must reach the bottom-right goal.
+    Observation: one-hot position grid.  Actions: up/down/left/right.
+    Reward: -0.01 per step, +1 at the goal.  Used to test value bootstrapping
+    over multi-step returns.
+    """
+
+    ACTIONS = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+    def __init__(self, size: int = 5, max_steps: int = 100):
+        super().__init__()
+        self.size = size
+        self.max_steps = max_steps
+        self.observation_space = Box(0.0, 1.0, (size, size))
+        self.action_space = Discrete(4)
+        self._pos = (0, 0)
+        self._steps = 0
+
+    def _observation(self) -> np.ndarray:
+        obs = np.zeros((self.size, self.size), dtype=np.float32)
+        obs[self._pos] = 1.0
+        return obs
+
+    def reset(self) -> np.ndarray:
+        self._pos = (0, 0)
+        self._steps = 0
+        return self._observation()
+
+    def step(self, action: int):
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid action {action!r}")
+        dr, dc = self.ACTIONS[int(action)]
+        row = int(np.clip(self._pos[0] + dr, 0, self.size - 1))
+        col = int(np.clip(self._pos[1] + dc, 0, self.size - 1))
+        self._pos = (row, col)
+        self._steps += 1
+        at_goal = self._pos == (self.size - 1, self.size - 1)
+        done = at_goal or self._steps >= self.max_steps
+        reward = 1.0 if at_goal else -0.01
+        return self._observation(), reward, done, {}
+
+
+class CartPole(Env):
+    """The classic cart-pole balancing task (Barto, Sutton & Anderson).
+
+    Dynamics follow the standard formulation (Euler integration,
+    tau = 0.02 s).  Observation: ``(x, x_dot, theta, theta_dot)``.
+    Reward +1 per step until the pole falls or the cart leaves the track.
+    """
+
+    GRAVITY = 9.8
+    CART_MASS = 1.0
+    POLE_MASS = 0.1
+    POLE_HALF_LENGTH = 0.5
+    FORCE = 10.0
+    TAU = 0.02
+    THETA_LIMIT = 12 * np.pi / 180
+    X_LIMIT = 2.4
+
+    def __init__(self, max_steps: int = 500):
+        super().__init__()
+        self.max_steps = max_steps
+        self.observation_space = Box(-np.inf, np.inf, (4,))
+        self.action_space = Discrete(2)
+        self._state = np.zeros(4, dtype=np.float64)
+        self._steps = 0
+
+    def reset(self) -> np.ndarray:
+        self._state = self.rng.uniform(-0.05, 0.05, size=4)
+        self._steps = 0
+        return self._state.astype(np.float32)
+
+    def step(self, action: int):
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid action {action!r}")
+        x, x_dot, theta, theta_dot = self._state
+        force = self.FORCE if int(action) == 1 else -self.FORCE
+        total_mass = self.CART_MASS + self.POLE_MASS
+        pole_ml = self.POLE_MASS * self.POLE_HALF_LENGTH
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        temp = (force + pole_ml * theta_dot ** 2 * sin_t) / total_mass
+        theta_acc = (self.GRAVITY * sin_t - cos_t * temp) / (
+            self.POLE_HALF_LENGTH *
+            (4.0 / 3.0 - self.POLE_MASS * cos_t ** 2 / total_mass))
+        x_acc = temp - pole_ml * theta_acc * cos_t / total_mass
+        self._state = np.array([
+            x + self.TAU * x_dot,
+            x_dot + self.TAU * x_acc,
+            theta + self.TAU * theta_dot,
+            theta_dot + self.TAU * theta_acc,
+        ])
+        self._steps += 1
+        fell = (abs(self._state[0]) > self.X_LIMIT
+                or abs(self._state[2]) > self.THETA_LIMIT)
+        done = fell or self._steps >= self.max_steps
+        return self._state.astype(np.float32), 1.0, done, {}
+
+
+class MemoryCue(Env):
+    """A minimal memory task: recall a cue shown ``delay`` steps ago.
+
+    The first observation shows a binary cue in one of two slots; the
+    following ``delay - 1`` observations are blank; on the last step the
+    agent must choose the action matching the cue (+1 / -1 reward).
+    A feed-forward policy is chance-level (the decision-time observation
+    carries no information); a recurrent policy solves it — the test
+    separating :class:`~repro.core.recurrent_agent.RecurrentA3CAgent`
+    from the plain agent.
+    """
+
+    def __init__(self, delay: int = 3):
+        super().__init__()
+        if delay < 1:
+            raise ValueError(f"delay must be >= 1: {delay}")
+        self.delay = delay
+        self.observation_space = Box(0.0, 1.0, (3,))
+        self.action_space = Discrete(2)
+        self._cue = 0
+        self._t = 0
+
+    def _observation(self) -> np.ndarray:
+        obs = np.zeros(3, dtype=np.float32)
+        if self._t == 0:
+            obs[self._cue] = 1.0
+        obs[2] = 1.0 if self._t == self.delay - 1 else 0.0  # "answer now"
+        return obs
+
+    def reset(self) -> np.ndarray:
+        self._cue = int(self.rng.integers(2))
+        self._t = 0
+        return self._observation()
+
+    def step(self, action: int):
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid action {action!r}")
+        done = self._t == self.delay - 1
+        reward = 0.0
+        if done:
+            reward = 1.0 if int(action) == self._cue else -1.0
+        self._t += 1
+        return self._observation(), reward, done, {}
+
+
+def rollout_random(env: Env, steps: int,
+                   seed: typing.Optional[int] = None) -> float:
+    """Run random actions for ``steps`` steps; returns total reward.
+
+    Convenience used by tests and the dummy-platform power methodology
+    (the paper's dummy platform plays with randomly-selected actions,
+    Section 5.3).
+    """
+    env.seed(seed)
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    env.reset()
+    for _ in range(steps):
+        _, reward, done, _ = env.step(env.action_space.sample(rng))
+        total += reward
+        if done:
+            env.reset()
+    return total

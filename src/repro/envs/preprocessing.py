@@ -1,0 +1,61 @@
+"""Image preprocessing primitives: grayscale conversion and resizing.
+
+Pure-NumPy implementations of the two image operations the DeepMind Atari
+pipeline needs (luminance extraction and 84x84 bilinear resize), so the
+preprocessing path the paper's agents run on the host is exercised for real.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ITU-R BT.601 luma coefficients, as used by ALE/OpenCV grayscale.
+_LUMA = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+
+
+def rgb_to_grayscale(frame: np.ndarray) -> np.ndarray:
+    """Convert an ``(H, W, 3)`` uint8/float RGB frame to ``(H, W)`` float32
+    luminance in [0, 255]."""
+    if frame.ndim != 3 or frame.shape[-1] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB frame, got {frame.shape}")
+    return frame.astype(np.float32) @ _LUMA
+
+
+def bilinear_resize(image: np.ndarray, out_height: int,
+                    out_width: int) -> np.ndarray:
+    """Bilinearly resize a 2-D float image to ``(out_height, out_width)``.
+
+    Uses the half-pixel-centres convention (align_corners=False), matching
+    OpenCV's ``INTER_LINEAR`` used by the standard Atari wrappers.
+    """
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    in_h, in_w = image.shape
+    if (in_h, in_w) == (out_height, out_width):
+        return image.astype(np.float32)
+
+    image = image.astype(np.float32)
+    row_pos = (np.arange(out_height) + 0.5) * (in_h / out_height) - 0.5
+    col_pos = (np.arange(out_width) + 0.5) * (in_w / out_width) - 0.5
+    row_pos = np.clip(row_pos, 0, in_h - 1)
+    col_pos = np.clip(col_pos, 0, in_w - 1)
+
+    r0 = np.floor(row_pos).astype(np.intp)
+    c0 = np.floor(col_pos).astype(np.intp)
+    r1 = np.minimum(r0 + 1, in_h - 1)
+    c1 = np.minimum(c0 + 1, in_w - 1)
+    wr = (row_pos - r0).astype(np.float32)[:, None]
+    wc = (col_pos - c0).astype(np.float32)[None, :]
+
+    top = image[r0][:, c0] * (1 - wc) + image[r0][:, c1] * wc
+    bottom = image[r1][:, c0] * (1 - wc) + image[r1][:, c1] * wc
+    return top * (1 - wr) + bottom * wr
+
+
+def preprocess_frame(frame: np.ndarray, out_height: int = 84,
+                     out_width: int = 84) -> np.ndarray:
+    """Full per-frame pipeline: grayscale, resize, scale to [0, 1]."""
+    gray = rgb_to_grayscale(frame) if frame.ndim == 3 else \
+        frame.astype(np.float32)
+    resized = bilinear_resize(gray, out_height, out_width)
+    return resized / 255.0

@@ -1,0 +1,79 @@
+"""Functional + cycle-level simulator of the FA3C FPGA microarchitecture.
+
+Implements every hardware structure of paper Section 4:
+
+* :mod:`~repro.fpga.pe` — processing elements (fp32 multiplier +
+  accumulator with controllable accumulation frequency).
+* :mod:`~repro.fpga.buffers` — on-chip buffers and register line buffers
+  with the BCU's shifting / stitching / scattering operations.
+* :mod:`~repro.fpga.layouts` — the FW and BW parameter layouts, the
+  16x16-word DRAM patch layout, and the single-copy-in-DRAM invariant.
+* :mod:`~repro.fpga.tlu` — the transpose load unit.
+* :mod:`~repro.fpga.rmsprop_module` — the RU-pipelined RMSProp updater.
+* :mod:`~repro.fpga.dram` — the off-chip DRAM channel model (16-word burst
+  interface, per-channel traffic and busy-cycle accounting).
+* :mod:`~repro.fpga.cu` — compute units executing FW/BW/GC across layers.
+* :mod:`~repro.fpga.timing` — the per-stage cycle model.
+* :mod:`~repro.fpga.resources` — the Table 4 FPGA resource model.
+* :mod:`~repro.fpga.platform` — whole-platform configurations (FA3C,
+  FA3C-SingleCU, FA3C-Alt1, FA3C-Alt2).
+"""
+
+from repro.fpga.buffers import BufferControlUnit, LineBuffer, OnChipBuffer
+from repro.fpga.cu import ComputeUnit
+from repro.fpga.dram import DRAMChannel, DRAMModel
+from repro.fpga.layouts import (
+    PATCH,
+    bw_layout,
+    dram_image_from_fw,
+    fw_layout,
+    fw_layout_to_weight,
+    load_bw_from_dram,
+    load_fw_from_dram,
+)
+from repro.fpga.pe import PEArray, ProcessingElement
+from repro.fpga.platform import FA3CPlatform, FPGAConfig
+from repro.fpga.resources import ResourceModel, resource_table
+from repro.fpga.rmsprop_module import RMSPropModule
+from repro.fpga.functional import FPGANetworkBackend
+from repro.fpga.schedule import (
+    StageSchedule,
+    bw_schedule,
+    fw_schedule,
+    gc_schedule,
+    stage_schedules,
+)
+from repro.fpga.timing import StageTiming, TimingModel
+from repro.fpga.tlu import TransposeLoadUnit
+
+__all__ = [
+    "BufferControlUnit",
+    "ComputeUnit",
+    "DRAMChannel",
+    "DRAMModel",
+    "FA3CPlatform",
+    "FPGANetworkBackend",
+    "FPGAConfig",
+    "LineBuffer",
+    "OnChipBuffer",
+    "PATCH",
+    "PEArray",
+    "ProcessingElement",
+    "RMSPropModule",
+    "ResourceModel",
+    "StageSchedule",
+    "StageTiming",
+    "TimingModel",
+    "TransposeLoadUnit",
+    "bw_layout",
+    "bw_schedule",
+    "dram_image_from_fw",
+    "fw_layout",
+    "fw_schedule",
+    "fw_layout_to_weight",
+    "gc_schedule",
+    "load_bw_from_dram",
+    "load_fw_from_dram",
+    "resource_table",
+    "stage_schedules",
+]

@@ -1,0 +1,180 @@
+"""On-chip buffers, line buffers, and the buffer control unit (BCU).
+
+Paper Section 4.5: an **on-chip buffer** is made of Block-RAM rows, each a
+one-dimensional word array 16 words wide (matching the DRAM burst width);
+a **line buffer** is a register array that prefetches and caches elements
+from one or more on-chip buffer rows, feeding all PEs simultaneously.  The
+BCU implements three management operations:
+
+* **shifting** — the line buffer shifts left one word per cycle so each PE
+  reads a moving window without rerouting;
+* **stitching** — several on-chip buffer rows are concatenated into one
+  logical line when the feature-map width exceeds the 16-word row width;
+* **scattering** — PE outputs written to a line buffer are distributed to
+  multiple on-chip buffer rows.
+
+These classes are functional (they hold real values) and count the
+register/word resources they would occupy, which feeds the Table 4
+resource model.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+#: On-chip buffer row width in words (= DRAM burst width).
+ROW_WORDS = 16
+
+
+class OnChipBuffer:
+    """A named on-chip memory of ``rows`` x 16-word rows."""
+
+    def __init__(self, name: str, rows: int, row_words: int = ROW_WORDS):
+        if rows < 1 or row_words < 1:
+            raise ValueError("buffer must have positive dimensions")
+        self.name = name
+        self.rows = rows
+        self.row_words = row_words
+        self.data = np.zeros((rows, row_words), dtype=np.float32)
+
+    @property
+    def words(self) -> int:
+        """Total capacity in words."""
+        return self.rows * self.row_words
+
+    def write_row(self, row: int, values: np.ndarray,
+                  offset: int = 0) -> None:
+        """Write ``values`` into one row starting at ``offset``."""
+        values = np.asarray(values, dtype=np.float32)
+        if offset + values.size > self.row_words:
+            raise ValueError(f"{self.name}: write of {values.size} words at "
+                             f"offset {offset} overflows a "
+                             f"{self.row_words}-word row")
+        self.data[row, offset:offset + values.size] = values
+
+    def read_row(self, row: int) -> np.ndarray:
+        """A copy of one full row."""
+        return self.data[row].copy()
+
+    def load_matrix(self, matrix: np.ndarray) -> int:
+        """Fill the buffer from a 2-D matrix, one matrix row per buffer row
+        group (wide matrix rows span multiple buffer rows, 16-word aligned
+        as Section 4.3 describes).  Returns the number of buffer rows used.
+        """
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.ndim != 2:
+            raise ValueError("load_matrix requires a 2-D matrix")
+        rows_per_line = -(-matrix.shape[1] // self.row_words)
+        needed = matrix.shape[0] * rows_per_line
+        if needed > self.rows:
+            raise ValueError(f"{self.name}: matrix needs {needed} rows, "
+                             f"buffer has {self.rows}")
+        self.data[:needed] = 0.0
+        for line_index, line in enumerate(matrix):
+            for part in range(rows_per_line):
+                chunk = line[part * self.row_words:
+                             (part + 1) * self.row_words]
+                self.write_row(line_index * rows_per_line + part, chunk)
+        return needed
+
+    def read_line(self, line_index: int, width: int,
+                  rows_per_line: typing.Optional[int] = None) -> np.ndarray:
+        """Read a logical line of ``width`` words (stitching read path)."""
+        rows_per_line = rows_per_line or -(-width // self.row_words)
+        flat = self.data[line_index * rows_per_line:
+                         (line_index + 1) * rows_per_line].reshape(-1)
+        return flat[:width].copy()
+
+
+class LineBuffer:
+    """A one-dimensional register array feeding operands to the PEs."""
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError(f"line buffer width must be >= 1: {width}")
+        self.width = width
+        self.registers = np.zeros(width, dtype=np.float32)
+
+    @property
+    def register_count(self) -> int:
+        """32-bit registers this line buffer occupies."""
+        return self.width * 32
+
+    def load(self, values: np.ndarray) -> None:
+        """Replace the whole register contents."""
+        values = np.asarray(values, dtype=np.float32)
+        if values.size != self.width:
+            raise ValueError(f"expected {self.width} words, "
+                             f"got {values.size}")
+        self.registers = values.copy()
+
+    def shift(self, count: int = 1, fill: float = 0.0) -> np.ndarray:
+        """Shift left ``count`` words (one per cycle in hardware).
+
+        Returns the words shifted out.
+        """
+        if count < 0:
+            raise ValueError("shift count must be non-negative")
+        count = min(count, self.width)
+        out = self.registers[:count].copy()
+        self.registers = np.concatenate([
+            self.registers[count:],
+            np.full(count, fill, dtype=np.float32)])
+        return out
+
+    def peek(self, index: int = 0) -> float:
+        """The word a PE connected at position ``index`` currently sees."""
+        return float(self.registers[index])
+
+
+class BufferControlUnit:
+    """Implements the shift / stitch / scatter operations over buffers."""
+
+    def __init__(self):
+        self.shift_ops = 0
+        self.stitch_ops = 0
+        self.scatter_ops = 0
+
+    def stitch(self, buffer: OnChipBuffer, row_indices:
+               typing.Sequence[int], width: int) -> LineBuffer:
+        """Combine several on-chip buffer rows into one line buffer.
+
+        Used when the feature-map width exceeds the 16-word row width
+        (Section 4.5, "Stitching").
+        """
+        parts = [buffer.read_row(r) for r in row_indices]
+        flat = np.concatenate(parts)[:width]
+        if flat.size < width:
+            raise ValueError(f"stitched rows provide {flat.size} words, "
+                             f"need {width}")
+        line = LineBuffer(width)
+        line.load(flat)
+        self.stitch_ops += 1
+        return line
+
+    def shift_window(self, line: LineBuffer, window: int
+                     ) -> typing.Iterator[np.ndarray]:
+        """Yield successive ``window``-word views, shifting one word per
+        cycle (Section 4.5, "Shifting").  Yields until the line drains.
+        """
+        steps = line.width - window + 1
+        for _ in range(max(steps, 0)):
+            yield line.registers[:window].copy()
+            line.shift(1)
+            self.shift_ops += 1
+
+    def scatter(self, line: LineBuffer, buffer: OnChipBuffer,
+                placements: typing.Sequence[typing.Tuple[int, int]]
+                ) -> None:
+        """Distribute line-buffer words to on-chip buffer rows.
+
+        ``placements[i] = (row, offset)`` is the destination of word ``i``
+        (Section 4.5, "Scattering": PE outputs spread over channel rows).
+        """
+        if len(placements) > line.width:
+            raise ValueError("more placements than line-buffer words")
+        for index, (row, offset) in enumerate(placements):
+            buffer.write_row(row, line.registers[index:index + 1], offset)
+        self.scatter_ops += 1

@@ -1,0 +1,134 @@
+"""Off-chip DRAM channel model.
+
+The DDR4 interface moves 16 single-precision words (512 bits) per beat in
+burst mode (paper Section 4.3).  A channel tracks the words loaded and
+stored (the Table 2 traffic accounting) and the busy cycles they occupy at
+a configurable burst efficiency; the platform layer arbitrates channels
+between CUs with a discrete-event resource.
+
+``DRAMModel`` also owns named *regions* holding real data (global θ, local
+θ per agent, RMSProp g, feature maps) so the functional simulation keeps
+exactly one copy of the parameters in DRAM, as the paper's design does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+#: Words per DRAM interface beat (512-bit bus / 32-bit words).
+WORDS_PER_BEAT = 16
+WORD_BYTES = 4
+
+
+@dataclasses.dataclass
+class TrafficCounter:
+    """Load/store word counters for one channel."""
+
+    loaded_words: int = 0
+    stored_words: int = 0
+
+    @property
+    def loaded_bytes(self) -> int:
+        return self.loaded_words * WORD_BYTES
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.stored_words * WORD_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return self.loaded_bytes + self.stored_bytes
+
+
+class DRAMChannel:
+    """One DDR4 channel: burst transfers, traffic and busy-cycle counts."""
+
+    def __init__(self, name: str, efficiency: float = 0.7,
+                 latency_cycles: int = 40):
+        """``efficiency`` is the achievable fraction of the peak burst rate
+        (row misses, refresh, read/write turnaround); ``latency_cycles`` is
+        the first-word latency hidden by prefetching but paid by dependent
+        accesses."""
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1]: {efficiency}")
+        self.name = name
+        self.efficiency = efficiency
+        self.latency_cycles = latency_cycles
+        self.traffic = TrafficCounter()
+        self.busy_cycles = 0
+
+    def transfer_cycles(self, words: int, sequential: bool = True) -> int:
+        """Interface cycles to move ``words`` in burst mode.
+
+        Non-sequential transfers additionally pay the first-word latency.
+        """
+        beats = -(-words // WORDS_PER_BEAT)
+        cycles = int(np.ceil(beats / self.efficiency))
+        if not sequential:
+            cycles += self.latency_cycles
+        return cycles
+
+    def load(self, words: int, sequential: bool = True) -> int:
+        """Account a load; returns the busy cycles it occupies."""
+        cycles = self.transfer_cycles(words, sequential)
+        self.traffic.loaded_words += words
+        self.busy_cycles += cycles
+        return cycles
+
+    def store(self, words: int, sequential: bool = True) -> int:
+        """Account a store; returns the busy cycles it occupies."""
+        cycles = self.transfer_cycles(words, sequential)
+        self.traffic.stored_words += words
+        self.busy_cycles += cycles
+        return cycles
+
+
+class DRAMModel:
+    """Channels plus named data regions (the functional DRAM contents)."""
+
+    def __init__(self, num_channels: int = 2, efficiency: float = 0.7):
+        self.channels = [DRAMChannel(f"ddr{i}", efficiency)
+                         for i in range(num_channels)]
+        self._regions: typing.Dict[str, np.ndarray] = {}
+
+    def channel(self, index: int) -> DRAMChannel:
+        return self.channels[index % len(self.channels)]
+
+    def allocate(self, name: str, words: int) -> np.ndarray:
+        """Allocate (or return) a named region of ``words`` float32."""
+        if name not in self._regions:
+            self._regions[name] = np.zeros(words, dtype=np.float32)
+        elif self._regions[name].size != words:
+            raise ValueError(f"region {name!r} exists with size "
+                             f"{self._regions[name].size}, requested "
+                             f"{words}")
+        return self._regions[name]
+
+    def write(self, name: str, data: np.ndarray,
+              channel: int = 0) -> int:
+        """Store ``data`` into a region; returns busy cycles."""
+        data = np.asarray(data, dtype=np.float32).reshape(-1)
+        region = self.allocate(name, data.size)
+        np.copyto(region, data)
+        return self.channel(channel).store(data.size)
+
+    def read(self, name: str, channel: int = 0) -> np.ndarray:
+        """Load a region's contents; accounts the traffic."""
+        region = self._regions[name]
+        self.channel(channel).load(region.size)
+        return region.copy()
+
+    def region(self, name: str) -> np.ndarray:
+        """Direct (no traffic) access for test assertions."""
+        return self._regions[name]
+
+    def total_traffic(self) -> TrafficCounter:
+        """Aggregate traffic across channels."""
+        total = TrafficCounter()
+        for channel in self.channels:
+            total.loaded_words += channel.traffic.loaded_words
+            total.stored_words += channel.traffic.stored_words
+        return total

@@ -1,0 +1,116 @@
+"""Processing elements (paper Section 4.2.1).
+
+A PE is a pair of a 32-bit single-precision multiplier and accumulator.
+Unlike an adder tree or systolic array, the *accumulation frequency* — how
+many products are summed into one output — is controlled per operation,
+which is what lets the same PE serve FW (accumulate I*K*K + 1 values), BW,
+and GC (accumulate ``batch`` values for a fully-connected weight gradient).
+
+:class:`ProcessingElement` is the single-MAC functional model (used by the
+unit tests to validate scheduling); :class:`PEArray` evaluates whole
+operand matrices the way ``N_PE`` PEs would, while counting the cycles the
+schedule takes.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+
+class ProcessingElement:
+    """One fp32 multiplier + accumulator."""
+
+    def __init__(self):
+        self._accumulator = np.float32(0.0)
+        self.mac_count = 0
+
+    @property
+    def value(self) -> float:
+        """The current accumulator contents."""
+        return float(self._accumulator)
+
+    def clear(self) -> None:
+        """Reset the accumulator (start of a new output element)."""
+        self._accumulator = np.float32(0.0)
+
+    def mac(self, a: float, b: float) -> None:
+        """One multiply-accumulate (one cycle).
+
+        Arithmetic is performed in fp32, like the hardware datapath.
+        """
+        self._accumulator = np.float32(
+            self._accumulator + np.float32(a) * np.float32(b))
+        self.mac_count += 1
+
+    def accumulate_sequence(self, a_values: typing.Sequence[float],
+                            b_values: typing.Sequence[float]) -> float:
+        """Run a full accumulation of ``len(a_values)`` products.
+
+        The accumulation frequency is simply the sequence length — the
+        controllability that fixed adder trees lack.
+        """
+        if len(a_values) != len(b_values):
+            raise ValueError("operand sequences differ in length")
+        self.clear()
+        for a, b in zip(a_values, b_values):
+            self.mac(a, b)
+        return self.value
+
+
+class PEArray:
+    """``n_pe`` PEs evaluated in lockstep with cycle accounting."""
+
+    def __init__(self, n_pe: int = 64):
+        if n_pe < 1:
+            raise ValueError(f"need at least one PE: {n_pe}")
+        self.n_pe = n_pe
+        self.total_cycles = 0
+        self.busy_pe_cycles = 0
+
+    def utilisation(self) -> float:
+        """Average fraction of PEs busy over all counted cycles."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_pe_cycles / (self.total_cycles * self.n_pe)
+
+    def run_reduction(self, operand_a: np.ndarray,
+                      operand_b: np.ndarray) -> np.ndarray:
+        """Compute ``outputs[j] = sum_r a[r, j] * b[r, j]`` PE-parallel.
+
+        ``operand_a``/``operand_b`` have shape ``(freq, n_outputs)``:
+        column ``j`` is the operand sequence PE ``j`` consumes over
+        ``freq`` cycles (the accumulation frequency).  Outputs are computed
+        in groups of ``n_pe``; cycle count is ``ceil(n_outputs / n_pe) *
+        freq``.
+        """
+        if operand_a.shape != operand_b.shape:
+            raise ValueError("operand shapes differ")
+        freq, n_outputs = operand_a.shape
+        rounds = -(-n_outputs // self.n_pe)
+        self.total_cycles += rounds * freq
+        self.busy_pe_cycles += n_outputs * freq
+        # fp32 accumulation order matches the sequential hardware sum.
+        acc = np.zeros(n_outputs, dtype=np.float32)
+        a32 = operand_a.astype(np.float32)
+        b32 = operand_b.astype(np.float32)
+        for r in range(freq):
+            acc += a32[r] * b32[r]
+        return acc
+
+    def schedule_cycles(self, n_outputs: int, accumulation_frequency: int,
+                        parallel_limit: typing.Optional[int] = None) -> int:
+        """Cycle count of a schedule without evaluating it.
+
+        ``parallel_limit`` caps how many PEs the data layout can feed per
+        cycle (e.g. the Alt1 layout starves BW of fully-connected layers,
+        Section 5.4).
+        """
+        usable = self.n_pe if parallel_limit is None \
+            else max(1, min(self.n_pe, parallel_limit))
+        rounds = -(-n_outputs // usable)
+        cycles = rounds * accumulation_frequency
+        self.total_cycles += cycles
+        self.busy_pe_cycles += n_outputs * accumulation_frequency
+        return cycles

@@ -1,0 +1,279 @@
+"""Whole-platform FPGA configurations (FA3C and its ablations).
+
+A :class:`FA3CPlatform` owns the timing model and exposes:
+
+* analytic, uncontended task latencies (inference / training / sync);
+* a discrete-event *simulation instance* in which CUs and DRAM channels
+  are shared resources, used by the throughput experiments (Figures 8
+  and 10) where contention between agents is the whole story.
+
+Configurations:
+
+* ``FA3CPlatform.fa3c()`` — the proposed design: per pair, one CU
+  dedicated to inference and one to training (asymmetric loads sharing
+  the off-chip bandwidth, Section 4.2.2).
+* ``.single_cu()`` — one CU with 2N PEs per pair serving both task types.
+* ``.alt1()`` — FW parameter layout for all computation types.
+* ``.alt2()`` — both layouts materialised in DRAM (extra store traffic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.fpga.dram import WORDS_PER_BEAT
+from repro.fpga.resources import VU9P, DeviceCapacity, ResourceModel
+from repro.fpga.timing import GLOBAL, LOCAL, StageTiming, TimingModel
+from repro.nn.network import NetworkTopology
+from repro.sim import Engine, Resource, Tracer
+
+
+@dataclasses.dataclass
+class FPGAConfig:
+    """Parameters of an FA3C hardware configuration."""
+
+    name: str = "FA3C"
+    clock_hz: float = 180e6
+    n_pe: int = 64                   # PEs per CU
+    cu_pairs: int = 2                # the VCU1525 build has two pairs
+    single_cu: bool = False          # SingleCU ablation (2N-PE single CU)
+    layout_mode: str = "fa3c"        # "fa3c" | "alt1" | "alt2"
+    dram_efficiency: float = 0.70    # achieved fraction of burst peak
+    double_buffering: bool = True    # overlap DMA with compute (4.4.3)
+    global_channels: int = 2         # global theta/g striped over channels
+    num_rus: int = 8
+    device: DeviceCapacity = VU9P
+    pcie_bandwidth: float = 11e9     # effective host-link bytes/s
+    pcie_latency: float = 8e-6       # per-DMA descriptor latency
+
+    @property
+    def cus_per_pair(self) -> int:
+        return 1 if self.single_cu else 2
+
+    @property
+    def pe_per_cu(self) -> int:
+        return 2 * self.n_pe if self.single_cu else self.n_pe
+
+
+class FA3CPlatform:
+    """The FA3C platform model for one network topology."""
+
+    def __init__(self, topology: NetworkTopology,
+                 config: typing.Optional[FPGAConfig] = None):
+        self.topology = topology
+        self.config = config or FPGAConfig()
+        self.timing = TimingModel(topology, n_pe=self.config.pe_per_cu,
+                                  layout_mode=self.config.layout_mode,
+                                  num_rus=self.config.num_rus)
+
+    # -- constructors for the Section 5.4 configurations --------------------
+
+    @classmethod
+    def fa3c(cls, topology: NetworkTopology,
+             **overrides) -> "FA3CPlatform":
+        return cls(topology, FPGAConfig(name="FA3C", **overrides))
+
+    @classmethod
+    def single_cu(cls, topology: NetworkTopology,
+                  **overrides) -> "FA3CPlatform":
+        return cls(topology, FPGAConfig(name="FA3C-SingleCU",
+                                        single_cu=True, **overrides))
+
+    @classmethod
+    def alt1(cls, topology: NetworkTopology,
+             **overrides) -> "FA3CPlatform":
+        return cls(topology, FPGAConfig(name="FA3C-Alt1",
+                                        layout_mode="alt1", **overrides))
+
+    @classmethod
+    def alt2(cls, topology: NetworkTopology,
+             **overrides) -> "FA3CPlatform":
+        return cls(topology, FPGAConfig(name="FA3C-Alt2",
+                                        layout_mode="alt2", **overrides))
+
+    # -- analytic latencies ---------------------------------------------------
+
+    def _words_seconds(self, words: int) -> float:
+        beats = -(-words // WORDS_PER_BEAT)
+        return beats / self.config.dram_efficiency / self.config.clock_hz
+
+    def stage_seconds(self, stage: StageTiming) -> float:
+        """Uncontended stage duration: compute overlaps channel traffic
+        (double-buffered), so the slowest of the three wins.
+
+        Global traffic (theta and the RMSProp g) is striped across
+        ``global_channels`` DDR4 channels — the VCU1525 has four channels
+        and the paper places global and local parameters in different
+        channels (Section 4.1)."""
+        compute = stage.compute_cycles / self.config.clock_hz
+        local = self._words_seconds(stage.words(LOCAL))
+        global_ = self._words_seconds(
+            -(-stage.words(GLOBAL) // self.config.global_channels))
+        if not self.config.double_buffering:
+            # Without double-buffered parameter/line buffers the PEs
+            # stall while each buffer refills.
+            return compute + local + global_
+        return max(compute, local, global_)
+
+    def task_seconds(self, stages: typing.Sequence[StageTiming]) -> float:
+        return sum(self.stage_seconds(stage) for stage in stages)
+
+    def inference_latency(self, batch: int = 1) -> float:
+        """Uncontended single-inference latency in seconds."""
+        return self.task_seconds(self.timing.inference_task(batch))
+
+    def training_latency(self, batch: int = 5) -> float:
+        """Uncontended training-task latency in seconds."""
+        return self.task_seconds(self.timing.training_task(batch))
+
+    def sync_latency(self) -> float:
+        """Uncontended parameter-sync latency in seconds."""
+        return self.task_seconds(self.timing.sync_task())
+
+    def task_launch_overhead(self) -> float:
+        """Per-task control overhead in seconds (Section 3.4: < 0.02 %)."""
+        return self.timing.TASK_OVERHEAD_CYCLES / self.config.clock_hz
+
+    def resource_model(self) -> ResourceModel:
+        """Table 4 resource estimate of this configuration."""
+        num_cus = self.config.cu_pairs * self.config.cus_per_pair
+        return ResourceModel(num_cus=num_cus, n_pe=self.config.pe_per_cu,
+                             num_rus=self.config.num_rus,
+                             device=self.config.device)
+
+    def build_sim(self, engine: Engine,
+                  tracer: typing.Optional["Tracer"] = None) -> "FPGASim":
+        """A discrete-event instance with shared CUs and channels.
+
+        Pass a :class:`~repro.sim.Tracer` to record a per-CU stage
+        Gantt chart of the run."""
+        return FPGASim(self, engine, tracer=tracer)
+
+
+class FPGASim:
+    """Discrete-event resources + task processes for one FA3C platform.
+
+    Per CU pair: an inference CU and a training CU (or one combined CU in
+    the SingleCU ablation) plus a *local* DRAM channel; one *global*
+    channel is shared platform-wide (the single global θ copy).  Agents
+    are assigned to pairs round-robin, as the host runtime does.
+    """
+
+    def __init__(self, platform: FA3CPlatform, engine: Engine,
+                 tracer: typing.Optional[Tracer] = None):
+        self.platform = platform
+        self.engine = engine
+        self.tracer = tracer
+        config = platform.config
+        self.infer_cus = []
+        self.train_cus = []
+        self.local_channels = []
+        for pair in range(config.cu_pairs):
+            if config.single_cu:
+                cu = Resource(engine, name=f"cu{pair}")
+                self.infer_cus.append(cu)
+                self.train_cus.append(cu)
+            else:
+                self.infer_cus.append(Resource(engine,
+                                               name=f"icu{pair}"))
+                self.train_cus.append(Resource(engine,
+                                               name=f"tcu{pair}"))
+            self.local_channels.append(Resource(engine,
+                                                name=f"ddr-local{pair}"))
+        self.global_channels = [Resource(engine, name=f"ddr-global{i}")
+                                for i in range(config.global_channels)]
+
+    def utilisation(self) -> float:
+        """Average compute-unit occupancy (drives the power model)."""
+        cus = {id(cu): cu for cu in self.infer_cus + self.train_cus}
+        values = [cu.utilisation() for cu in cus.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def _pair(self, agent_id: int) -> int:
+        return agent_id % self.platform.config.cu_pairs
+
+    def _dma_plan(self, stage: StageTiming, pair: int):
+        """(channel resource, hold seconds) pairs for one stage's DMA."""
+        platform = self.platform
+        plan = []
+        local_words = stage.words(LOCAL)
+        if local_words:
+            plan.append((self.local_channels[pair],
+                         platform._words_seconds(local_words)))
+        global_words = stage.words(GLOBAL)
+        if global_words:
+            # Striped across the global channels in parallel.
+            share = -(-global_words // len(self.global_channels))
+            duration = platform._words_seconds(share)
+            for channel in self.global_channels:
+                plan.append((channel, duration))
+        return plan
+
+    def _run_stage(self, stage: StageTiming, pair: int):
+        """Process body: one stage = compute overlapped with channel DMA
+        (or serialised after it when double buffering is disabled)."""
+        platform = self.platform
+        compute_seconds = stage.compute_cycles / platform.config.clock_hz
+        plan = self._dma_plan(stage, pair)
+        if platform.config.double_buffering:
+            events = [self.engine.timeout(compute_seconds)]
+            events.extend(self.engine.process(resource.use(duration),
+                                              name=f"dma-{stage.name}")
+                          for resource, duration in plan)
+            yield self.engine.all_of(events)
+        else:
+            # No overlap: the PEs stall until every transfer finishes.
+            for resource, duration in plan:
+                yield from resource.use(duration)
+            yield self.engine.timeout(compute_seconds)
+
+    def _run_task(self, stages: typing.Sequence[StageTiming],
+                  cu: Resource, pair: int):
+        """Process body: acquire the CU, run all stages, release."""
+        yield cu.acquire()
+        try:
+            for stage in stages:
+                start = self.engine.now
+                yield from self._run_stage(stage, pair)
+                if self.tracer is not None:
+                    self.tracer.record(cu.name, stage.name, start,
+                                       self.engine.now)
+        finally:
+            cu.release()
+
+    # -- the task interface used by the throughput simulation ---------------
+
+    def _pcie_seconds(self, num_bytes: float) -> float:
+        config = self.platform.config
+        return config.pcie_latency + num_bytes / config.pcie_bandwidth
+
+    def inference(self, agent_id: int, batch: int = 1):
+        """Process body for one inference task of ``agent_id``.
+
+        The request starts with the game-screen DMA into the FPGA and ends
+        with the (tiny) output DMA back to the host (Section 4.1).
+        """
+        pair = self._pair(agent_id)
+        timing = self.platform.timing
+        yield self.engine.timeout(
+            self._pcie_seconds(batch * timing.input_words(1) * 4))
+        stages = timing.inference_task(batch)
+        yield from self._run_task(stages, self.infer_cus[pair], pair)
+        last = self.platform.topology.layers[-1]
+        yield self.engine.timeout(
+            self._pcie_seconds(batch * last.num_outputs * 4))
+
+    def train(self, agent_id: int, batch: int):
+        """Process body for one training task."""
+        pair = self._pair(agent_id)
+        stages = self.platform.timing.training_task(batch)
+        yield from self._run_task(stages, self.train_cus[pair], pair)
+
+    def sync(self, agent_id: int):
+        """Process body for one parameter-sync task (runs on the training
+        CU's DMA path; occupies channels but not PEs)."""
+        pair = self._pair(agent_id)
+        stages = self.platform.timing.sync_task()
+        for stage in stages:
+            yield from self._run_stage(stage, pair)

@@ -1,0 +1,154 @@
+"""FPGA resource model (paper Table 4).
+
+Estimates logic LUTs, registers, on-chip memory blocks, and DSP blocks for
+an FA3C configuration from first principles (per-PE multiplier/accumulator
+costs, buffer geometry, interconnect), calibrated to the paper's VU9P
+breakdown.  Used to check that a requested configuration fits the device
+and to regenerate Table 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceCapacity:
+    """Available resources of an FPGA device."""
+
+    name: str
+    logic_luts: int
+    registers: int
+    memory_blocks: int       # 36Kb BRAM-equivalent blocks
+    dsp_blocks: int
+
+
+#: Xilinx UltraScale+ VU9P (VCU1525 / AWS F1), per the paper's Table 4
+#: percentages: 677.3K LUTs = 57.3 %, 875.7K regs = 37.0 %,
+#: 1267 blocks = 40.6 %, 2348 DSPs = 34.3 %.
+VU9P = DeviceCapacity("xcvu9p", logic_luts=1_182_000,
+                      registers=2_364_000, memory_blocks=3_120,
+                      dsp_blocks=6_840)
+
+#: Altera Stratix V (the Figure 10 ablation board), approximate capacity.
+STRATIX_V = DeviceCapacity("stratix-v-gs", logic_luts=622_000,
+                           registers=939_000, memory_blocks=2_560,
+                           dsp_blocks=1_963)
+
+
+@dataclasses.dataclass
+class ComponentUsage:
+    """Resource usage of one named component."""
+
+    component: str
+    logic_luts: int
+    registers: int
+    memory_blocks: int
+    dsp_blocks: int
+
+    def scaled(self, factor: int) -> "ComponentUsage":
+        return ComponentUsage(self.component,
+                              self.logic_luts * factor,
+                              self.registers * factor,
+                              self.memory_blocks * factor,
+                              self.dsp_blocks * factor)
+
+
+# Per-unit cost constants, derived from Table 4 at 256 PEs total
+# (2 CU pairs x 2 CUs x 64 PEs).
+_PER_PE_LUTS = 738             # 188.8K / 256: fp32 mult + acc datapath
+_PER_PE_REGS = 987             # 252.6K / 256
+_PER_PE_DSPS = 8               # 2048 / 256: 3 DSPs mult + 2 add, pipelined
+_PER_RU_LUTS = 6675            # RMSProp RU incl. sqrt/divide
+_PER_RU_REGS = 8100
+_PER_RU_DSPS = 36
+_PER_RU_BLOCKS = 27            # double-buffered theta/g staging
+
+
+class ResourceModel:
+    """Estimate the Table 4 breakdown for a CU configuration."""
+
+    def __init__(self, num_cus: int = 4, n_pe: int = 64, num_rus: int = 4,
+                 num_channels: int = 2, device: DeviceCapacity = VU9P):
+        self.num_cus = num_cus
+        self.n_pe = n_pe
+        self.num_rus = num_rus
+        self.num_channels = num_channels
+        self.device = device
+
+    def components(self) -> typing.List[ComponentUsage]:
+        """Per-component usage in Table 4 order."""
+        total_pes = self.num_cus * self.n_pe
+        scale = total_pes / 256  # buffers/datapath scale with PE count
+        rus = self.num_cus // 2 * self.num_rus or self.num_rus
+
+        def s(value: float) -> int:
+            return int(round(value * scale))
+
+        return [
+            ComponentUsage("PEs", total_pes * _PER_PE_LUTS,
+                           total_pes * _PER_PE_REGS, 0,
+                           total_pes * _PER_PE_DSPS),
+            ComponentUsage("Parameter buffer", s(20_800), s(1_700),
+                           s(256), 0),
+            ComponentUsage("Gradient buffer", s(8_900), s(600), s(128), 0),
+            ComponentUsage("Feature-map buffer", s(9_200), s(1_200),
+                           s(192), 0),
+            ComponentUsage("BCU (line buffer)", s(72_100), s(111_000),
+                           0, 0),
+            ComponentUsage("RMSProp", rus * _PER_RU_LUTS,
+                           rus * _PER_RU_REGS, rus * _PER_RU_BLOCKS,
+                           rus * _PER_RU_DSPS),
+            ComponentUsage("Pipelined MUX", s(50_100), s(50_100), s(16), 0),
+            ComponentUsage("TLU", s(17_000), s(35_100), s(16), 0),
+            ComponentUsage("DDR-CU interconnect",
+                           s(83_300), s(136_200), s(263), 0),
+            ComponentUsage("DDR4 controller",
+                           self.num_channels * 43_150,
+                           self.num_channels * 49_000,
+                           self.num_channels * 51,
+                           self.num_channels * 6),
+            ComponentUsage("PCI-E DMA", 87_400, 124_400, 78, 0),
+        ]
+
+    def total(self) -> ComponentUsage:
+        """Summed usage across components."""
+        total = ComponentUsage("Total", 0, 0, 0, 0)
+        for item in self.components():
+            total.logic_luts += item.logic_luts
+            total.registers += item.registers
+            total.memory_blocks += item.memory_blocks
+            total.dsp_blocks += item.dsp_blocks
+        return total
+
+    def utilisation(self) -> typing.Dict[str, float]:
+        """Fraction of the device each resource class occupies."""
+        total = self.total()
+        return {
+            "logic_luts": total.logic_luts / self.device.logic_luts,
+            "registers": total.registers / self.device.registers,
+            "memory_blocks": total.memory_blocks /
+            self.device.memory_blocks,
+            "dsp_blocks": total.dsp_blocks / self.device.dsp_blocks,
+        }
+
+    def fits(self) -> bool:
+        """True if every resource class fits on the device."""
+        return all(value <= 1.0 for value in self.utilisation().values())
+
+
+def resource_table(model: typing.Optional[ResourceModel] = None
+                   ) -> typing.List[typing.Dict[str, object]]:
+    """Rows matching Table 4 (component, LUTs, regs, blocks, DSPs)."""
+    model = model or ResourceModel()
+    rows = []
+    for item in model.components() + [model.total()]:
+        rows.append({
+            "component": item.component,
+            "logic": item.logic_luts,
+            "registers": item.registers,
+            "memory_blocks": item.memory_blocks,
+            "dsp_blocks": item.dsp_blocks,
+        })
+    return rows

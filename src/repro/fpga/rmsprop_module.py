@@ -1,0 +1,109 @@
+"""The RMSProp module (paper Section 4.2.3, Figure 5).
+
+Computed gradients are applied to the global parameters by a dedicated
+module of fully-pipelined *RMSProp units* (RUs).  Each RU reads two words
+(θ and g) and writes two words per cycle:
+
+    g'     = rho * g + (1 - rho) * grad^2
+    theta' = theta - eta * grad / sqrt(g' + eps)
+
+With a 16-word DRAM interface, four RUs saturate the off-chip bandwidth
+(each RU moves 2+2 words per cycle).  The module double-buffers: while the
+RUs update one on-chip buffer, the other handles off-chip traffic.
+
+The functional path is bit-comparable to
+:class:`repro.nn.optim.RMSProp` (verified by the test suite), so training
+through the FPGA simulator reproduces the software optimizer exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.fpga.dram import WORDS_PER_BEAT, DRAMChannel
+
+
+@dataclasses.dataclass
+class RMSPropUpdateStats:
+    """Cycle and traffic accounting for one buffer-sized update."""
+
+    elements: int
+    compute_cycles: int
+    memory_cycles: int
+
+    @property
+    def pipelined_cycles(self) -> int:
+        """Duration with double buffering: compute and traffic overlap."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+
+class RMSPropModule:
+    """RU-pipelined global-parameter updater."""
+
+    #: Pipeline depth of one RU (mult, add, sqrt, divide stages).
+    PIPELINE_DEPTH = 12
+
+    def __init__(self, learning_rate: float = 7e-4, rho: float = 0.99,
+                 eps: float = 0.1, num_rus: int = 4,
+                 buffer_words: int = 4096):
+        self.learning_rate = learning_rate
+        self.rho = rho
+        self.eps = eps
+        self.num_rus = num_rus
+        self.buffer_words = buffer_words
+        self.total_cycles = 0
+        self.updates = 0
+
+    def required_rus(self, dram_words_per_cycle: int = WORDS_PER_BEAT
+                     ) -> int:
+        """RUs needed to saturate the DRAM interface (paper: 4 for 16)."""
+        return -(-dram_words_per_cycle // 4)  # each RU moves 4 words/cycle
+
+    def update_arrays(self, theta: np.ndarray, g: np.ndarray,
+                      grad: np.ndarray,
+                      learning_rate: typing.Optional[float] = None
+                      ) -> None:
+        """Apply the RU recurrence in place, fp32 like the datapath."""
+        if not theta.shape == g.shape == grad.shape:
+            raise ValueError("theta/g/grad shapes differ")
+        lr = self.learning_rate if learning_rate is None else learning_rate
+        grad32 = grad.astype(np.float32, copy=False)
+        # Identical operation order and scalar types as
+        # repro.nn.optim.RMSProp, so hardware and software trajectories
+        # are bit-for-bit equal (asserted by the test suite).
+        g *= self.rho
+        g += (1.0 - self.rho) * grad32 * grad32
+        theta -= lr * grad32 / np.sqrt(g + self.eps)
+
+    def update_with_stats(self, theta: np.ndarray, g: np.ndarray,
+                          grad: np.ndarray,
+                          channel: typing.Optional[DRAMChannel] = None,
+                          learning_rate: typing.Optional[float] = None,
+                          extra_store_copies: int = 0
+                          ) -> RMSPropUpdateStats:
+        """Functional update plus cycle/traffic accounting.
+
+        ``extra_store_copies`` models the FA3C-Alt2 configuration, which
+        writes an additional layout copy of θ back to DRAM per update
+        (Section 5.4).
+        """
+        self.update_arrays(theta, g, grad, learning_rate)
+        n = theta.size
+        # Per buffer-sized chunk the RUs stream one element per RU-cycle.
+        chunks = -(-n // self.buffer_words)
+        compute = -(-n // self.num_rus) + chunks * self.PIPELINE_DEPTH
+        # Off-chip: load theta + g, store theta + g (+ extra layout copies).
+        words_moved = n * (4 + extra_store_copies)
+        if channel is not None:
+            memory = channel.load(2 * n)
+            memory += channel.store((2 + extra_store_copies) * n)
+        else:
+            memory = -(-words_moved // WORDS_PER_BEAT)
+        stats = RMSPropUpdateStats(elements=n, compute_cycles=compute,
+                                   memory_cycles=memory)
+        self.total_cycles += stats.pipelined_cycles
+        self.updates += 1
+        return stats

@@ -1,0 +1,92 @@
+"""BCU operation schedules: how each stage drives the line buffers.
+
+Bridges the structural Table 3 plan (how many line buffers of what width)
+to the dynamic behaviour of Section 4.5 (how often the BCU shifts,
+stitches, and scatters per stage).  The counts are closed-form from the
+layer geometry, and the functional buffer classes are validated against
+them in the tests — so the cycle model's assumption that operand supply
+keeps up with the PEs is backed by an explicit schedule, not hand-waving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.linebuffers import stitching_rows
+from repro.nn.network import LayerSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class StageSchedule:
+    """BCU operation counts for one layer stage (batch 1)."""
+
+    stage: str                 # FW | GC | BW
+    layer: str
+    line_loads: int            # line buffers (re)filled from buffers
+    stitch_ops: int            # multi-row stitches among those loads
+    shift_ops: int             # single-word shifts
+    scatter_ops: int           # output line-buffer scatters
+
+    @property
+    def total_bcu_ops(self) -> int:
+        return (self.line_loads + self.stitch_ops + self.shift_ops
+                + self.scatter_ops)
+
+
+def fw_schedule(spec: LayerSpec) -> StageSchedule:
+    """Forward propagation (Section 4.5, "Shifting"):
+
+    For every output row, each of the K contributing input rows of every
+    input channel is loaded into the input line buffer (stitched when
+    C_in > 16) and shifted one word per output column x stride.
+    Output values are scattered to per-channel buffer rows once per
+    output row.
+    """
+    k = spec.kernel
+    rows_loaded = spec.out_height * k * spec.in_channels
+    stitches = rows_loaded if stitching_rows(spec.in_width) > 1 else 0
+    shifts = rows_loaded * max(spec.out_width - 1, 0) * spec.stride
+    scatters = spec.out_height * spec.out_width
+    return StageSchedule("FW", spec.name, rows_loaded, stitches, shifts,
+                         scatters)
+
+
+def gc_schedule(spec: LayerSpec, batch: int, n_pe: int = 64
+                ) -> StageSchedule:
+    """Gradient computation: K input lines + M_GC gradient lines per
+    output row per sample; shifting walks the K x K window positions."""
+    k = spec.kernel
+    m_gc = max(1, n_pe // (k * k))
+    per_sample = spec.out_height * spec.in_channels
+    line_loads = batch * per_sample * (k + m_gc)
+    stitches = batch * per_sample * k \
+        if stitching_rows(spec.in_width) > 1 else 0
+    shifts = batch * per_sample * max(spec.out_width - 1, 0) \
+        * spec.stride
+    scatters = -(-(spec.num_weights + spec.out_channels) // n_pe)
+    return StageSchedule("GC", spec.name, line_loads, stitches, shifts,
+                         scatters)
+
+
+def bw_schedule(spec: LayerSpec, batch: int, n_pe: int = 64
+                ) -> StageSchedule:
+    """Backward propagation: M_BW output-gradient lines per input row;
+    input-gradient outputs are scattered back to the feature-map buffer
+    (whose dimensions BW reuses, Section 4.3)."""
+    k = spec.kernel
+    m_w = max(1, spec.out_channels // (k * k))
+    m_bw = max(1, n_pe // (m_w * max(spec.in_width, 1)))
+    per_sample = spec.in_height * max(spec.in_channels // m_w, 1)
+    line_loads = batch * per_sample * m_bw
+    shifts = batch * per_sample * max(spec.in_width - 1, 0)
+    scatters = -(-batch * spec.num_inputs // n_pe)
+    stitches = line_loads if stitching_rows(spec.out_width) > 1 else 0
+    return StageSchedule("BW", spec.name, line_loads, stitches, shifts,
+                         scatters)
+
+
+def stage_schedules(spec: LayerSpec, batch: int = 1, n_pe: int = 64
+                    ) -> list:
+    """All three stage schedules for one layer."""
+    return [fw_schedule(spec), gc_schedule(spec, batch, n_pe),
+            bw_schedule(spec, batch, n_pe)]

@@ -1,0 +1,271 @@
+"""The per-stage cycle model of a compute unit.
+
+Converts a network topology (Table 1) into sequences of *stages*, each with
+a compute-cycle count (from the PE scheduling rules of Sections 4.4-4.5)
+and per-channel DRAM word counts (the Table 2 traffic items).  The
+discrete-event platform layer turns stages into simulated time, arbitrating
+the shared DRAM channels between CUs — which is exactly the effect the
+dual-CU design exploits (Section 4.2.2).
+
+Layout modes (Section 5.4):
+
+* ``"fa3c"`` — FW layout for FW/GC, BW layout via the TLU for BW; every
+  stage feeds all PEs.
+* ``"alt1"`` — the FW layout is used for *all* computation types; BW can
+  only feed PEs within one input channel, so its parallelism collapses to
+  the layer's output spatial size (1 for fully-connected layers).
+* ``"alt2"`` — both layouts are materialised in DRAM; BW is fast but every
+  parameter update writes an extra layout copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.fpga.layouts import image_words
+from repro.nn.network import LayerSpec, NetworkTopology
+
+#: Logical channel names: the paper places global and local parameters in
+#: different memory channels when more than one is available (Section 4.1).
+LOCAL = "local"
+GLOBAL = "global"
+
+LAYOUT_MODES = ("fa3c", "alt1", "alt2")
+
+
+@dataclasses.dataclass
+class StageTiming:
+    """One pipeline stage: compute cycles plus DRAM words per channel."""
+
+    name: str
+    compute_cycles: int
+    loads: typing.Dict[str, int] = dataclasses.field(default_factory=dict)
+    stores: typing.Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def words(self, channel: str) -> int:
+        """Total words moved on one channel."""
+        return self.loads.get(channel, 0) + self.stores.get(channel, 0)
+
+    @property
+    def total_load_words(self) -> int:
+        return sum(self.loads.values())
+
+    @property
+    def total_store_words(self) -> int:
+        return sum(self.stores.values())
+
+
+def _parallel_fw(n_pe: int, spec: LayerSpec) -> int:
+    """PEs usable in FW: each output channel gets a PE; extra PEs take
+    more spatial positions (M_FW = floor(N_PE / O), Section 4.5.1)."""
+    o = spec.out_channels
+    if o >= n_pe:
+        return n_pe
+    return o * max(1, n_pe // o)
+
+
+def _parallel_gc(n_pe: int, spec: LayerSpec) -> int:
+    """PEs usable in GC: K*K weights in parallel x M_GC = floor(N_PE/K^2)
+    output channels (Section 4.5.1)."""
+    ksq = spec.kernel ** 2
+    if ksq >= n_pe:
+        return n_pe
+    return min(n_pe, ksq * max(1, n_pe // ksq), spec.num_weights)
+
+
+def _parallel_bw(n_pe: int, spec: LayerSpec, layout_mode: str) -> int:
+    """PEs usable in BW.
+
+    With the BW layout a buffer row spans M_w = floor(O/K^2) input
+    channels, so PEs cover multiple input channels at once and the array
+    stays busy.  Under Alt1 (FW layout) every simultaneously accessible
+    parameter belongs to one input channel (Section 4.4.2):
+
+    * dense layers have no parameter reuse, so PEs can only be fed at the
+      DRAM fetch rate — 16 words per cycle ("the required parameter values
+      are not fetched at the rate required by the PEs");
+    * convolutions reuse each parameter over the output plane, but
+      computing several input gradients of the *same* channel needs that
+      many distinct output-gradient windows live in line buffers at once,
+      capping parallelism at roughly one output row per kernel row.
+    """
+    if layout_mode == "alt1":
+        if spec.kind == "dense":
+            # 16 words/cycle fetch rate, halved because the FW-order
+            # stream defeats the line buffers' double buffering (no TLU
+            # prefetch path in this configuration).
+            return max(1, min(n_pe, 8))
+        window_limit = spec.out_width * spec.kernel
+        return max(1, min(n_pe, window_limit))
+    return n_pe
+
+
+class TimingModel:
+    """Cycle/traffic model for one CU running Table 1 layers."""
+
+    #: Fixed per-stage control overhead (pipeline fill, buffer swap).
+    STAGE_OVERHEAD_CYCLES = 64
+    #: Fixed per-task overhead (request decode, start/finish handshake) —
+    #: the FPGA analogue of a kernel launch.  24 cycles (~133 ns at
+    #: 180 MHz) keeps the per-routine share under the paper's measured
+    #: 0.02 % (Section 3.4).
+    TASK_OVERHEAD_CYCLES = 24
+
+    def __init__(self, topology: NetworkTopology, n_pe: int = 64,
+                 layout_mode: str = "fa3c", num_rus: int = 8):
+        if layout_mode not in LAYOUT_MODES:
+            raise ValueError(f"unknown layout mode {layout_mode!r}")
+        self.topology = topology
+        self.n_pe = n_pe
+        self.layout_mode = layout_mode
+        self.num_rus = num_rus
+
+    # -- per-layer parameter footprints -----------------------------------
+
+    def param_image_words(self, spec: LayerSpec) -> int:
+        """Words of the layer's DRAM parameter image (patch-padded
+        weights + burst-aligned biases)."""
+        rows = spec.in_channels * spec.kernel ** 2
+        cols = spec.out_channels
+        bias_words = -(-spec.out_channels // 16) * 16
+        return image_words(rows, cols) + bias_words
+
+    def total_param_words(self) -> int:
+        """One full parameter set in DRAM (all layers)."""
+        return sum(self.param_image_words(spec)
+                   for spec in self.topology.layers)
+
+    def feature_words(self, spec: LayerSpec, batch: int) -> int:
+        """Output feature-map words.
+
+        Rows are packed contiguously and each *transfer* is aligned to the
+        16-word burst, so the internal fragmentation stays below 1 % of
+        the traffic (Section 4.3).
+        """
+        return batch * (-(-spec.num_outputs // 16) * 16)
+
+    def input_words(self, batch: int) -> int:
+        """Network-input words per batch (burst-aligned as a whole)."""
+        c, h, w = self.topology.input_shape
+        return batch * (-(-(c * h * w) // 16) * 16)
+
+    # -- stages ------------------------------------------------------------
+
+    def fw_stage(self, spec: LayerSpec, batch: int,
+                 first_layer: bool) -> StageTiming:
+        """Forward propagation of one layer (plus ReLU, free in the PE
+        output path)."""
+        outputs = batch * spec.num_outputs
+        parallel = _parallel_fw(self.n_pe, spec)
+        rounds = -(-outputs // parallel)
+        compute = rounds * spec.accumulation_frequency_fw \
+            + self.STAGE_OVERHEAD_CYCLES
+        loads = {LOCAL: self.param_image_words(spec)}
+        if first_layer:
+            loads[LOCAL] += self.input_words(batch)
+        # Output feature maps are saved to DRAM for reuse by the training
+        # task (Section 4.3).
+        stores = {LOCAL: self.feature_words(spec, batch)}
+        return StageTiming(f"FW:{spec.name}", compute, loads, stores)
+
+    def gc_stage(self, spec: LayerSpec, batch: int,
+                 first_layer: bool) -> StageTiming:
+        """Gradient computation of one layer.
+
+        Loads the layer's input feature maps saved at inference time plus
+        the output gradients (on-chip from the following BW); stores the
+        parameter gradients to the global channel for the RMSProp module.
+        """
+        accumulation = spec.accumulation_frequency_gc(batch)
+        parallel = _parallel_gc(self.n_pe, spec)
+        weights = spec.num_weights + spec.out_channels  # + bias gradients
+        rounds = -(-weights // parallel)
+        compute = rounds * accumulation + self.STAGE_OVERHEAD_CYCLES
+        input_feature_words = self.input_words(batch) if first_layer \
+            else 0
+        loads = {LOCAL: input_feature_words}
+        stores = {GLOBAL: self.param_image_words(spec)}
+        return StageTiming(f"GC:{spec.name}", compute, loads, stores)
+
+    def bw_stage(self, spec: LayerSpec, batch: int,
+                 prev_spec: typing.Optional[LayerSpec]) -> StageTiming:
+        """Backward propagation of one layer.
+
+        Loads parameters in the BW layout (TLU transposition is pipelined
+        with the transfer, adding no cycles) and the saved feature maps of
+        the preceding layer for the next GC.
+        """
+        macs = spec.macs_bw(batch)
+        parallel = _parallel_bw(self.n_pe, spec, self.layout_mode)
+        compute = -(-macs // parallel) + self.STAGE_OVERHEAD_CYCLES
+        loads = {LOCAL: self.param_image_words(spec)}
+        if prev_spec is not None:
+            # Feature maps of the upstream layer, needed by its GC.
+            loads[LOCAL] += self.feature_words(prev_spec, batch)
+        return StageTiming(f"BW:{spec.name}", compute, loads, {})
+
+    def rmsprop_stage(self, num_rus: typing.Optional[int] = None
+                      ) -> StageTiming:
+        """Global parameter update by the RMSProp module.
+
+        Each RU moves four words per cycle, so four RUs saturate one
+        16-word channel (Section 4.2.3); the default of eight matches the
+        two-channel global stripe."""
+        num_rus = num_rus or self.num_rus
+        words = self.total_param_words()
+        compute = -(-words // num_rus) + self.STAGE_OVERHEAD_CYCLES
+        extra = words if self.layout_mode == "alt2" else 0
+        loads = {GLOBAL: 2 * words}              # theta + g
+        stores = {GLOBAL: 2 * words + extra}     # theta + g (+ 2nd layout)
+        return StageTiming("RMSProp", compute, loads, stores)
+
+    def sync_stage(self) -> StageTiming:
+        """Parameter sync: copy global theta to the agent's local theta."""
+        words = self.total_param_words()
+        return StageTiming("ParamSync", 0, {GLOBAL: words},
+                           {LOCAL: words})
+
+    # -- tasks ---------------------------------------------------------------
+
+    def inference_task(self, batch: int = 1) -> typing.List[StageTiming]:
+        """All FW stages of one inference request."""
+        stages = []
+        for index, spec in enumerate(self.topology.layers):
+            stages.append(self.fw_stage(spec, batch, first_layer=index == 0))
+        stages[0].compute_cycles += self.TASK_OVERHEAD_CYCLES
+        return stages
+
+    def training_task(self, batch: int) -> typing.List[StageTiming]:
+        """GC then BW per layer from the last to the first (Section 4.3),
+        followed by the RMSProp update of global theta."""
+        stages: typing.List[StageTiming] = []
+        layers = self.topology.layers
+        for index in range(len(layers) - 1, -1, -1):
+            spec = layers[index]
+            stages.append(self.gc_stage(spec, batch,
+                                        first_layer=index == 0))
+            if index > 0:
+                stages.append(self.bw_stage(spec, batch,
+                                            layers[index - 1]))
+        stages.append(self.rmsprop_stage())
+        stages[0].compute_cycles += self.TASK_OVERHEAD_CYCLES
+        return stages
+
+    def sync_task(self) -> typing.List[StageTiming]:
+        """The parameter-sync task preceding each routine."""
+        return [self.sync_stage()]
+
+    # -- aggregates ----------------------------------------------------------
+
+    @staticmethod
+    def task_compute_cycles(stages: typing.Sequence[StageTiming]) -> int:
+        return sum(stage.compute_cycles for stage in stages)
+
+    @staticmethod
+    def task_words(stages: typing.Sequence[StageTiming],
+                   channel: typing.Optional[str] = None) -> int:
+        if channel is None:
+            return sum(stage.total_load_words + stage.total_store_words
+                       for stage in stages)
+        return sum(stage.words(channel) for stage in stages)

@@ -1,0 +1,91 @@
+"""The Transpose Load Unit (paper Section 4.4.3).
+
+The TLU turns the single FW-layout DRAM copy into the BW on-chip layout
+while the data is in flight: DRAM patches are staged into a FIFO, then
+transposed 16x16 using registers and shift operations.  A CU has two TLU
+instances working in a double-buffered pair — one fills the parameter
+buffer while the other prepares the next transposed patch — and the TLU
+issues read requests ahead of PE consumption to hide DRAM latency.
+
+This class emulates the register-level shift-transpose so the test suite
+can validate the mechanism itself, not just ``np.transpose``.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+import numpy as np
+
+from repro.fpga.layouts import PATCH
+
+
+class TransposeLoadUnit:
+    """Shift-register emulation of one TLU instance."""
+
+    def __init__(self, patch: int = PATCH, fifo_depth: int = 4):
+        self.patch = patch
+        self.fifo_depth = fifo_depth
+        self._fifo: collections.deque = collections.deque()
+        # The register file: `patch` shift rows of `patch` words.
+        self._rows = np.zeros((patch, patch), dtype=np.float32)
+        self.patches_transposed = 0
+        self.words_loaded = 0
+
+    @property
+    def register_words(self) -> int:
+        """Register words the transpose array occupies."""
+        return self.patch * self.patch
+
+    def stage(self, patch_words: np.ndarray) -> None:
+        """Stage one serialised 16x16 patch from DRAM into the FIFO.
+
+        Raises if the prefetch FIFO is full (the hardware would apply
+        back-pressure to the DRAM read stream).
+        """
+        patch_words = np.asarray(patch_words, dtype=np.float32).reshape(-1)
+        if patch_words.size != self.patch * self.patch:
+            raise ValueError(f"a patch is {self.patch * self.patch} words, "
+                             f"got {patch_words.size}")
+        if len(self._fifo) >= self.fifo_depth:
+            raise RuntimeError("TLU prefetch FIFO full")
+        self._fifo.append(patch_words.copy())
+        self.words_loaded += patch_words.size
+
+    def transpose_next(self) -> np.ndarray:
+        """Transpose the oldest staged patch via row shifts.
+
+        Cycle-level behaviour: for each of the 16 beats, one 16-word DRAM
+        row is pushed broadside into the register columns while every
+        register row shifts one word — after 16 beats the columns hold the
+        rows, i.e. the patch is transposed.  Returns the transposed patch
+        as a ``(16, 16)`` array.
+        """
+        if not self._fifo:
+            raise RuntimeError("no staged patch to transpose")
+        words = self._fifo.popleft().reshape(self.patch, self.patch)
+        self._rows[:] = 0.0
+        for beat in range(self.patch):
+            # Shift every register row right by one word...
+            self._rows[:, 1:] = self._rows[:, :-1]
+            # ...and insert the incoming DRAM row broadside into column 0.
+            self._rows[:, 0] = words[beat]
+        # Register row r now holds original column r, last-in first:
+        # reading rows back reversed yields the transpose.
+        transposed = self._rows[:, ::-1].copy()
+        self.patches_transposed += 1
+        return transposed
+
+    def transpose_cycles(self) -> int:
+        """Cycles to transpose one patch (one beat per word row)."""
+        return self.patch
+
+    def load_transposed(self, patches: typing.Iterable[np.ndarray]
+                        ) -> typing.List[np.ndarray]:
+        """Stage-and-transpose a stream of serialised patches."""
+        out = []
+        for patch_words in patches:
+            self.stage(patch_words)
+            out.append(self.transpose_next())
+        return out

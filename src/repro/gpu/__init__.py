@@ -1,0 +1,44 @@
+"""Analytic + discrete-event models of the paper's GPU/CPU baselines.
+
+The paper compares FA3C against four software platforms on a host with two
+Xeon E5-2630 CPUs and an NVIDIA Tesla P100 (Table 5):
+
+* **A3C-cuDNN** — hand-written cuDNN/cuBLAS A3C (the strongest GPU
+  baseline);
+* **A3C-TF-GPU** — TensorFlow A3C with GPU kernels;
+* **GA3C-TF** — the GA3C algorithm (batched single-model) on TensorFlow;
+* **A3C-TF-CPU** — TensorFlow A3C on the CPUs only.
+
+The models capture exactly the three GPU bottlenecks Section 3 identifies:
+small-batch occupancy, kernel-launch overhead, and the fixed memory
+hierarchy; calibration constants are collected in
+:mod:`repro.gpu.calibration` with their provenance.
+"""
+
+from repro.gpu.calibration import GPUCalibration
+from repro.gpu.cudnn import CuDNNModel, KernelCall
+from repro.gpu.kernel import KernelCostModel
+from repro.gpu.layout_experiment import GPULayoutExperiment
+from repro.gpu.platform import (
+    A3CcuDNNPlatform,
+    A3CTFCPUPlatform,
+    A3CTFGPUPlatform,
+    GA3CTFPlatform,
+)
+from repro.gpu.specs import P100, XEON_E5_2630_PAIR, GPUSpec, HostSpec
+
+__all__ = [
+    "A3CTFCPUPlatform",
+    "A3CTFGPUPlatform",
+    "A3CcuDNNPlatform",
+    "CuDNNModel",
+    "GA3CTFPlatform",
+    "GPUCalibration",
+    "GPULayoutExperiment",
+    "GPUSpec",
+    "HostSpec",
+    "KernelCall",
+    "KernelCostModel",
+    "P100",
+    "XEON_E5_2630_PAIR",
+]

@@ -1,0 +1,114 @@
+"""cuDNN/cuBLAS-style kernel sequences for each A3C task.
+
+Builds :class:`~repro.gpu.kernel.KernelCall` lists from the network
+topology (Table 1): one kernel per layer per stage, matching how the
+paper's A3C-cuDNN implementation invokes cuDNN primitives (with cuBLAS for
+the FC forward passes) — so kernel-launch counts, and therefore the
+Section 3.4 launch-overhead fraction, are structural rather than assumed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.gpu.kernel import KernelCall
+from repro.nn.network import WORD_BYTES, LayerSpec, NetworkTopology
+
+
+def _fmap_bytes(spec: LayerSpec, batch: int, output: bool) -> float:
+    count = spec.num_outputs if output else spec.num_inputs
+    return batch * count * WORD_BYTES
+
+
+class CuDNNModel:
+    """Kernel sequences for inference, training, update, and sync."""
+
+    def __init__(self, topology: NetworkTopology):
+        self.topology = topology
+
+    def inference_kernels(self, batch: int = 1
+                          ) -> typing.List[KernelCall]:
+        """FW kernels: per layer, the conv/GEMM kernel plus the
+        bias + activation kernel (cuDNN launches them separately)."""
+        calls = []
+        for spec in self.topology.layers:
+            calls.append(KernelCall(
+                name=f"fw:{spec.name}",
+                flops=2.0 * spec.macs_fw(batch),
+                bytes=spec.num_params * WORD_BYTES
+                + _fmap_bytes(spec, batch, output=False)
+                + _fmap_bytes(spec, batch, output=True),
+                outputs=batch * spec.num_outputs))
+            calls.append(KernelCall(
+                name=f"fw-act:{spec.name}",
+                flops=2.0 * batch * spec.num_outputs,
+                bytes=2.0 * _fmap_bytes(spec, batch, output=True),
+                outputs=batch * spec.num_outputs))
+        return calls
+
+    def backward_kernels(self, batch: int) -> typing.List[KernelCall]:
+        """BW (data-gradient) kernels; the first layer needs none."""
+        calls = []
+        for spec in self.topology.layers[1:]:
+            calls.append(KernelCall(
+                name=f"bw:{spec.name}",
+                flops=2.0 * spec.macs_bw(batch),
+                bytes=spec.num_params * WORD_BYTES
+                + _fmap_bytes(spec, batch, output=True)
+                + _fmap_bytes(spec, batch, output=False),
+                outputs=batch * spec.num_inputs))
+        return calls
+
+    def grad_kernels(self, batch: int) -> typing.List[KernelCall]:
+        """GC kernels: weight gradients plus the bias-gradient reduction,
+        per layer."""
+        calls = []
+        for spec in self.topology.layers:
+            calls.append(KernelCall(
+                name=f"gc:{spec.name}",
+                flops=2.0 * spec.macs_gc(batch),
+                bytes=spec.num_params * WORD_BYTES
+                + _fmap_bytes(spec, batch, output=False)
+                + _fmap_bytes(spec, batch, output=True),
+                outputs=spec.num_params))
+            calls.append(KernelCall(
+                name=f"gc-bias:{spec.name}",
+                flops=float(batch * spec.num_outputs),
+                bytes=_fmap_bytes(spec, batch, output=True),
+                outputs=spec.out_channels))
+        return calls
+
+    def update_kernels(self) -> typing.List[KernelCall]:
+        """RMSProp elementwise kernels: g update then theta update."""
+        params = self.topology.num_params
+        param_bytes = params * WORD_BYTES
+        return [
+            KernelCall(name="rmsprop:g", flops=3.0 * params,
+                       bytes=3.0 * param_bytes, outputs=params),
+            KernelCall(name="rmsprop:theta", flops=4.0 * params,
+                       bytes=4.0 * param_bytes, outputs=params),
+        ]
+
+    def training_kernels(self, batch: int) -> typing.List[KernelCall]:
+        """The full training task: FW (recomputed, as the software
+        baselines do) + BW + GC + RMSProp."""
+        return (self.inference_kernels(batch)
+                + self.backward_kernels(batch)
+                + self.grad_kernels(batch)
+                + self.update_kernels())
+
+    def sync_kernels(self) -> typing.List[KernelCall]:
+        """Global-to-local parameter copy (device-to-device)."""
+        param_bytes = self.topology.num_params * WORD_BYTES
+        return [KernelCall(name="sync:copy", flops=0.0,
+                           bytes=2.0 * param_bytes,
+                           outputs=self.topology.num_params)]
+
+    def input_bytes(self, batch: int = 1) -> float:
+        """Host-to-device bytes per inference request."""
+        return batch * self.topology.input_bytes
+
+    def output_bytes(self, batch: int = 1) -> float:
+        """Device-to-host bytes per inference reply (logits + value)."""
+        last = self.topology.layers[-1]
+        return batch * last.num_outputs * WORD_BYTES

@@ -1,0 +1,75 @@
+"""The GPU kernel cost model.
+
+One kernel's duration is::
+
+    launch + max(flops / (peak * utilisation * efficiency),
+                 bytes / (bandwidth * efficiency))
+
+where *utilisation* grows with the number of output elements (threads)
+until the device's resident-thread capacity is reached — the formal version
+of Section 3.2's observation that A3C's small batches cannot fill a GPU.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.gpu.calibration import GPUCalibration
+from repro.gpu.specs import GPUSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCall:
+    """One GPU kernel invocation's workload."""
+
+    name: str
+    flops: float            # floating-point operations
+    bytes: float            # DRAM bytes touched (params + features)
+    outputs: int            # output elements (drives occupancy)
+
+
+class KernelCostModel:
+    """Turns :class:`KernelCall` workloads into seconds."""
+
+    def __init__(self, gpu: GPUSpec,
+                 calibration: typing.Optional[GPUCalibration] = None):
+        self.gpu = gpu
+        self.cal = calibration or GPUCalibration()
+
+    def utilisation(self, outputs: int) -> float:
+        """Fraction of peak FLOPs reachable with this many outputs."""
+        threads = outputs * self.cal.threads_per_output
+        occupancy = min(1.0, threads / self.gpu.max_resident_threads)
+        return max(self.cal.min_utilisation, occupancy)
+
+    def compute_seconds(self, call: KernelCall) -> float:
+        """Execution time of the kernel body (no launch)."""
+        util = self.utilisation(call.outputs)
+        compute = call.flops / (self.gpu.peak_flops * util *
+                                self.cal.kernel_efficiency)
+        memory = call.bytes / (self.gpu.mem_bandwidth *
+                               self.cal.memory_efficiency)
+        return max(compute, memory)
+
+    def kernel_seconds(self, call: KernelCall,
+                       include_launch: bool = True) -> float:
+        """Full kernel time as the host observes it."""
+        body = self.compute_seconds(call)
+        return body + (self.cal.launch_overhead if include_launch else 0.0)
+
+    def sequence_seconds(self, calls: typing.Sequence[KernelCall],
+                         include_launch: bool = True) -> float:
+        """Serial execution time of a kernel sequence."""
+        return sum(self.kernel_seconds(call, include_launch)
+                   for call in calls)
+
+    def launch_fraction(self, calls: typing.Sequence[KernelCall]) -> float:
+        """Share of total time spent in launch overhead (Section 3.4)."""
+        total = self.sequence_seconds(calls, include_launch=True)
+        launches = len(calls) * self.cal.launch_overhead
+        return launches / total if total > 0 else 0.0
+
+    def pcie_seconds(self, num_bytes: float) -> float:
+        """One host<->device DMA transfer."""
+        return self.cal.pcie_latency + num_bytes / self.gpu.pcie_bandwidth

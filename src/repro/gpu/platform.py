@@ -1,0 +1,248 @@
+"""The four software baseline platforms (paper Section 5.1).
+
+Each platform exposes the same simulation interface as
+:class:`repro.fpga.platform.FPGASim` — process bodies for ``inference``,
+``train`` and ``sync`` — so the throughput experiment drives every platform
+identically.
+
+* :class:`A3CcuDNNPlatform` — direct cuDNN/cuBLAS invocation; one shared
+  GPU serialises all agents' tasks.
+* :class:`A3CTFGPUPlatform` — same structure plus TensorFlow's per-run
+  overhead and kernel slowdown.
+* :class:`GA3CTFPlatform` — the GA3C architecture: agents submit states to
+  a predictor queue served in batches; training batches run from a trainer
+  queue and do *not* block the submitting agent.
+* :class:`A3CTFCPUPlatform` — TensorFlow on the host CPUs.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.gpu.calibration import GPUCalibration
+from repro.gpu.cudnn import CuDNNModel
+from repro.gpu.kernel import KernelCall, KernelCostModel
+from repro.gpu.specs import P100, XEON_E5_2630_PAIR, GPUSpec, HostSpec
+from repro.nn.network import NetworkTopology
+from repro.sim import Engine, Resource, Store
+
+
+class _GPUPlatformBase:
+    """Shared machinery: kernel model + analytic task latencies."""
+
+    name = "gpu-base"
+
+    def __init__(self, topology: NetworkTopology,
+                 gpu: GPUSpec = P100,
+                 calibration: typing.Optional[GPUCalibration] = None):
+        self.topology = topology
+        self.cal = calibration or GPUCalibration()
+        self.kernels = KernelCostModel(gpu, self.cal)
+        self.model = CuDNNModel(topology)
+
+    # Per-platform multipliers (TensorFlow adds overheads).
+    task_overhead = 0.0
+    kernel_slowdown = 1.0
+
+    def _kernel_time(self, calls: typing.Sequence[KernelCall]) -> float:
+        return self.kernels.sequence_seconds(calls) * self.kernel_slowdown
+
+    def inference_seconds(self, batch: int = 1) -> float:
+        """End-to-end inference latency: DMA in, kernels, DMA out."""
+        return (self.task_overhead
+                + self.kernels.pcie_seconds(self.model.input_bytes(batch))
+                + self._kernel_time(self.model.inference_kernels(batch))
+                + self.kernels.pcie_seconds(self.model.output_bytes(batch)))
+
+    def training_seconds(self, batch: int) -> float:
+        """Training-task latency (head gradients arrive over PCIe)."""
+        last = self.topology.layers[-1]
+        grad_bytes = batch * last.num_outputs * 4
+        return (self.task_overhead
+                + self.kernels.pcie_seconds(grad_bytes)
+                + self._kernel_time(self.model.training_kernels(batch)))
+
+    def sync_seconds(self) -> float:
+        """Local-model refresh from the global model (device copy)."""
+        return self.task_overhead \
+            + self._kernel_time(self.model.sync_kernels())
+
+    def launch_fraction(self, batch: int = 1) -> float:
+        """Launch-overhead share of an A3C routine's kernel time
+        (the Section 3.4 measurement)."""
+        calls = []
+        for _ in range(6):
+            calls.extend(self.model.inference_kernels(1))
+        calls.extend(self.model.training_kernels(batch))
+        return self.kernels.launch_fraction(calls)
+
+    def build_sim(self, engine: Engine) -> "GPUSim":
+        return GPUSim(self, engine)
+
+
+class A3CcuDNNPlatform(_GPUPlatformBase):
+    """Directly-invoked cuDNN/cuBLAS A3C (the best GPU baseline)."""
+
+    name = "A3C-cuDNN"
+
+
+class A3CTFGPUPlatform(_GPUPlatformBase):
+    """TensorFlow A3C running its kernels on the GPU."""
+
+    name = "A3C-TF-GPU"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.task_overhead = self.cal.tf_run_overhead
+        self.kernel_slowdown = self.cal.tf_kernel_slowdown
+
+
+class A3CTFCPUPlatform(_GPUPlatformBase):
+    """TensorFlow A3C computing on the host CPUs only."""
+
+    name = "A3C-TF-CPU"
+
+    def __init__(self, topology: NetworkTopology,
+                 host: HostSpec = XEON_E5_2630_PAIR,
+                 calibration: typing.Optional[GPUCalibration] = None):
+        super().__init__(topology, calibration=calibration)
+        self.host = host
+        self.task_overhead = self.cal.tf_run_overhead
+
+    def _kernel_time(self, calls: typing.Sequence[KernelCall]) -> float:
+        throughput = self.host.peak_flops * self.cal.cpu_efficiency
+        compute = sum(call.flops for call in calls) / throughput
+        # Per-op executor dispatch (much cheaper than a GPU launch).
+        dispatch = len(calls) * 4e-6
+        return compute + dispatch
+
+    def inference_seconds(self, batch: int = 1) -> float:
+        # No PCIe: observations stay in host memory.
+        return self.task_overhead \
+            + self._kernel_time(self.model.inference_kernels(batch))
+
+    def training_seconds(self, batch: int) -> float:
+        return self.task_overhead \
+            + self._kernel_time(self.model.training_kernels(batch))
+
+    def sync_seconds(self) -> float:
+        return self.task_overhead / 2 \
+            + self._kernel_time(self.model.sync_kernels())
+
+    def build_sim(self, engine: Engine) -> "GPUSim":
+        return GPUSim(self, engine,
+                      executors=self.cal.cpu_executors)
+
+
+class GPUSim:
+    """Discrete-event instance: one shared device serialises tasks."""
+
+    def __init__(self, platform: _GPUPlatformBase, engine: Engine,
+                 executors: int = 1):
+        self.platform = platform
+        self.engine = engine
+        self.device = Resource(engine, capacity=executors, name="device")
+
+    def utilisation(self) -> float:
+        """Device occupancy (drives the power model)."""
+        return self.device.utilisation()
+
+    def inference(self, agent_id: int, batch: int = 1):
+        del agent_id
+        yield from self.device.use(self.platform.inference_seconds(batch))
+
+    def train(self, agent_id: int, batch: int):
+        del agent_id
+        yield from self.device.use(self.platform.training_seconds(batch))
+
+    def sync(self, agent_id: int):
+        del agent_id
+        yield from self.device.use(self.platform.sync_seconds())
+
+
+class GA3CTFPlatform(_GPUPlatformBase):
+    """The GA3C architecture on TensorFlow.
+
+    Agents post prediction requests into a queue; a predictor thread
+    drains the queue into one batched inference on the single global
+    model.  Rollouts go to a trainer queue; training batches also run on
+    the device but do not block agents (Section 6).
+    """
+
+    name = "GA3C-TF"
+    #: GA3C has no per-agent local model: no sync, and bootstrapping is
+    #: folded into the server's batched predictions.
+    needs_sync = False
+    needs_bootstrap = False
+
+    def __init__(self, *args, max_prediction_batch: int = 64,
+                 training_batch_rollouts: int = 4, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.task_overhead = self.cal.tf_run_overhead
+        self.kernel_slowdown = self.cal.tf_kernel_slowdown
+        self.max_prediction_batch = max_prediction_batch
+        self.training_batch_rollouts = training_batch_rollouts
+
+    def build_sim(self, engine: Engine) -> "GA3CSim":
+        return GA3CSim(self, engine)
+
+
+class GA3CSim:
+    """Predictor/trainer-queue simulation of GA3C."""
+
+    def __init__(self, platform: GA3CTFPlatform, engine: Engine):
+        self.platform = platform
+        self.engine = engine
+        self.device = Resource(engine, capacity=1, name="gpu")
+        self.predict_queue = Store(engine, name="predict")
+        self.train_queue = Store(engine, name="train")
+        engine.process(self._predictor(), name="ga3c-predictor")
+        engine.process(self._trainer(), name="ga3c-trainer")
+
+    def utilisation(self) -> float:
+        """Device occupancy (drives the power model)."""
+        return self.device.utilisation()
+
+    def _predictor(self):
+        platform = self.platform
+        while True:
+            first = yield self.predict_queue.get()
+            batch = [first] + self.predict_queue.get_batch(
+                platform.max_prediction_batch - 1)
+            # Per-request Python-side handling (dequeue, batch assembly,
+            # result scatter) serialises in the predictor thread.
+            yield self.engine.timeout(
+                len(batch) * platform.cal.ga3c_request_overhead)
+            yield from self.device.use(
+                platform.inference_seconds(len(batch)))
+            for reply in batch:
+                reply.succeed()
+
+    def _trainer(self):
+        platform = self.platform
+        while True:
+            first = yield self.train_queue.get()
+            extra = self.train_queue.get_batch(
+                platform.training_batch_rollouts - 1)
+            total = int(first) + sum(int(b) for b in extra)
+            yield from self.device.use(platform.training_seconds(total))
+
+    # -- agent-facing interface ------------------------------------------
+
+    def inference(self, agent_id: int, batch: int = 1):
+        """Submit one state and wait for the batched prediction."""
+        del agent_id, batch
+        reply = self.engine.event()
+        self.predict_queue.put(reply)
+        yield reply
+
+    def train(self, agent_id: int, batch: int):
+        """Queue a rollout for the trainer; does not block the agent."""
+        del agent_id
+        self.train_queue.put(batch)
+        yield self.engine.timeout(0.0)
+
+    def sync(self, agent_id: int):
+        """GA3C has no local models, hence no parameter sync."""
+        del agent_id
+        yield self.engine.timeout(0.0)

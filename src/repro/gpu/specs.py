@@ -1,0 +1,54 @@
+"""Hardware specifications of the paper's evaluation platform (Table 5)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """A GPU's headline numbers."""
+
+    name: str
+    peak_flops: float           # single-precision FLOP/s
+    mem_bandwidth: float        # bytes/s (HBM2 for the P100)
+    sm_count: int
+    threads_per_sm: int
+    pcie_bandwidth: float       # bytes/s effective host link
+    core_clock_hz: float
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.sm_count * self.threads_per_sm
+
+
+#: NVIDIA Tesla P100 (16 nm, HBM2, PCIe 3.0 x16) — paper Table 5.
+P100 = GPUSpec(name="Tesla P100", peak_flops=9.3e12,
+               mem_bandwidth=732e9, sm_count=56, threads_per_sm=2048,
+               pcie_bandwidth=11e9, core_clock_hz=1.328e9)
+
+
+@dataclasses.dataclass(frozen=True)
+class HostSpec:
+    """The host CPUs (environment simulation + TF-CPU baseline)."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_hz: float
+    flops_per_cycle_per_core: int   # AVX2 fp32 FMA width x 2
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def peak_flops(self) -> float:
+        return (self.total_cores * self.clock_hz *
+                self.flops_per_cycle_per_core)
+
+
+#: 2x Xeon E5-2630 v4 (10 cores each, 2.2 GHz) — paper Table 5.
+XEON_E5_2630_PAIR = HostSpec(name="2x Xeon E5-2630", sockets=2,
+                             cores_per_socket=10, clock_hz=2.2e9,
+                             flops_per_cycle_per_core=32)

@@ -1,0 +1,15 @@
+"""Experiment harness: the registry of paper experiments and the
+plain-text table/figure renderers shared by ``benchmarks/`` and
+``examples/``."""
+
+from repro.harness.registry import EXPERIMENTS, Experiment, get_experiment
+from repro.harness.report import format_curve, format_series, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "format_curve",
+    "format_series",
+    "format_table",
+    "get_experiment",
+]

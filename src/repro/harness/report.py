@@ -1,0 +1,78 @@
+"""Plain-text rendering of tables, series, and training curves.
+
+The benches print the same rows/series the paper reports; these helpers
+keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+
+def format_table(rows: typing.Sequence[typing.Mapping[str, object]],
+                 columns: typing.Optional[typing.Sequence[str]] = None,
+                 title: str = "") -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return title + "\n(empty)" if title else "(empty)"
+    columns = list(columns or rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i])
+                       for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(x: typing.Sequence, series:
+                  typing.Mapping[str, typing.Sequence[float]],
+                  x_label: str = "n", title: str = "") -> str:
+    """Render named series over a common x axis (Figure 8/10 style)."""
+    rows = []
+    for name, values in series.items():
+        row: typing.Dict[str, object] = {x_label + "\\series": name}
+        for xi, value in zip(x, values):
+            row[str(xi)] = value
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def format_curve(steps: np.ndarray, scores: np.ndarray, label: str,
+                 bins: int = 12, width: int = 48) -> str:
+    """A coarse ASCII sparkline of a training curve (Figure 12 style)."""
+    if len(steps) == 0:
+        return f"{label}: (no episodes)"
+    edges = np.linspace(steps.min(), steps.max(), bins + 1)
+    means = []
+    for i in range(bins):
+        mask = (steps >= edges[i]) & (steps <= edges[i + 1])
+        means.append(float(np.mean(scores[mask])) if mask.any()
+                     else float("nan"))
+    finite = [m for m in means if not np.isnan(m)]
+    lo, hi = (min(finite), max(finite)) if finite else (0.0, 1.0)
+    span = hi - lo or 1.0
+    blocks = " .:-=+*#%@"
+    bar = "".join(
+        blocks[int((m - lo) / span * (len(blocks) - 1))]
+        if not np.isnan(m) else " " for m in means)
+    return (f"{label:24s} |{bar}|  first={means[0]:.1f} "
+            f"last={finite[-1] if finite else float('nan'):.1f} "
+            f"max={hi:.1f}")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0 or 0.01 <= abs(value) < 1e7:
+            return f"{value:,.2f}".rstrip("0").rstrip(".")
+        return f"{value:.3e}"
+    return str(value)

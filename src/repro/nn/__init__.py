@@ -1,0 +1,66 @@
+"""From-scratch NumPy deep-neural-network library.
+
+Implements exactly the three computation types FA3C distinguishes
+(paper Section 2.3):
+
+* **FW** — forward propagation: input feature maps x parameters ->
+  output feature maps.
+* **BW** — backward propagation: output-feature gradients x parameters ->
+  input-feature gradients.
+* **GC** — gradient computation: input feature maps x output-feature
+  gradients -> parameter gradients.
+
+Each layer exposes ``forward`` / ``backward`` / ``grad`` methods mapping to
+those stages, so the FPGA simulator can account cycles per stage with the
+same decomposition the paper uses.
+"""
+
+from repro.nn.initializers import he_uniform, torch_dqn_init, zeros
+from repro.nn.layers import Conv2D, Dense, Flatten, Layer, ReLU
+from repro.nn.losses import (
+    A3CLossResult,
+    a3c_loss_and_head_gradients,
+    entropy,
+    log_softmax,
+    softmax,
+)
+from repro.nn.network import A3CNetwork, LayerSpec, NetworkTopology, Sequential
+from repro.nn.network_lstm import (
+    RecurrentPolicyNetwork,
+    lstm_a3c_network,
+    mlp_lstm_network,
+)
+from repro.nn.recurrent import LSTMCell, LSTMState
+from repro.nn.optim import SGD, Adam, Optimizer, RMSProp, SharedRMSProp
+from repro.nn.parameters import ParameterSet
+
+__all__ = [
+    "A3CLossResult",
+    "A3CNetwork",
+    "Adam",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "LayerSpec",
+    "NetworkTopology",
+    "Optimizer",
+    "LSTMCell",
+    "LSTMState",
+    "ParameterSet",
+    "RecurrentPolicyNetwork",
+    "ReLU",
+    "RMSProp",
+    "SGD",
+    "Sequential",
+    "SharedRMSProp",
+    "a3c_loss_and_head_gradients",
+    "entropy",
+    "lstm_a3c_network",
+    "mlp_lstm_network",
+    "he_uniform",
+    "log_softmax",
+    "softmax",
+    "torch_dqn_init",
+    "zeros",
+]

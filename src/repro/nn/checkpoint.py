@@ -1,0 +1,61 @@
+"""Checkpointing: save/restore parameters and optimizer state.
+
+The paper trains for 100M steps; any practical run of this reproduction
+needs resumable state.  Checkpoints are plain ``.npz`` archives holding
+the parameter arrays (prefixed ``theta/``), the shared RMSProp statistics
+(``g/``), and a JSON metadata blob (global step, config echo).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+import numpy as np
+
+from repro.nn.optim import RMSProp
+from repro.nn.parameters import ParameterSet
+
+
+def save_checkpoint(path: str, params: ParameterSet,
+                    optimizer: typing.Optional[RMSProp] = None,
+                    metadata: typing.Optional[dict] = None) -> None:
+    """Write a checkpoint archive.
+
+    ``metadata`` must be JSON-serialisable (global step, learning-rate
+    schedule position, game name, ...).
+    """
+    arrays: typing.Dict[str, np.ndarray] = {}
+    for name, value in params.items():
+        arrays[f"theta/{name}"] = value
+    if optimizer is not None and optimizer.statistics is not None:
+        for name, value in optimizer.statistics.items():
+            arrays[f"g/{name}"] = value
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str) -> typing.Tuple[
+        ParameterSet, typing.Optional[ParameterSet], dict]:
+    """Read a checkpoint; returns (params, rmsprop statistics or None,
+    metadata)."""
+    with np.load(path) as archive:
+        params = ParameterSet()
+        statistics = ParameterSet()
+        metadata: dict = {}
+        for key in archive.files:
+            if key.startswith("theta/"):
+                params[key[len("theta/"):]] = archive[key]
+            elif key.startswith("g/"):
+                statistics[key[len("g/"):]] = archive[key]
+            elif key == "metadata":
+                metadata = json.loads(archive[key].tobytes()
+                                      .decode("utf-8"))
+    return params, (statistics if len(statistics) else None), metadata
+
+
+def restore_optimizer(optimizer: RMSProp,
+                      statistics: ParameterSet) -> None:
+    """Load saved second-moment estimates into an optimizer."""
+    optimizer._g = statistics.copy()

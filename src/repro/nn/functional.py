@@ -1,0 +1,148 @@
+"""Stateless numerical primitives: convolution, dense, and activations.
+
+All convolution routines are built on an ``im2col`` transformation so that
+the heavy lifting is a single matrix multiplication — the same operational
+structure the FA3C processing elements execute (multiply + accumulate over
+the I*K*K reduction axis, paper Section 4.2.1).
+
+Array conventions:
+
+* feature maps: ``(N, C, H, W)`` float32
+* convolution weights: ``(O, I, K, K)`` float32, bias ``(O,)``
+* dense weights: ``(out_features, in_features)``, bias ``(out_features,)``
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int) -> int:
+    """Spatial output size of a VALID convolution."""
+    if size < kernel:
+        raise ValueError(f"input size {size} smaller than kernel {kernel}")
+    return (size - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int,
+           stride: int) -> typing.Tuple[np.ndarray, typing.Tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into columns ``(N, C*K*K, OH*OW)``.
+
+    Returns the column matrix and the output spatial shape ``(OH, OW)``.
+    Uses a strided view plus one reshape-copy; no Python loops.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride)
+    ow = conv_output_size(w, kernel, stride)
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    cols = view.reshape(n, c * kernel * kernel, oh * ow)
+    return cols, (oh, ow)
+
+
+def col2im(cols: np.ndarray, input_shape: typing.Tuple[int, int, int, int],
+           kernel: int, stride: int) -> np.ndarray:
+    """Fold columns ``(N, C*K*K, OH*OW)`` back to ``(N, C, H, W)``.
+
+    Overlapping positions accumulate — this is the adjoint of
+    :func:`im2col` and the core of backward propagation through a
+    convolution.
+    """
+    n, c, h, w = input_shape
+    oh = conv_output_size(h, kernel, stride)
+    ow = conv_output_size(w, kernel, stride)
+    cols = cols.reshape(n, c, kernel, kernel, oh, ow)
+    out = np.zeros(input_shape, dtype=cols.dtype)
+    for ki in range(kernel):
+        row_end = ki + stride * oh
+        for kj in range(kernel):
+            col_end = kj + stride * ow
+            out[:, :, ki:row_end:stride, kj:col_end:stride] += \
+                cols[:, :, ki, kj, :, :]
+    return out
+
+
+def conv_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                 stride: int) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """FW stage of a convolution layer.
+
+    Returns ``(y, cols)`` where ``cols`` is the im2col matrix cached for the
+    GC stage (FA3C likewise saves forward feature maps in DRAM for reuse by
+    the training task, Section 4.3).
+    """
+    o, i, k, _ = weight.shape
+    if x.shape[1] != i:
+        raise ValueError(f"input channels {x.shape[1]} != weight {i}")
+    cols, (oh, ow) = im2col(x, k, stride)
+    flat_w = weight.reshape(o, i * k * k)
+    y = np.einsum("ok,nkp->nop", flat_w, cols, optimize=True)
+    y += bias[None, :, None]
+    return y.reshape(x.shape[0], o, oh, ow), cols
+
+
+def conv_backward_input(dy: np.ndarray, weight: np.ndarray, stride: int,
+                        input_shape: typing.Tuple[int, int, int, int]
+                        ) -> np.ndarray:
+    """BW stage: gradients of the input feature map.
+
+    ``dy`` has shape ``(N, O, OH, OW)``.
+    """
+    n, o, oh, ow = dy.shape
+    _, i, k, _ = weight.shape
+    flat_w = weight.reshape(o, i * k * k)
+    dy_flat = dy.reshape(n, o, oh * ow)
+    dcols = np.einsum("ok,nop->nkp", flat_w, dy_flat, optimize=True)
+    return col2im(dcols, input_shape, k, stride)
+
+
+def conv_grad_params(cols: np.ndarray, dy: np.ndarray, weight_shape:
+                     typing.Tuple[int, int, int, int]
+                     ) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """GC stage: gradients of the convolution weights and bias.
+
+    ``cols`` is the cached im2col matrix from the FW stage.
+    """
+    o, i, k, _ = weight_shape
+    n = dy.shape[0]
+    dy_flat = dy.reshape(n, o, -1)
+    dw = np.einsum("nop,nkp->ok", dy_flat, cols, optimize=True)
+    db = dy_flat.sum(axis=(0, 2))
+    return dw.reshape(weight_shape), db
+
+
+def dense_forward(x: np.ndarray, weight: np.ndarray,
+                  bias: np.ndarray) -> np.ndarray:
+    """FW stage of a fully-connected layer; ``x`` is ``(N, in_features)``."""
+    return x @ weight.T + bias
+
+
+def dense_backward_input(dy: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """BW stage of a fully-connected layer."""
+    return dy @ weight
+
+
+def dense_grad_params(x: np.ndarray, dy: np.ndarray
+                      ) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """GC stage of a fully-connected layer.
+
+    The reduction axis is the batch — the paper's point that the
+    accumulation frequency of GC equals the batch size (Section 4.2.1).
+    """
+    return dy.T @ x, dy.sum(axis=0)
+
+
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    """Elementwise max(x, 0)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(dy: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Pass gradients only where the forward input was positive."""
+    return dy * (x > 0)

@@ -1,0 +1,59 @@
+"""Numerical gradient checking utilities for the test suite.
+
+Central-difference gradients against which the analytic BW/GC stages are
+validated.  Kept in the library (not the tests) so users extending the layer
+set can validate their own layers the same way.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.nn.parameters import ParameterSet
+
+
+def numerical_gradient(f: typing.Callable[[], float], array: np.ndarray,
+                       eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``array``.
+
+    ``f`` must read ``array`` by reference (the array is perturbed
+    in-place and restored).
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = f()
+        flat[index] = original - eps
+        minus = f()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_param_gradients(loss_fn: typing.Callable[[], float],
+                          params: ParameterSet, analytic: ParameterSet,
+                          eps: float = 1e-3, rtol: float = 2e-2,
+                          atol: float = 1e-3) -> typing.Dict[str, float]:
+    """Compare analytic parameter gradients against numerical ones.
+
+    Returns the max absolute error per parameter; raises ``AssertionError``
+    on mismatch beyond tolerance.
+    """
+    errors = {}
+    for name in analytic:
+        numeric = numerical_gradient(loss_fn, params[name], eps)
+        got = analytic[name].astype(np.float64)
+        error = np.abs(got - numeric)
+        scale = np.maximum(np.abs(numeric), np.abs(got))
+        bad = error > (atol + rtol * scale)
+        if bad.any():
+            worst = float(error.max())
+            raise AssertionError(
+                f"gradient mismatch for {name}: max abs err {worst:.3e}")
+        errors[name] = float(error.max())
+    return errors

@@ -1,0 +1,48 @@
+"""Weight initialisation schemes.
+
+``torch_dqn_init`` replicates the fan-in uniform initialisation used by the
+open-source A3C implementation the paper benchmarks against
+(miyosuda/async_deep_reinforce, which mirrors the original Torch DQN code):
+``U(-d, d)`` with ``d = 1/sqrt(fan_in)``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+
+def zeros(shape: typing.Sequence[int],
+          rng: typing.Optional[np.random.Generator] = None) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    del rng
+    return np.zeros(shape, dtype=np.float32)
+
+
+def _fan_in(shape: typing.Sequence[int]) -> int:
+    if len(shape) == 4:  # (O, I, K, K) convolution
+        return int(shape[1] * shape[2] * shape[3])
+    if len(shape) == 2:  # (out, in) dense
+        return int(shape[1])
+    if len(shape) == 1:  # bias: use its width
+        return int(shape[0])
+    raise ValueError(f"cannot infer fan-in for shape {tuple(shape)}")
+
+
+def torch_dqn_init(shape: typing.Sequence[int],
+                   rng: typing.Optional[np.random.Generator] = None
+                   ) -> np.ndarray:
+    """Fan-in uniform: ``U(-1/sqrt(fan_in), 1/sqrt(fan_in))``."""
+    rng = rng or np.random.default_rng()
+    bound = 1.0 / np.sqrt(_fan_in(shape))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def he_uniform(shape: typing.Sequence[int],
+               rng: typing.Optional[np.random.Generator] = None
+               ) -> np.ndarray:
+    """He (Kaiming) uniform initialisation for ReLU networks."""
+    rng = rng or np.random.default_rng()
+    bound = np.sqrt(6.0 / _fan_in(shape))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

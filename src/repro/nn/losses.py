@@ -1,0 +1,103 @@
+"""The A3C objective and its analytic head gradients.
+
+The paper (Section 2.2) minimises
+
+* policy objective  f_pi(θ) = -log pi(a_t|s_t; θ) * (R_t - V(s_t; θ))
+  plus an entropy regularisation term, and
+* value objective   f_V(θ)  = (R_t - V(s_t; θ))^2.
+
+FA3C computes the softmax and the objective-function gradients on the host
+(Section 4.1) and sends only the head gradients (ΔObjective) to the FPGA;
+:func:`a3c_loss_and_head_gradients` is exactly that host-side computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def entropy(probs: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Shannon entropy per row of a probability matrix."""
+    return -(probs * np.log(probs + eps)).sum(axis=-1)
+
+
+@dataclasses.dataclass
+class A3CLossResult:
+    """Loss values and head gradients for one training batch."""
+
+    policy_loss: float          # sum over batch, entropy term included
+    value_loss: float           # 0.5 * sum (R - V)^2
+    entropy: float              # sum of per-step policy entropies
+    dlogits: np.ndarray         # (N, A) gradient w.r.t. policy logits
+    dvalues: np.ndarray         # (N,) gradient w.r.t. value outputs
+
+    @property
+    def total_loss(self) -> float:
+        return self.policy_loss + self.value_loss
+
+
+def a3c_loss_and_head_gradients(logits: np.ndarray, values: np.ndarray,
+                                actions: np.ndarray, returns: np.ndarray,
+                                entropy_beta: float = 0.01) -> A3CLossResult:
+    """Evaluate the A3C objective and its gradients at the network heads.
+
+    Args:
+        logits: ``(N, A)`` policy logits from FW.
+        values: ``(N,)`` value outputs from FW.
+        actions: ``(N,)`` integer actions taken.
+        returns: ``(N,)`` bootstrapped n-step returns R_t.
+        entropy_beta: weight of the entropy regularisation term.
+
+    The losses are *summed* over the batch (the original A3C accumulates
+    gradients over the t_max steps rather than averaging).  The advantage
+    (R - V) is treated as a constant in the policy objective, i.e. the value
+    head receives gradient only from the value loss.
+    """
+    n, num_actions = logits.shape
+    if actions.shape != (n,) or returns.shape != (n,) \
+            or values.shape != (n,):
+        raise ValueError("batch dimensions of logits/values/actions/returns "
+                         "do not agree")
+    if actions.min(initial=0) < 0 or actions.max(initial=0) >= num_actions:
+        raise ValueError("action index out of range")
+
+    probs = softmax(logits)
+    log_probs = log_softmax(logits)
+    advantages = returns - values
+
+    one_hot = np.zeros_like(probs)
+    one_hot[np.arange(n), actions] = 1.0
+
+    step_entropy = entropy(probs)
+    chosen_log_prob = log_probs[np.arange(n), actions]
+    policy_loss = float(-(chosen_log_prob * advantages).sum()
+                        - entropy_beta * step_entropy.sum())
+    value_loss = float(0.5 * (advantages ** 2).sum())
+
+    # d f_pi / d logits = (pi - onehot) * advantage
+    #                     + beta * pi * (log pi + H)      (entropy term)
+    dlogits = (probs - one_hot) * advantages[:, None]
+    dlogits += entropy_beta * probs * (
+        np.log(probs + 1e-12) + step_entropy[:, None])
+    # d f_V / d V = (V - R)
+    dvalues = (values - returns).astype(np.float32)
+
+    return A3CLossResult(policy_loss=policy_loss, value_loss=value_loss,
+                         entropy=float(step_entropy.sum()),
+                         dlogits=dlogits.astype(np.float32),
+                         dvalues=dvalues)

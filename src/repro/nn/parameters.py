@@ -1,0 +1,104 @@
+"""Named parameter collections.
+
+A :class:`ParameterSet` is an ordered mapping from parameter names (e.g.
+``"conv1.weight"``) to float32 arrays.  A3C keeps one *global* set and a
+per-agent *local* snapshot (paper Figure 2); parameter sync is
+:meth:`copy_from`, and gradient application happens against the global set.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+
+class ParameterSet:
+    """An ordered, named collection of float32 parameter arrays."""
+
+    def __init__(self, arrays: typing.Optional[
+            typing.Mapping[str, np.ndarray]] = None):
+        self._arrays: "dict[str, np.ndarray]" = {}
+        if arrays:
+            for name, value in arrays.items():
+                self[name] = value
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        self._arrays[name] = np.asarray(value, dtype=np.float32)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self) -> typing.Iterator[str]:
+        return iter(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def names(self) -> typing.List[str]:
+        """Parameter names in insertion (layer) order."""
+        return list(self._arrays)
+
+    def items(self) -> typing.ItemsView[str, np.ndarray]:
+        return self._arrays.items()
+
+    def num_values(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(int(a.size) for a in self._arrays.values())
+
+    def num_bytes(self) -> int:
+        """Total parameter storage in bytes (fp32)."""
+        return sum(int(a.nbytes) for a in self._arrays.values())
+
+    def copy(self) -> "ParameterSet":
+        """A deep copy (used to snapshot global θ into local θ)."""
+        return ParameterSet({k: v.copy() for k, v in self._arrays.items()})
+
+    def copy_from(self, other: "ParameterSet") -> None:
+        """In-place copy of every array from ``other`` (parameter sync)."""
+        if set(other.names()) != set(self.names()):
+            raise ValueError("parameter sets have different names")
+        for name, value in other.items():
+            np.copyto(self._arrays[name], value)
+
+    def zeros_like(self) -> "ParameterSet":
+        """A same-shaped set of zeros (gradient or RMSProp-g storage)."""
+        return ParameterSet({k: np.zeros_like(v)
+                             for k, v in self._arrays.items()})
+
+    def add_scaled(self, other: "ParameterSet", scale: float) -> None:
+        """``self += scale * other`` (gradient accumulation)."""
+        for name, value in other.items():
+            self._arrays[name] += scale * value
+
+    def flatten(self) -> np.ndarray:
+        """Concatenate all arrays into one 1-D vector (layer order)."""
+        if not self._arrays:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate([a.ravel() for a in self._arrays.values()])
+
+    def load_flat(self, flat: np.ndarray) -> None:
+        """Inverse of :meth:`flatten` — scatter a vector into the arrays."""
+        if flat.size != self.num_values():
+            raise ValueError(f"flat vector has {flat.size} values, "
+                             f"expected {self.num_values()}")
+        offset = 0
+        for array in self._arrays.values():
+            count = array.size
+            np.copyto(array, flat[offset:offset + count].reshape(array.shape))
+            offset += count
+
+    def allclose(self, other: "ParameterSet", rtol: float = 1e-5,
+                 atol: float = 1e-7) -> bool:
+        """True if every array matches ``other`` within tolerance."""
+        if set(other.names()) != set(self.names()):
+            return False
+        return all(np.allclose(v, other[k], rtol=rtol, atol=atol)
+                   for k, v in self._arrays.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shapes = {k: v.shape for k, v in self._arrays.items()}
+        return f"ParameterSet({shapes})"

@@ -1,0 +1,181 @@
+"""Recurrent layers: an LSTM cell with backpropagation through time.
+
+The original A3C publication evaluates a recurrent variant in which the
+first fully-connected layer is followed by (or replaced with) an LSTM of
+256 cells; FA3C's generic PEs serve it with yet another accumulation
+frequency — the motivating flexibility of paper Section 4.2.1.  This
+module provides the cell mathematics; :class:`LSTMA3CNetwork` in
+:mod:`repro.nn.network_lstm` assembles the full recurrent agent network.
+
+Gate layout in the packed weight matrix (rows ``4H x (I + H)``):
+input gate ``i``, forget gate ``f``, candidate ``g``, output gate ``o``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.nn.initializers import torch_dqn_init, zeros
+from repro.nn.parameters import ParameterSet
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+@dataclasses.dataclass
+class LSTMState:
+    """The recurrent carry: hidden and cell activations ``(N, H)``."""
+
+    h: np.ndarray
+    c: np.ndarray
+
+    def copy(self) -> "LSTMState":
+        return LSTMState(self.h.copy(), self.c.copy())
+
+    def reset(self) -> None:
+        """Zero the carry (episode boundary)."""
+        self.h[:] = 0.0
+        self.c[:] = 0.0
+
+
+@dataclasses.dataclass
+class _StepCache:
+    """Forward intermediates one step of BPTT needs."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    g: np.ndarray
+    o: np.ndarray
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class LSTMCell:
+    """A standard LSTM cell operating one timestep at a time."""
+
+    def __init__(self, name: str, input_size: int, hidden_size: int):
+        self.name = name
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def param_shapes(self) -> typing.Dict[str, typing.Tuple[int, ...]]:
+        h, i = self.hidden_size, self.input_size
+        return {"weight": (4 * h, i + h), "bias": (4 * h,)}
+
+    def init_params(self, params: ParameterSet,
+                    rng: typing.Optional[np.random.Generator] = None,
+                    weight_init=torch_dqn_init, bias_init=zeros) -> None:
+        """Fan-in uniform weights; forget-gate bias initialised to 1 so
+        early training retains memory (standard practice)."""
+        shapes = self.param_shapes()
+        params[f"{self.name}.weight"] = weight_init(shapes["weight"], rng)
+        bias = bias_init(shapes["bias"], rng)
+        h = self.hidden_size
+        bias[h:2 * h] = 1.0
+        params[f"{self.name}.bias"] = bias
+
+    def num_params(self) -> int:
+        return sum(int(np.prod(s)) for s in self.param_shapes().values())
+
+    def zero_state(self, batch: int) -> LSTMState:
+        """A fresh all-zero carry."""
+        h = np.zeros((batch, self.hidden_size), dtype=np.float32)
+        return LSTMState(h=h, c=h.copy())
+
+    def step(self, x: np.ndarray, state: LSTMState,
+             params: ParameterSet
+             ) -> typing.Tuple[np.ndarray, LSTMState, _StepCache]:
+        """One forward timestep: returns (h', new state, cache)."""
+        weight = params[f"{self.name}.weight"]
+        bias = params[f"{self.name}.bias"]
+        h_size = self.hidden_size
+        xh = np.concatenate([x, state.h], axis=1)
+        gates = xh @ weight.T + bias
+        i = sigmoid(gates[:, :h_size])
+        f = sigmoid(gates[:, h_size:2 * h_size])
+        g = np.tanh(gates[:, 2 * h_size:3 * h_size])
+        o = sigmoid(gates[:, 3 * h_size:])
+        c = f * state.c + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        cache = _StepCache(x=x, h_prev=state.h, c_prev=state.c, i=i, f=f,
+                           g=g, o=o, c=c, tanh_c=tanh_c)
+        return h, LSTMState(h=h, c=c), cache
+
+    def forward_sequence(self, xs: np.ndarray, state: LSTMState,
+                         params: ParameterSet
+                         ) -> typing.Tuple[np.ndarray, LSTMState,
+                                           typing.List[_StepCache]]:
+        """Run ``T`` steps; ``xs`` is ``(T, N, input_size)``.
+
+        Returns the stacked hidden outputs ``(T, N, H)``, the final
+        state, and the per-step caches for BPTT.
+        """
+        outputs = []
+        caches = []
+        for t in range(xs.shape[0]):
+            h, state, cache = self.step(xs[t], state, params)
+            outputs.append(h)
+            caches.append(cache)
+        return np.stack(outputs), state, caches
+
+    def backward_sequence(self, dhs: np.ndarray,
+                          caches: typing.Sequence[_StepCache],
+                          params: ParameterSet, grads: ParameterSet
+                          ) -> np.ndarray:
+        """BPTT: gradients of the per-step inputs from per-step dL/dh.
+
+        ``dhs`` is ``(T, N, H)``.  Parameter gradients accumulate into
+        ``grads``; the gradient flowing past the initial state is
+        discarded (A3C truncates BPTT at the rollout boundary).
+        """
+        weight = params[f"{self.name}.weight"]
+        h_size = self.hidden_size
+        for suffix, shape in self.param_shapes().items():
+            key = f"{self.name}.{suffix}"
+            if key not in grads:
+                grads[key] = np.zeros(shape, dtype=np.float32)
+        dw = grads[f"{self.name}.weight"]
+        db = grads[f"{self.name}.bias"]
+
+        batch = dhs.shape[1]
+        dxs = np.zeros((len(caches), batch, self.input_size),
+                       dtype=np.float32)
+        dh_next = np.zeros((batch, h_size), dtype=np.float32)
+        dc_next = np.zeros((batch, h_size), dtype=np.float32)
+        for t in range(len(caches) - 1, -1, -1):
+            cache = caches[t]
+            dh = dhs[t] + dh_next
+            do = dh * cache.tanh_c
+            dc = dh * cache.o * (1.0 - cache.tanh_c ** 2) + dc_next
+            di = dc * cache.g
+            dg = dc * cache.i
+            df = dc * cache.c_prev
+            dc_next = dc * cache.f
+            # Through the gate nonlinearities.
+            dgates = np.concatenate([
+                di * cache.i * (1.0 - cache.i),
+                df * cache.f * (1.0 - cache.f),
+                dg * (1.0 - cache.g ** 2),
+                do * cache.o * (1.0 - cache.o),
+            ], axis=1)
+            xh = np.concatenate([cache.x, cache.h_prev], axis=1)
+            dw += dgates.T @ xh
+            db += dgates.sum(axis=0)
+            dxh = dgates @ weight
+            dxs[t] = dxh[:, :self.input_size]
+            dh_next = dxh[:, self.input_size:]
+        return dxs

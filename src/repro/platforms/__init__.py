@@ -1,0 +1,26 @@
+"""Platform-agnostic layer: the throughput experiment and IPS metrics.
+
+Every platform model (FPGA configurations in :mod:`repro.fpga.platform`,
+GPU/CPU baselines in :mod:`repro.gpu.platform`) exposes ``build_sim``
+returning process bodies for inference / train / sync; this package drives
+them with the A3C agent structure of paper Figure 2 inside the
+discrete-event engine and measures inferences per second — the metric of
+Figures 8-10.
+"""
+
+from repro.platforms.metrics import IPSMeter, ips_definition_check
+from repro.platforms.throughput import (
+    HostModel,
+    ThroughputResult,
+    measure_ips,
+    sweep_agents,
+)
+
+__all__ = [
+    "HostModel",
+    "IPSMeter",
+    "ThroughputResult",
+    "ips_definition_check",
+    "measure_ips",
+    "sweep_agents",
+]

@@ -1,0 +1,129 @@
+"""The multi-agent throughput experiment (Figures 8 and 10).
+
+Runs ``n`` simulated A3C agents against a platform's discrete-event
+instance.  Each agent executes the Figure 2 routine: parameter sync, t_max
+environment-step + inference pairs, a bootstrapping inference, host-side
+objective-gradient computation, and a training task.  Contention — agents
+queueing on CUs, DRAM channels, the GPU, or the predictor queue — is what
+shapes the IPS-vs-agents curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.gpu.calibration import GPUCalibration
+from repro.platforms.metrics import IPSMeter
+from repro.sim import Engine
+
+
+@dataclasses.dataclass
+class HostModel:
+    """Host-side (CPU) time per agent between accelerator tasks."""
+
+    step_time: float = GPUCalibration.host_step_time
+    """Environment frame(s) + preprocessing + softmax/action sampling."""
+    train_prep_time: float = GPUCalibration.host_train_prep_time
+    """Objective-function and head-gradient computation (Section 4.1)."""
+
+    @classmethod
+    def dummy(cls) -> "HostModel":
+        """The Section 5.3 dummy platform: environment only, no DNN."""
+        return cls(train_prep_time=0.0)
+
+
+@dataclasses.dataclass
+class ThroughputResult:
+    """Outcome of one throughput measurement."""
+
+    platform: str
+    num_agents: int
+    t_max: int
+    ips: float
+    routines: int
+    sim_seconds: float
+    utilisation: float = 0.0
+    inference_latencies: typing.Tuple[float, ...] = ()
+    """Per-request inference latencies (queueing + service) observed
+    after warm-up — the responsiveness side of the throughput story."""
+
+    @property
+    def routines_per_second(self) -> float:
+        return self.ips / self.t_max
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Inference-latency percentile in seconds (nan if untracked)."""
+        if not self.inference_latencies:
+            return float("nan")
+        return float(np.percentile(self.inference_latencies, percentile))
+
+
+def _agent_process(sim, engine: Engine, agent_id: int, t_max: int,
+                   routines: int, host: HostModel, meter: IPSMeter,
+                   needs_sync: bool, needs_bootstrap: bool,
+                   latencies: typing.Optional[list] = None):
+    """One agent's lifetime: ``routines`` full A3C routines."""
+    warmup = routines // 4
+    for routine_index in range(routines):
+        if needs_sync:
+            yield from sim.sync(agent_id)
+        for _ in range(t_max):
+            if host.step_time > 0:
+                yield engine.timeout(host.step_time)
+            started = engine.now
+            yield from sim.inference(agent_id)
+            if latencies is not None and routine_index >= warmup:
+                latencies.append(engine.now - started)
+        if needs_bootstrap:
+            yield from sim.inference(agent_id)
+        if host.train_prep_time > 0:
+            yield engine.timeout(host.train_prep_time)
+        yield from sim.train(agent_id, t_max)
+        meter.record_routine(engine.now, t_max)
+
+
+def measure_ips(platform, num_agents: int, t_max: int = 5,
+                routines_per_agent: int = 40,
+                host: typing.Optional[HostModel] = None
+                ) -> ThroughputResult:
+    """Simulate ``num_agents`` agents and return steady-state IPS.
+
+    ``platform`` is any object with ``build_sim(engine)`` and a ``name``
+    (FPGA configurations expose the name via their config).
+    """
+    host = host or HostModel()
+    engine = Engine()
+    sim = platform.build_sim(engine)
+    meter = IPSMeter(t_max)
+    needs_sync = getattr(platform, "needs_sync", True)
+    needs_bootstrap = getattr(platform, "needs_bootstrap", True)
+    latencies: typing.List[float] = []
+    processes = [
+        engine.process(_agent_process(sim, engine, agent_id, t_max,
+                                      routines_per_agent, host, meter,
+                                      needs_sync, needs_bootstrap,
+                                      latencies),
+                       name=f"agent-{agent_id}")
+        for agent_id in range(num_agents)
+    ]
+    engine.run(engine.all_of(processes))
+    name = getattr(platform, "name", None) or platform.config.name
+    utilisation = sim.utilisation() if hasattr(sim, "utilisation") else 0.0
+    return ThroughputResult(platform=name, num_agents=num_agents,
+                            t_max=t_max, ips=meter.ips(),
+                            routines=num_agents * routines_per_agent,
+                            sim_seconds=engine.now,
+                            utilisation=utilisation,
+                            inference_latencies=tuple(latencies))
+
+
+def sweep_agents(platform, agent_counts: typing.Sequence[int],
+                 t_max: int = 5, routines_per_agent: int = 40,
+                 host: typing.Optional[HostModel] = None
+                 ) -> typing.List[ThroughputResult]:
+    """The Figure 8/10 x-axis sweep."""
+    return [measure_ips(platform, n, t_max, routines_per_agent, host)
+            for n in agent_counts]

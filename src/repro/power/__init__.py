@@ -1,0 +1,10 @@
+"""Power and energy-efficiency models (paper Section 5.3, Figure 9)."""
+
+from repro.power.model import (
+    PLATFORM_POWER,
+    EnergyReport,
+    PowerEnvelope,
+    PowerModel,
+)
+
+__all__ = ["EnergyReport", "PLATFORM_POWER", "PowerEnvelope", "PowerModel"]

@@ -1,0 +1,183 @@
+"""The discrete-event simulation engine.
+
+The engine maintains a priority queue of (time, sequence, event) entries and
+advances simulated time by popping the earliest entry and running the event's
+callbacks.  Processes are generator functions that yield events; the engine
+resumes a process when the event it is waiting on fires.
+
+Determinism: ties in time are broken by insertion order (a monotonically
+increasing sequence number), so a simulation with the same inputs always
+produces the same schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import types
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    The process body is a generator.  Each value it yields must be an
+    :class:`Event`; the process is resumed with the event's value (or the
+    event's exception is thrown into the generator).
+    """
+
+    def __init__(self, engine: "Engine", generator: types.GeneratorType,
+                 name: str = ""):
+        if not isinstance(generator, types.GeneratorType):
+            raise TypeError("Process requires a generator (did you call "
+                            "the function instead of passing its result?)")
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or generator.__name__
+        self._waiting_on: typing.Optional[Event] = None
+        # Bootstrap: resume the process at time zero.
+        start = Event(engine)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process body has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process "
+                               f"{self.name!r}")
+        waiting = self._waiting_on
+        if waiting is not None and self._resume in waiting.callbacks:
+            waiting.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wake = Event(self.engine)
+        wake.callbacks.append(self._throw_interrupt(cause))
+        wake.succeed()
+
+    def _throw_interrupt(self, cause):
+        def callback(_event: Event) -> None:
+            if not self.is_alive:
+                return
+            try:
+                target = self.generator.throw(Interrupt(cause))
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                self.succeed(None)
+                return
+            self._wait_on(target)
+        return callback
+
+    def _resume(self, event: Event) -> None:
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target) -> None:
+        if not isinstance(target, Event):
+            raise TypeError(f"process {self.name!r} yielded {target!r}, "
+                            f"which is not an Event")
+        self._waiting_on = target
+        if target.processed:
+            # Already fired: resume on the next engine step at current time.
+            chain = Event(self.engine)
+            chain.callbacks.append(self._resume)
+            chain._ok = target.ok
+            chain._value = target._value
+            self.engine.schedule(chain)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Engine:
+    """Discrete-event simulation engine with a float-seconds clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue *event* to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, self._sequence,
+                                     event))
+        self._sequence += 1
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def process(self, generator: types.GeneratorType,
+                name: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Event firing after every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Event firing with the first of ``events``."""
+        return AnyOf(self, events)
+
+    def step(self) -> None:
+        """Process the next queued event."""
+        time, _seq, event = heapq.heappop(self._queue)
+        self._now = time
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: typing.Union[None, float, Event] = None) -> None:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain the queue), a float (simulated
+        deadline in seconds), or an :class:`Event` (stop when it fires).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered:
+                if not self._queue:
+                    raise RuntimeError("simulation queue drained before the "
+                                       "awaited event fired")
+                self.step()
+            if not stop.ok:
+                raise stop.value
+            return
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self._now = max(self._now, deadline)

@@ -1,0 +1,150 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a one-shot synchronisation object.  Processes yield
+events; the engine resumes the process when the event is triggered.  Events
+carry an optional value that becomes the result of the ``yield`` expression
+in the waiting process.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Events move through three states: *pending* (created, not scheduled),
+    *triggered* (scheduled to fire at a simulated time), and *processed*
+    (callbacks have run).  ``succeed``/``fail`` trigger the event at the
+    current simulation time.
+    """
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: list = []
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event has fired and its callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's payload; raises if the event has not triggered."""
+        if self._value is _PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self.triggered:
+            raise RuntimeError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self.engine.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.
+        """
+        if self.triggered:
+            raise RuntimeError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.engine.schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, engine: "Engine", delay: float, value=None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine.schedule(self, delay=delay)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is that event's value."""
+
+    def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+
+class _Pending:
+    """Sentinel type for an event value that has not been set."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pending>"
+
+
+_PENDING = _Pending()

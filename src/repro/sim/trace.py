@@ -1,0 +1,112 @@
+"""Execution tracing for discrete-event simulations.
+
+A :class:`Tracer` collects (lane, label, start, end) spans — e.g. every
+stage a compute unit executes — and renders a text Gantt chart, which is
+how the platform-level claims (dual-CU overlap, bandwidth sharing,
+pipeline saturation) can be *seen* rather than inferred from totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One traced interval."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans and renders them."""
+
+    def __init__(self):
+        self.spans: typing.List[Span] = []
+
+    def record(self, lane: str, label: str, start: float,
+               end: float) -> None:
+        """Add one completed span."""
+        if end < start:
+            raise ValueError(f"span ends before it starts: {label}")
+        self.spans.append(Span(lane=lane, label=label, start=start,
+                               end=end))
+
+    def lanes(self) -> typing.List[str]:
+        """Lane names in first-appearance order."""
+        seen: typing.List[str] = []
+        for span in self.spans:
+            if span.lane not in seen:
+                seen.append(span.lane)
+        return seen
+
+    def lane_busy(self, lane: str) -> float:
+        """Total busy time of one lane (spans assumed non-overlapping
+        within a lane, as resource-held stages are)."""
+        return sum(span.duration for span in self.spans
+                   if span.lane == lane)
+
+    def window(self) -> typing.Tuple[float, float]:
+        """(earliest start, latest end) over all spans."""
+        if not self.spans:
+            return (0.0, 0.0)
+        return (min(s.start for s in self.spans),
+                max(s.end for s in self.spans))
+
+    def gantt(self, width: int = 72,
+              lanes: typing.Optional[typing.Sequence[str]] = None,
+              start: typing.Optional[float] = None,
+              end: typing.Optional[float] = None) -> str:
+        """A text Gantt chart: one row per lane, one char per time bin.
+
+        Bins draw the first letter of the busiest span's label; idle
+        bins draw '.'.
+        """
+        lanes = list(lanes or self.lanes())
+        lo, hi = self.window()
+        lo = lo if start is None else start
+        hi = hi if end is None else end
+        if hi <= lo:
+            return "(empty trace)"
+        bin_width = (hi - lo) / width
+        name_width = max((len(lane) for lane in lanes), default=4)
+        lines = [f"{'lane'.ljust(name_width)} |{'time ->'.ljust(width)}|"]
+        for lane in lanes:
+            row = []
+            lane_spans = [s for s in self.spans if s.lane == lane]
+            for index in range(width):
+                b0 = lo + index * bin_width
+                b1 = b0 + bin_width
+                best: typing.Optional[Span] = None
+                best_overlap = 0.0
+                for span in lane_spans:
+                    overlap = min(span.end, b1) - max(span.start, b0)
+                    if overlap > best_overlap:
+                        best_overlap = overlap
+                        best = span
+                row.append(best.label[0] if best else ".")
+            lines.append(f"{lane.ljust(name_width)} |{''.join(row)}|")
+        return "\n".join(lines)
+
+    def summary(self) -> typing.List[typing.Dict[str, object]]:
+        """Per-lane busy time and utilisation over the trace window."""
+        lo, hi = self.window()
+        total = hi - lo
+        rows = []
+        for lane in self.lanes():
+            busy = self.lane_busy(lane)
+            rows.append({
+                "lane": lane,
+                "busy": busy,
+                "utilisation": busy / total if total > 0 else 0.0,
+                "spans": sum(1 for s in self.spans if s.lane == lane),
+            })
+        return rows

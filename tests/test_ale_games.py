@@ -1,0 +1,265 @@
+"""Behavioural tests for the six simulated Atari games."""
+
+import numpy as np
+import pytest
+
+from repro.ale import GAME_NAMES, make_game
+from repro.ale.games import BeamRider, Breakout, Pong, Qbert, Seaquest, \
+    SpaceInvaders
+from repro.ale.games.base import ALE_ACTIONS, AtariGame, Screen
+
+
+class TestScreen:
+    def test_fill_rect_clips_to_frame(self):
+        screen = Screen(height=10, width=10)
+        screen.fill_rect(-5, -5, 8, 8, (10, 20, 30))
+        assert tuple(screen.pixels[0, 0]) == (10, 20, 30)
+        assert tuple(screen.pixels[3, 3]) == (0, 0, 0)
+
+    def test_fill_rect_offscreen_noop(self):
+        screen = Screen(height=10, width=10)
+        screen.fill_rect(20, 20, 5, 5, (255, 255, 255))
+        assert screen.pixels.sum() == 0
+
+    def test_clear(self):
+        screen = Screen(height=4, width=4)
+        screen.clear((1, 2, 3))
+        assert (screen.pixels == (1, 2, 3)).all()
+
+
+class TestGameContract:
+    """Every game honours the AtariGame/Env contract."""
+
+    @pytest.fixture(params=GAME_NAMES)
+    def game(self, request):
+        game = make_game(request.param)
+        game.seed(123)
+        return game
+
+    def test_reset_returns_full_screen(self, game):
+        obs = game.reset()
+        assert obs.shape == (210, 160, 3)
+        assert obs.dtype == np.uint8
+
+    def test_minimal_action_set_is_valid(self, game):
+        for meaning in game.action_meanings():
+            assert meaning in ALE_ACTIONS
+
+    def test_step_contract(self, game):
+        game.reset()
+        obs, reward, done, info = game.step(0)
+        assert obs.shape == (210, 160, 3)
+        assert isinstance(reward, float)
+        assert isinstance(done, bool)
+        assert "lives" in info and "score" in info
+
+    def test_invalid_action_rejected(self, game):
+        game.reset()
+        with pytest.raises(ValueError):
+            game.step(99)
+
+    def test_step_before_reset_raises(self, game):
+        fresh = type(game)()
+        with pytest.raises(RuntimeError):
+            fresh.step(0)
+
+    def test_determinism_under_seed(self, game):
+        name = {Pong: "pong", Breakout: "breakout", Qbert: "qbert",
+                Seaquest: "seaquest", SpaceInvaders: "space_invaders",
+                BeamRider: "beam_rider"}[type(game)]
+
+        def trace(seed):
+            g = make_game(name)
+            g.seed(seed)
+            g.reset()
+            rng = np.random.default_rng(99)
+            out = []
+            for _ in range(200):
+                _, r, done, info = g.step(g.action_space.sample(rng))
+                out.append((r, done, info["lives"]))
+                if done:
+                    g.reset()
+            return out
+
+        assert trace(5) == trace(5)
+
+    def test_screen_changes_over_time(self, game):
+        game.reset()
+        first = game.step(0)[0]
+        for _ in range(30):
+            game.step(game.action_space.sample(np.random.default_rng(0)))
+        later = game.screen.copy()
+        assert (first != later).any()
+
+    def test_random_play_terminates(self, game):
+        game.reset()
+        rng = np.random.default_rng(11)
+        for _ in range(type(game).MAX_FRAMES + 1):
+            _, _, done, _ = game.step(game.action_space.sample(rng))
+            if done:
+                break
+        assert game.game_over
+
+
+class TestPong:
+    def test_action_set_matches_ale(self):
+        assert len(Pong().action_meanings()) == 6
+
+    def test_opponent_scores_against_idle_agent(self):
+        game = Pong()
+        game.seed(0)
+        game.reset()
+        total = 0.0
+        for _ in range(5000):
+            _, reward, done, _ = game.step(0)
+            total += reward
+            if done:
+                break
+        assert total < 0          # idle play loses points
+
+    def test_game_ends_at_21(self):
+        game = Pong()
+        game.seed(0)
+        game.reset()
+        while not game.game_over:
+            game.step(0)
+        assert max(game.agent_score, game.opponent_score) == 21
+
+
+class TestBreakout:
+    def test_fire_launches_ball(self):
+        game = Breakout()
+        game.seed(0)
+        game.reset()
+        assert not game.ball_in_play
+        game.step(1)              # FIRE
+        assert game.ball_in_play
+
+    def test_ball_miss_costs_life(self):
+        game = Breakout()
+        game.seed(0)
+        game.reset()
+        game.step(1)
+        lives = game.lives
+        while game.lives == lives and not game.game_over:
+            game.step(0)          # never move: eventually miss
+        assert game.lives == lives - 1
+
+    def test_bricks_score_by_row(self):
+        game = Breakout()
+        game.seed(1)
+        game.reset()
+        # knock bricks by simulating ball at a brick location
+        game.step(1)
+        rewards = set()
+        for _ in range(20000):
+            _, r, done, _ = game.step(
+                game.action_space.sample(game.rng))
+            if r > 0:
+                rewards.add(r)
+            if done:
+                break
+        assert rewards <= {1.0, 4.0, 7.0}
+        assert rewards            # at least one brick hit
+
+
+class TestSpaceInvaders:
+    def test_shooting_scores(self):
+        game = SpaceInvaders()
+        game.seed(0)
+        game.reset()
+        total = 0.0
+        for _ in range(3000):
+            _, r, done, _ = game.step(1)   # FIRE repeatedly
+            total += r
+            if done:
+                break
+        assert total > 0
+
+    def test_row_scores_match_cartridge(self):
+        from repro.ale.games.space_invaders import _ROW_SCORES
+        assert _ROW_SCORES == (30, 25, 20, 15, 10, 5)
+
+
+class TestQbert:
+    def test_hop_colors_cube_and_scores(self):
+        game = Qbert()
+        game.seed(0)
+        game.reset()
+        total = 0.0
+        # hop down-right repeatedly (action DOWN maps to a downward hop)
+        for _ in range(60):
+            _, r, done, _ = game.step(5)
+            total += r
+            if done:
+                break
+        assert total >= game.CUBE_SCORE
+
+    def test_hop_off_pyramid_costs_life(self):
+        game = Qbert()
+        game.seed(0)
+        game.reset()
+        lives = game.lives
+        for _ in range(40):
+            _, _, done, _ = game.step(2)   # UP from the apex: off the top
+            if game.lives < lives or done:
+                break
+        assert game.lives == lives - 1
+
+
+class TestSeaquest:
+    def test_oxygen_runs_out_underwater(self):
+        game = Seaquest()
+        game.seed(0)
+        game.reset()
+        lives = game.lives
+        for _ in range(int(game.OXYGEN_MAX) + 200):
+            game.step(5)          # DOWN: stay under water
+            if game.lives < lives:
+                break
+        assert game.lives == lives - 1
+
+    def test_surface_refills_oxygen(self):
+        game = Seaquest()
+        game.seed(0)
+        game.SPAWN_PROBABILITY = 0.0   # no sharks: isolate the oxygen loop
+        game.DIVER_PROBABILITY = 0.0
+        game.reset()
+        for _ in range(100):
+            game.step(0)          # idle below the surface: oxygen drains
+        low = game.oxygen
+        assert low < game.OXYGEN_MAX
+        for _ in range(200):
+            game.step(2)          # UP to the surface
+        assert game.oxygen == game.OXYGEN_MAX
+
+
+class TestBeamRider:
+    def test_sector_size_is_15(self):
+        assert BeamRider.SECTOR_SIZE == 15
+
+    def test_shooting_enemies_scores(self):
+        game = BeamRider()
+        game.seed(0)
+        game.reset()
+        total = 0.0
+        rng = np.random.default_rng(0)
+        for _ in range(5000):
+            _, r, done, _ = game.step(int(rng.choice([1, 2, 3])))
+            total += r
+            if done:
+                break
+        assert total > 0
+
+
+class TestRegistry:
+    def test_all_six_games_present(self):
+        assert len(GAME_NAMES) == 6
+
+    def test_make_game_normalises_names(self):
+        assert isinstance(make_game("Space-Invaders"), SpaceInvaders)
+        assert isinstance(make_game("beam_rider"), BeamRider)
+
+    def test_unknown_game_raises(self):
+        with pytest.raises(KeyError):
+            make_game("pitfall")

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.game == "breakout"
+        assert args.t_max == 5
+        assert args.learning_rate == pytest.approx(7e-4)
+        assert not args.lstm
+
+    def test_unknown_game_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--game", "pitfall"])
+
+    def test_sweep_rates_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "--rates", "1e-4", "7e-4"])
+        assert args.rates == [1e-4, 7e-4]
+
+
+class TestCommands:
+    def test_tables_prints_all_four(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for title in ["Table 1", "Table 2", "Table 3", "Table 4"]:
+            assert title in out
+        assert "663808" in out or "663,808" in out
+
+    def test_train_tiny_run(self, capsys, tmp_path):
+        checkpoint = os.path.join(tmp_path, "ckpt.npz")
+        code = main(["train", "--game", "pong", "--steps", "60",
+                     "--agents", "1", "--episode-cap", "50",
+                     "--serial", "--checkpoint", checkpoint])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Training A3C on pong" in out
+        assert os.path.exists(checkpoint)
+        from repro.nn.checkpoint import load_checkpoint
+        params, stats, metadata = load_checkpoint(checkpoint)
+        assert metadata["game"] == "pong"
+        assert "Conv1.weight" in params
+        assert stats is not None
+
+    def test_train_lstm_tiny_run(self, capsys):
+        code = main(["train", "--game", "pong", "--steps", "30",
+                     "--agents", "1", "--episode-cap", "50", "--serial",
+                     "--lstm"])
+        assert code == 0
+        assert "A3C-LSTM" in capsys.readouterr().out
+
+    def test_card_prints_checks(self, capsys):
+        assert main(["card"]) == 0
+        out = capsys.readouterr().out
+        assert "Calibration model card" in out
+        assert "OFF" not in out
+
+    def test_ablate_small_sweep(self, capsys):
+        code = main(["ablate", "--agents-sweep", "1", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FA3C-Alt1" in out and "FA3C-SingleCU" in out

@@ -1,0 +1,86 @@
+"""Tests for rollout storage and n-step bootstrapped returns."""
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.core import Rollout, compute_returns
+
+
+class TestComputeReturns:
+    def test_terminal_returns_are_plain_discounted_sums(self):
+        returns = compute_returns([1.0, 0.0, 2.0], bootstrap_value=0.0,
+                                  gamma=0.5)
+        # R2 = 2; R1 = 0 + 0.5*2 = 1; R0 = 1 + 0.5*1 = 1.5
+        np.testing.assert_allclose(returns, [1.5, 1.0, 2.0])
+
+    def test_bootstrap_value_discounted_through(self):
+        returns = compute_returns([0.0, 0.0], bootstrap_value=4.0,
+                                  gamma=0.5)
+        np.testing.assert_allclose(returns, [1.0, 2.0])
+
+    def test_matches_paper_formula(self):
+        """R_t = sum_i gamma^i r_{t+i} + gamma^k V(s_{t+k})."""
+        rewards = [0.3, -1.0, 0.5, 2.0, 0.1]
+        gamma = 0.99
+        bootstrap = 1.7
+        returns = compute_returns(rewards, bootstrap, gamma)
+        for t in range(len(rewards)):
+            k = len(rewards) - t
+            expected = sum(gamma ** i * rewards[t + i] for i in range(k))
+            expected += gamma ** k * bootstrap
+            assert returns[t] == pytest.approx(expected, rel=1e-5)
+
+    @hypothesis.given(
+        st.lists(st.floats(-5, 5), min_size=1, max_size=20),
+        st.floats(-5, 5),
+        st.floats(0.01, 1.0))
+    @hypothesis.settings(max_examples=50, deadline=None)
+    def test_recurrence_property(self, rewards, bootstrap, gamma):
+        """R_t == r_t + gamma * R_{t+1} for every t."""
+        returns = compute_returns(rewards, bootstrap, gamma)
+        for t in range(len(rewards) - 1):
+            assert returns[t] == pytest.approx(
+                rewards[t] + gamma * returns[t + 1], rel=1e-4, abs=1e-4)
+        assert returns[-1] == pytest.approx(
+            rewards[-1] + gamma * bootstrap, rel=1e-4, abs=1e-4)
+
+    def test_gamma_one_is_plain_sum(self):
+        returns = compute_returns([1.0, 1.0, 1.0], 0.0, gamma=1.0)
+        np.testing.assert_allclose(returns, [3.0, 2.0, 1.0])
+
+
+class TestRollout:
+    def _filled(self, n=3):
+        rollout = Rollout()
+        for i in range(n):
+            rollout.add(np.full((2, 2), i, dtype=np.float32), i,
+                        float(i), float(i) / 2)
+        return rollout
+
+    def test_add_and_len(self):
+        assert len(self._filled(4)) == 4
+
+    def test_batch_shapes(self):
+        states, actions, returns = self._filled(3).batch(0.0, 0.99)
+        assert states.shape == (3, 2, 2)
+        assert actions.dtype == np.int64
+        assert returns.shape == (3,)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            Rollout().batch(0.0, 0.99)
+
+    def test_clear_resets(self):
+        rollout = self._filled()
+        rollout.terminal = True
+        rollout.clear()
+        assert len(rollout) == 0
+        assert not rollout.terminal
+
+    def test_advantages(self):
+        rollout = Rollout()
+        rollout.add(np.zeros(1, dtype=np.float32), 0, 1.0, 0.5)
+        adv = rollout.advantages(bootstrap_value=0.0, gamma=0.9)
+        assert adv[0] == pytest.approx(0.5)

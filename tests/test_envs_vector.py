@@ -1,0 +1,95 @@
+"""Tests for the synchronous vectorised environment."""
+
+import numpy as np
+import pytest
+
+from repro.envs import Catch, SyncVectorEnv
+from repro.envs.classic import MemoryCue
+
+
+def _vec(n=3, seed=0):
+    return SyncVectorEnv([lambda: Catch(size=5) for _ in range(n)],
+                         seed=seed)
+
+
+class TestSyncVectorEnv:
+    def test_requires_environments(self):
+        with pytest.raises(ValueError):
+            SyncVectorEnv([])
+
+    def test_reset_shape_and_dtype(self):
+        vec = _vec(4)
+        obs = vec.reset()
+        assert obs.shape == (4, 5, 5)
+        assert obs.dtype == np.float32
+
+    def test_observations_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = _vec().observations
+
+    def test_step_contract(self):
+        vec = _vec(3)
+        vec.reset()
+        step = vec.step([1, 1, 1])
+        assert step.observations.shape == (3, 5, 5)
+        assert step.rewards.shape == (3,)
+        assert step.dones.dtype == bool
+        assert len(step.infos) == 3
+
+    def test_action_count_validated(self):
+        vec = _vec(3)
+        vec.reset()
+        with pytest.raises(ValueError):
+            vec.step([1, 1])
+
+    def test_done_slots_auto_reset(self):
+        vec = _vec(2)
+        vec.reset()
+        for _ in range(4):           # Catch(5) episodes last 4 steps
+            step = vec.step([1, 1])
+        assert step.dones.all()
+        # No exception on the next step: slots were reset.
+        vec.step([1, 1])
+
+    def test_finished_scores_reported_once(self):
+        vec = _vec(2, seed=1)
+        vec.reset()
+        scores = []
+        for _ in range(20):
+            step = vec.step([1, 1])
+            scores.extend(step.finished_scores)
+        # 20 steps / 4-step episodes x 2 slots = 10 finished games.
+        assert len(scores) == 10
+        assert all(score in (-1.0, 1.0) for _, score in scores)
+
+    def test_independent_seeding_per_slot(self):
+        vec = _vec(2, seed=5)
+        obs = vec.reset()
+        # With distinct streams the two slots rarely share a ball column
+        # across several resets; check they are not always identical.
+        different = not np.array_equal(obs[0], obs[1])
+        for _ in range(12):
+            step = vec.step([1, 1])
+            different = different or not np.array_equal(
+                step.observations[0], step.observations[1])
+        assert different
+
+    def test_deterministic_under_seed(self):
+        def trace(seed):
+            vec = _vec(2, seed=seed)
+            vec.reset()
+            out = []
+            for _ in range(12):
+                step = vec.step([0, 2])
+                out.append((step.rewards.tolist(),
+                            step.dones.tolist()))
+            return out
+        assert trace(9) == trace(9)
+        assert trace(9) != trace(10)
+
+    def test_heterogeneous_episode_lengths(self):
+        vec = SyncVectorEnv([lambda: MemoryCue(delay=1),
+                             lambda: MemoryCue(delay=4)], seed=0)
+        vec.reset()
+        step = vec.step([0, 0])
+        assert step.dones[0] and not step.dones[1]

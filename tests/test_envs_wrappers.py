@@ -1,0 +1,152 @@
+"""Tests for the DeepMind preprocessing wrapper stack."""
+
+import numpy as np
+import pytest
+
+from repro.ale import make_game
+from repro.envs import (
+    AtariPreprocessing,
+    ClipReward,
+    Env,
+    FrameStack,
+    MaxAndSkip,
+    make_atari_env,
+)
+from repro.envs.spaces import Box, Discrete
+
+
+class _FlickerEnv(Env):
+    """Emits alternating frames so the max-pool behaviour is observable."""
+
+    def __init__(self):
+        super().__init__()
+        self.observation_space = Box(0, 255, (4, 4, 3), dtype=np.uint8)
+        self.action_space = Discrete(2)
+        self.t = 0
+
+    def reset(self):
+        self.t = 0
+        return self._frame()
+
+    def _frame(self):
+        frame = np.zeros((4, 4, 3), dtype=np.uint8)
+        if self.t % 2 == 0:
+            frame[0, 0] = 200        # sprite visible on even frames only
+        frame[1, 1] = self.t         # frame counter pixel
+        return frame
+
+    def step(self, action):
+        self.t += 1
+        reward = float(action) * 2.5 - 1.0
+        done = self.t >= 20
+        return self._frame(), reward, done, {}
+
+
+class TestMaxAndSkip:
+    def test_skip_advances_underlying_frames(self):
+        env = MaxAndSkip(_FlickerEnv(), skip=4)
+        env.reset()
+        obs, _, _, _ = env.step(0)
+        assert obs[1, 1, 0] == 4     # four underlying frames advanced
+
+    def test_max_pool_deflickers(self):
+        env = MaxAndSkip(_FlickerEnv(), skip=4)
+        env.reset()
+        obs, _, _, _ = env.step(0)
+        # frames 3 and 4: sprite drawn only on frame 4 (even), max keeps it
+        assert obs[0, 0, 0] == 200
+
+    def test_rewards_summed_over_skip(self):
+        env = MaxAndSkip(_FlickerEnv(), skip=4)
+        env.reset()
+        _, reward, _, _ = env.step(1)
+        assert reward == pytest.approx(4 * 1.5)
+
+    def test_stops_at_done(self):
+        env = MaxAndSkip(_FlickerEnv(), skip=4)
+        env.reset()
+        done = False
+        for _ in range(5):
+            _, _, done, _ = env.step(0)
+        assert done
+
+    def test_invalid_skip(self):
+        with pytest.raises(ValueError):
+            MaxAndSkip(_FlickerEnv(), skip=0)
+
+
+class TestFrameStack:
+    def test_reset_fills_stack_with_first_frame(self):
+        env = FrameStack(_FlickerEnv(), count=4)
+        obs = env.reset()
+        assert obs.shape == (4, 4, 4, 3)
+        for i in range(1, 4):
+            np.testing.assert_array_equal(obs[0], obs[i])
+
+    def test_stack_rolls(self):
+        env = FrameStack(_FlickerEnv(), count=3)
+        env.reset()
+        obs, _, _, _ = env.step(0)
+        assert obs[-1][1, 1, 0] == 1   # newest frame last
+        assert obs[0][1, 1, 0] == 0
+
+    def test_observation_space_shape(self):
+        env = FrameStack(_FlickerEnv(), count=4)
+        assert env.observation_space.shape == (4, 4, 4, 3)
+
+
+class TestClipReward:
+    def test_clips_to_sign(self):
+        env = ClipReward(_FlickerEnv())
+        env.reset()
+        _, reward, _, info = env.step(1)
+        assert reward == 1.0
+        assert info["raw_reward"] == pytest.approx(1.5)
+        _, reward, _, info = env.step(0)
+        assert reward == -1.0
+
+
+class TestFullAtariStack:
+    def test_standard_observation_contract(self):
+        env = make_atari_env(make_game("pong"))
+        env.seed(0)
+        obs = env.reset()
+        assert obs.shape == (4, 84, 84)
+        assert obs.dtype == np.float32
+        assert 0.0 <= obs.min() and obs.max() <= 1.0
+
+    def test_clipped_rewards_are_signs(self):
+        env = make_atari_env(make_game("breakout"))
+        env.seed(1)
+        env.reset()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            _, reward, done, _ = env.step(env.action_space.sample(rng))
+            assert reward in (-1.0, 0.0, 1.0)
+            if done:
+                env.reset()
+
+    def test_episodic_life_shortens_episodes(self):
+        env = make_atari_env(make_game("breakout"), episodic_life=True)
+        env.seed(2)
+        env.reset()
+        rng = np.random.default_rng(2)
+        saw_life_loss_done = False
+        for _ in range(600):
+            _, _, done, info = env.step(env.action_space.sample(rng))
+            if done:
+                if info.get("life_lost"):
+                    saw_life_loss_done = True
+                env.reset()
+        assert saw_life_loss_done
+
+    def test_time_limit_truncation(self):
+        env = make_atari_env(make_game("seaquest"), max_episode_steps=5)
+        env.seed(0)
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, info = env.step(0)
+            steps += 1
+        assert steps <= 5

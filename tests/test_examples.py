@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run and produce their headline
+output.  The slower examples (full training sweeps) are exercised by the
+benchmarks instead."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script, args=(), timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        names = {path.name for path in EXAMPLES.glob("*.py")}
+        assert {"quickstart.py", "atari_breakout.py",
+                "platform_comparison.py", "fpga_backend_demo.py",
+                "ablation_study.py", "lstm_memory.py",
+                "watch_games.py"} <= names
+
+    def test_watch_games(self):
+        result = _run("watch_games.py", ["pong"])
+        assert result.returncode == 0, result.stderr
+        assert "pong" in result.stdout
+        assert "@" in result.stdout       # something bright was drawn
+
+    def test_fpga_backend_demo(self):
+        result = _run("fpga_backend_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "matches numpy transpose" in result.stdout
+        assert "max |theta_hw - theta_sw|" in result.stdout
+        # equivalence within fp32 noise
+        line = [l for l in result.stdout.splitlines()
+                if "max |theta_hw" in l][0]
+        assert float(line.split(":")[1]) < 1e-5
+
+    def test_atari_breakout_tiny(self):
+        result = _run("atari_breakout.py", ["400"])
+        assert result.returncode == 0, result.stderr
+        assert "Training A3C on simulated breakout" in result.stdout
+
+    @pytest.mark.slow
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Final mean score" in result.stdout

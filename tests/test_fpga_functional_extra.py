@@ -1,0 +1,93 @@
+"""Extra coverage for the FPGA functional backend: non-default network
+geometries and the accounting surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.functional import FPGANetworkBackend
+from repro.nn.network import A3CNetwork
+
+
+class TestBackendGeometry:
+    def test_small_network_variant(self):
+        """The backend follows the network object, not hard-coded
+        Table 1 shapes."""
+        rng = np.random.default_rng(0)
+        net = A3CNetwork(num_actions=4, input_shape=(2, 20, 20),
+                         conv_channels=(4, 8), hidden=16)
+        backend = FPGANetworkBackend(net, rng=rng)
+        states = rng.standard_normal((2, 2, 20, 20)).astype(np.float32)
+        logits, values = backend.forward(states)
+        assert logits.shape == (2, 4)
+        sw_logits, sw_values = net.forward(states, backend.parameters())
+        np.testing.assert_allclose(logits, sw_logits, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_eighteen_action_game_head(self):
+        """The full 18-action ALE set plus the value output fits FC4."""
+        net = A3CNetwork(num_actions=18)
+        backend = FPGANetworkBackend(net,
+                                     rng=np.random.default_rng(1))
+        states = np.zeros((1, 4, 84, 84), dtype=np.float32)
+        logits, values = backend.forward(states)
+        assert logits.shape == (1, 18)
+
+    def test_inference_and_training_use_separate_cus(self):
+        rng = np.random.default_rng(2)
+        net = A3CNetwork(num_actions=4, input_shape=(2, 20, 20),
+                         conv_channels=(4, 8), hidden=16)
+        backend = FPGANetworkBackend(net, rng=rng)
+        states = rng.standard_normal((1, 2, 20, 20)).astype(np.float32)
+        backend.forward(states, training=False)
+        assert backend.inference_cu.tasks_executed > 0
+        assert backend.training_cu.tasks_executed == 0
+        backend.train_step(states, np.zeros(1, dtype=np.int64),
+                           np.zeros(1, dtype=np.float32))
+        assert backend.training_cu.tasks_executed > 0
+
+    def test_rmsprop_module_statistics_accumulate(self):
+        rng = np.random.default_rng(3)
+        net = A3CNetwork(num_actions=4, input_shape=(2, 20, 20),
+                         conv_channels=(4, 8), hidden=16)
+        backend = FPGANetworkBackend(net, rng=rng)
+        states = rng.standard_normal((2, 2, 20, 20)).astype(np.float32)
+        backend.train_step(states, np.zeros(2, dtype=np.int64),
+                           np.ones(2, dtype=np.float32))
+        # Each layer's weight image got one RU pass.
+        assert backend.rmsprop.updates == len(backend.topology.layers)
+        g = backend.dram.region("FC3.g")
+        assert float(np.abs(g).max()) > 0
+
+    def test_gradient_padding_regions_stay_zero(self):
+        """Patch padding in the theta image must never train."""
+        rng = np.random.default_rng(4)
+        net = A3CNetwork(num_actions=4, input_shape=(2, 20, 20),
+                         conv_channels=(4, 8), hidden=16)
+        backend = FPGANetworkBackend(net, rng=rng)
+        # Conv1 FW matrix is (2*64=... ) for kernel 8: (2*64, 4) ->
+        # padded to (128, 16): columns 4..15 are padding.
+        before = backend.dram.region("Conv1.theta").copy()
+        states = rng.standard_normal((2, 2, 20, 20)).astype(np.float32)
+        for _ in range(2):
+            backend.train_step(states, np.zeros(2, dtype=np.int64),
+                               np.ones(2, dtype=np.float32))
+        after = backend.dram.region("Conv1.theta")
+        from repro.fpga.layouts import load_fw_from_dram
+        rows, cols = 2 * 64, 4
+        padded_before = load_fw_from_dram(before, rows, 16)[:, cols:]
+        padded_after = load_fw_from_dram(after, rows, 16)[:, cols:]
+        np.testing.assert_array_equal(padded_before, 0.0)
+        np.testing.assert_array_equal(padded_after, 0.0)
+
+    def test_learning_rate_zero_freezes_theta(self):
+        rng = np.random.default_rng(5)
+        net = A3CNetwork(num_actions=4, input_shape=(2, 20, 20),
+                         conv_channels=(4, 8), hidden=16)
+        backend = FPGANetworkBackend(net, rng=rng)
+        before = backend.parameters()
+        states = rng.standard_normal((2, 2, 20, 20)).astype(np.float32)
+        backend.train_step(states, np.zeros(2, dtype=np.int64),
+                           np.ones(2, dtype=np.float32),
+                           learning_rate=0.0)
+        after = backend.parameters()
+        assert after.allclose(before, rtol=0, atol=0)

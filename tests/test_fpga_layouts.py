@@ -1,0 +1,117 @@
+"""Tests for the FW/BW parameter layouts and the DRAM patch image."""
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.fpga.layouts import (
+    PATCH,
+    bw_layout,
+    dram_image_from_fw,
+    fw_layout,
+    fw_layout_to_weight,
+    image_words,
+    load_bw_from_dram,
+    load_fw_from_dram,
+    pad_to_patches,
+)
+
+conv_shapes = st.tuples(st.integers(1, 20), st.integers(1, 6),
+                        st.sampled_from([1, 2, 3, 4, 8]))
+dense_shapes = st.tuples(st.integers(1, 70), st.integers(1, 70))
+
+
+class TestFWLayout:
+    def test_dense_fw_layout_is_transpose(self):
+        w = np.arange(6, dtype=np.float32).reshape(2, 3)
+        np.testing.assert_array_equal(fw_layout(w), w.T)
+
+    def test_conv_fw_layout_rows_are_reduction_sequence(self):
+        """Row r of the FW matrix holds, for every output channel, the
+        parameter consumed at reduction step r (Figure 7a)."""
+        o, i, k = 3, 2, 2
+        w = np.arange(o * i * k * k, dtype=np.float32).reshape(o, i, k, k)
+        fw = fw_layout(w)
+        assert fw.shape == (i * k * k, o)
+        for out_channel in range(o):
+            np.testing.assert_array_equal(fw[:, out_channel],
+                                          w[out_channel].reshape(-1))
+
+    def test_bw_layout_is_fw_transposed(self):
+        w = np.random.default_rng(0).standard_normal(
+            (4, 3, 2, 2)).astype(np.float32)
+        np.testing.assert_array_equal(bw_layout(w), fw_layout(w).T)
+
+    def test_unsupported_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fw_layout(np.zeros((2, 2, 2)))
+
+    @hypothesis.given(conv_shapes, st.integers(0, 2 ** 31 - 1))
+    @hypothesis.settings(max_examples=30, deadline=None)
+    def test_fw_layout_round_trip_conv(self, dims, seed):
+        o, i, k = dims
+        w = np.random.default_rng(seed).standard_normal(
+            (o, i, k, k)).astype(np.float32)
+        np.testing.assert_array_equal(
+            fw_layout_to_weight(fw_layout(w), w.shape), w)
+
+    @hypothesis.given(dense_shapes, st.integers(0, 2 ** 31 - 1))
+    @hypothesis.settings(max_examples=30, deadline=None)
+    def test_fw_layout_round_trip_dense(self, dims, seed):
+        w = np.random.default_rng(seed).standard_normal(
+            dims).astype(np.float32)
+        np.testing.assert_array_equal(
+            fw_layout_to_weight(fw_layout(w), w.shape), w)
+
+
+class TestDRAMImage:
+    def test_padding_to_patch_multiples(self):
+        padded = pad_to_patches(np.ones((17, 5), dtype=np.float32))
+        assert padded.shape == (32, 16)
+        assert padded[:17, :5].sum() == 17 * 5
+        assert padded[17:, :].sum() == 0
+
+    def test_image_words_accounts_padding(self):
+        assert image_words(16, 16) == 256
+        assert image_words(17, 5) == 32 * 16
+        assert image_words(2592, 256) == 2592 * 256  # already aligned
+
+    def test_single_copy_serves_both_layouts(self):
+        """The same DRAM image yields both on-chip layouts — the paper's
+        single-copy-in-DRAM invariant (Section 4.4.3)."""
+        w = np.random.default_rng(1).standard_normal(
+            (16, 4, 8, 8)).astype(np.float32)
+        fw = fw_layout(w)
+        image = dram_image_from_fw(fw)
+        np.testing.assert_array_equal(
+            load_fw_from_dram(image, *fw.shape), fw)
+        np.testing.assert_array_equal(
+            load_bw_from_dram(image, *fw.shape), fw.T)
+
+    def test_patches_are_contiguous_16x16(self):
+        """The first 256 image words are exactly the top-left patch,
+        row-serialised (Figure 7c)."""
+        matrix = np.arange(32 * 32, dtype=np.float32).reshape(32, 32)
+        image = dram_image_from_fw(matrix)
+        np.testing.assert_array_equal(
+            image[:PATCH * PATCH].reshape(PATCH, PATCH),
+            matrix[:PATCH, :PATCH])
+
+    @hypothesis.given(st.integers(1, 80), st.integers(1, 80),
+                      st.integers(0, 2 ** 31 - 1))
+    @hypothesis.settings(max_examples=40, deadline=None)
+    def test_image_round_trip_property(self, rows, cols, seed):
+        matrix = np.random.default_rng(seed).standard_normal(
+            (rows, cols)).astype(np.float32)
+        image = dram_image_from_fw(matrix)
+        assert image.size == image_words(rows, cols)
+        np.testing.assert_array_equal(
+            load_fw_from_dram(image, rows, cols), matrix)
+        np.testing.assert_array_equal(
+            load_bw_from_dram(image, rows, cols), matrix.T)
+
+    def test_a3c_fc3_dimensions(self):
+        """FC3 is the dominant layer: 2592x256 words, already
+        patch-aligned, 2,592 KB: the paper's quoted parameter-set size."""
+        assert image_words(2592, 256) * 4 == 2592 * 1024

@@ -1,0 +1,158 @@
+"""Tests for the processing elements and the RMSProp module."""
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.fpga.dram import DRAMChannel
+from repro.fpga.pe import PEArray, ProcessingElement
+from repro.fpga.rmsprop_module import RMSPropModule
+from repro.nn.optim import RMSProp
+from repro.nn.parameters import ParameterSet
+
+
+class TestProcessingElement:
+    def test_mac_accumulates_fp32(self):
+        pe = ProcessingElement()
+        pe.mac(2.0, 3.0)
+        pe.mac(1.0, 4.0)
+        assert pe.value == 10.0
+        assert pe.mac_count == 2
+
+    def test_clear_resets_accumulator(self):
+        pe = ProcessingElement()
+        pe.mac(1.0, 1.0)
+        pe.clear()
+        assert pe.value == 0.0
+
+    def test_controllable_accumulation_frequency(self):
+        """The same PE serves accumulation frequencies of any length —
+        the Section 4.2.1 differentiator vs adder trees."""
+        pe = ProcessingElement()
+        for freq in (1, 5, 257):
+            result = pe.accumulate_sequence([1.0] * freq, [2.0] * freq)
+            assert result == pytest.approx(2.0 * freq)
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ProcessingElement().accumulate_sequence([1.0], [1.0, 2.0])
+
+    def test_fp32_rounding_behaviour(self):
+        """Accumulation happens in fp32, like the hardware datapath."""
+        pe = ProcessingElement()
+        pe.mac(1e8, 1.0)
+        pe.mac(1.0, 1.0)
+        assert pe.value == np.float32(np.float32(1e8) + np.float32(1.0))
+
+
+class TestPEArray:
+    def test_reduction_matches_dot_product(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((10, 7)).astype(np.float32)
+        b = rng.standard_normal((10, 7)).astype(np.float32)
+        out = PEArray(4).run_reduction(a, b)
+        np.testing.assert_allclose(out, (a * b).sum(axis=0), rtol=1e-5)
+
+    def test_cycle_count_rounds_up_to_pe_groups(self):
+        pes = PEArray(4)
+        pes.run_reduction(np.ones((3, 9), dtype=np.float32),
+                          np.ones((3, 9), dtype=np.float32))
+        # 9 outputs on 4 PEs -> 3 rounds x 3 accumulation cycles
+        assert pes.total_cycles == 9
+
+    def test_utilisation_accounts_idle_pes(self):
+        pes = PEArray(8)
+        pes.schedule_cycles(n_outputs=4, accumulation_frequency=10)
+        assert pes.utilisation() == pytest.approx(0.5)
+
+    def test_parallel_limit_inflates_cycles(self):
+        """A starving data layout (Alt1) costs rounds, not correctness."""
+        free = PEArray(64)
+        starved = PEArray(64)
+        free.schedule_cycles(64, 100)
+        starved.schedule_cycles(64, 100, parallel_limit=8)
+        assert starved.total_cycles == 8 * free.total_cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PEArray(0)
+        with pytest.raises(ValueError):
+            PEArray(2).run_reduction(np.ones((2, 2)), np.ones((3, 2)))
+
+
+class TestRMSPropModule:
+    def test_matches_software_optimizer_exactly(self):
+        """The RU datapath and the software RMSProp produce identical
+        fp32 trajectories (hardware/software equivalence)."""
+        rng = np.random.default_rng(0)
+        theta_hw = rng.standard_normal(1000).astype(np.float32)
+        g_hw = np.zeros_like(theta_hw)
+        params = ParameterSet({"w": theta_hw.copy()})
+        opt = RMSProp(learning_rate=7e-4, rho=0.99, eps=0.1)
+        module = RMSPropModule(learning_rate=7e-4, rho=0.99, eps=0.1)
+        for step in range(10):
+            grad = rng.standard_normal(1000).astype(np.float32)
+            opt.step(params, ParameterSet({"w": grad.copy()}))
+            module.update_arrays(theta_hw, g_hw, grad)
+        np.testing.assert_array_equal(theta_hw, params["w"])
+        np.testing.assert_array_equal(g_hw, opt.statistics["w"])
+
+    def test_learning_rate_override(self):
+        module = RMSPropModule()
+        theta = np.ones(4, dtype=np.float32)
+        g = np.zeros(4, dtype=np.float32)
+        module.update_arrays(theta, g, np.ones(4, dtype=np.float32),
+                             learning_rate=0.0)
+        np.testing.assert_array_equal(theta, 1.0)
+        assert (g > 0).all()  # statistics still update
+
+    def test_shape_validation(self):
+        module = RMSPropModule()
+        with pytest.raises(ValueError):
+            module.update_arrays(np.ones(4), np.ones(4), np.ones(3))
+
+    def test_required_rus_saturate_interface(self):
+        """Four RUs saturate a 16-word DRAM interface (Section 4.2.3):
+        each RU moves 2 reads + 2 writes per cycle."""
+        assert RMSPropModule().required_rus(16) == 4
+        assert RMSPropModule().required_rus(32) == 8
+
+    def test_update_stats_cycles_and_traffic(self):
+        module = RMSPropModule(num_rus=4, buffer_words=4096)
+        channel = DRAMChannel("g", efficiency=1.0)
+        theta = np.zeros(4096, dtype=np.float32)
+        g = np.zeros_like(theta)
+        stats = module.update_with_stats(theta, g,
+                                         np.ones_like(theta),
+                                         channel=channel)
+        assert stats.elements == 4096
+        assert stats.compute_cycles == 4096 // 4 + module.PIPELINE_DEPTH
+        # theta + g loaded, theta + g stored
+        assert channel.traffic.loaded_words == 2 * 4096
+        assert channel.traffic.stored_words == 2 * 4096
+        assert stats.pipelined_cycles == max(stats.compute_cycles,
+                                             stats.memory_cycles)
+
+    def test_alt2_extra_store_copy(self):
+        """FA3C-Alt2 writes a second layout copy per update
+        (Section 5.4)."""
+        module = RMSPropModule()
+        channel = DRAMChannel("g", efficiency=1.0)
+        theta = np.zeros(256, dtype=np.float32)
+        module.update_with_stats(theta, np.zeros_like(theta),
+                                 np.ones_like(theta), channel=channel,
+                                 extra_store_copies=1)
+        assert channel.traffic.stored_words == 3 * 256
+
+    @hypothesis.given(st.integers(0, 2 ** 31 - 1))
+    @hypothesis.settings(max_examples=20, deadline=None)
+    def test_update_decreases_loss_on_quadratic(self, seed):
+        rng = np.random.default_rng(seed)
+        theta = rng.standard_normal(32).astype(np.float32) * 5
+        g = np.zeros_like(theta)
+        module = RMSPropModule(learning_rate=0.05)
+        start = float((theta ** 2).sum())
+        for _ in range(50):
+            module.update_arrays(theta, g, 2.0 * theta)
+        assert float((theta ** 2).sum()) < start

@@ -1,0 +1,74 @@
+"""Extra GPU-model coverage: analytic vs DES consistency, calibration
+sensitivity, and the TF overhead structure."""
+
+import pytest
+
+from repro.gpu import (
+    A3CTFGPUPlatform,
+    A3CcuDNNPlatform,
+    GPUCalibration,
+)
+from repro.nn.network import A3CNetwork
+from repro.platforms import HostModel, measure_ips
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return A3CNetwork(num_actions=6).topology()
+
+
+class TestAnalyticVsSim:
+    def test_single_agent_routine_matches_analytic(self, topology):
+        platform = A3CcuDNNPlatform(topology)
+        host = HostModel()
+        result = measure_ips(platform, 1, routines_per_agent=20,
+                             host=host)
+        measured = 5.0 / result.ips
+        analytic = (platform.sync_seconds()
+                    + 6 * platform.inference_seconds()
+                    + platform.training_seconds(5)
+                    + 5 * host.step_time + host.train_prep_time)
+        assert measured == pytest.approx(analytic, rel=0.03)
+
+    def test_saturated_ips_equals_device_service_rate(self, topology):
+        platform = A3CcuDNNPlatform(topology)
+        result = measure_ips(platform, 32, routines_per_agent=15)
+        device_routine = (platform.sync_seconds()
+                          + 6 * platform.inference_seconds()
+                          + platform.training_seconds(5))
+        assert result.ips == pytest.approx(5.0 / device_routine,
+                                           rel=0.05)
+
+
+class TestCalibrationSensitivity:
+    def test_launch_overhead_drives_routine_cost(self, topology):
+        cheap = A3CcuDNNPlatform(topology, calibration=GPUCalibration(
+            launch_overhead=1e-6))
+        dear = A3CcuDNNPlatform(topology, calibration=GPUCalibration(
+            launch_overhead=30e-6))
+        assert dear.inference_seconds() > cheap.inference_seconds() * 1.5
+
+    def test_memory_efficiency_drives_fc_layers(self, topology):
+        slow = A3CcuDNNPlatform(topology, calibration=GPUCalibration(
+            memory_efficiency=0.2))
+        fast = A3CcuDNNPlatform(topology, calibration=GPUCalibration(
+            memory_efficiency=0.9))
+        assert slow.inference_seconds() > fast.inference_seconds()
+
+    def test_tf_overhead_is_additive_per_task(self, topology):
+        cudnn = A3CcuDNNPlatform(topology)
+        tf = A3CTFGPUPlatform(topology)
+        delta_inference = tf.inference_seconds() \
+            - cudnn.inference_seconds()
+        # At least the per-run overhead, plus the kernel slowdown.
+        assert delta_inference >= tf.cal.tf_run_overhead
+
+    def test_frozen_calibration_defaults(self):
+        """The shipped constants are the ones EXPERIMENTS.md documents;
+        changing them should be a conscious, test-visible act."""
+        cal = GPUCalibration()
+        assert cal.launch_overhead == pytest.approx(13e-6)
+        assert cal.kernel_efficiency == pytest.approx(0.12)
+        assert cal.opencl_slowdown == pytest.approx(1.12)
+        assert cal.mismatched_layout_slowdown == pytest.approx(1.56)
+        assert cal.tf_run_overhead == pytest.approx(350e-6)

@@ -1,0 +1,118 @@
+"""Tests for weight initialisers and the GA3C predictor/trainer DES."""
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.gpu.platform import GA3CTFPlatform
+from repro.nn.initializers import he_uniform, torch_dqn_init, zeros
+from repro.nn.network import A3CNetwork
+from repro.sim import Engine
+
+
+class TestInitializers:
+    @hypothesis.given(st.integers(0, 2 ** 31 - 1))
+    @hypothesis.settings(max_examples=15, deadline=None)
+    def test_torch_dqn_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        weight = torch_dqn_init((16, 4, 8, 8), rng)
+        bound = 1.0 / np.sqrt(4 * 64)
+        assert weight.dtype == np.float32
+        assert np.abs(weight).max() <= bound
+
+    def test_dense_fan_in(self):
+        rng = np.random.default_rng(0)
+        weight = torch_dqn_init((5, 100), rng)
+        assert np.abs(weight).max() <= 1.0 / np.sqrt(100)
+
+    def test_he_uniform_wider_than_dqn(self):
+        rng = np.random.default_rng(0)
+        he = he_uniform((64, 64), np.random.default_rng(1))
+        dqn = torch_dqn_init((64, 64), np.random.default_rng(1))
+        assert np.abs(he).max() > np.abs(dqn).max()
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((3, 3)), 0.0)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            torch_dqn_init((2, 2, 2, 2, 2))
+
+    def test_initial_policy_is_near_uniform(self):
+        """Fan-in init keeps initial logits small: the starting policy
+        is near-uniform, as A3C's entropy-driven exploration expects."""
+        net = A3CNetwork(num_actions=6)
+        params = net.init_params(np.random.default_rng(0))
+        x = np.random.default_rng(1).random(
+            (8, 4, 84, 84)).astype(np.float32)
+        logits, _ = net.forward(x, params)
+        from repro.nn.losses import entropy, softmax
+        mean_entropy = float(entropy(softmax(logits)).mean())
+        assert mean_entropy > 0.95 * np.log(6)
+
+
+class TestGA3CSim:
+    @pytest.fixture
+    def sim(self):
+        topology = A3CNetwork(6).topology()
+        platform = GA3CTFPlatform(topology, max_prediction_batch=8)
+        engine = Engine()
+        return platform, engine, platform.build_sim(engine)
+
+    def test_predictor_batches_waiting_requests(self, sim):
+        """Requests queued while the predictor is busy are served
+        together in one batched kernel."""
+        platform, engine, ga3c = sim
+        done_times = []
+
+        def agent(i):
+            yield from ga3c.inference(i)
+            done_times.append(engine.now)
+
+        for i in range(6):
+            engine.process(agent(i))
+        engine.run()
+        # First request forms a batch of 1; the other five coalesce.
+        assert len(set(np.round(done_times, 9))) <= 2
+        assert len(done_times) == 6
+
+    def test_training_does_not_block_agent(self, sim):
+        platform, engine, ga3c = sim
+        finished = []
+
+        def agent():
+            yield from ga3c.train(0, 5)
+            finished.append(engine.now)
+
+        engine.process(agent())
+        engine.run()
+        # Agent returns immediately; device work continues afterwards.
+        assert finished[0] == pytest.approx(0.0)
+        assert engine.now > 0.0
+
+    def test_sync_is_noop(self, sim):
+        platform, engine, ga3c = sim
+
+        def agent():
+            yield from ga3c.sync(0)
+
+        engine.process(agent())
+        engine.run()
+        # No device time consumed: GA3C has no per-agent model to sync.
+        assert ga3c.device.utilisation() == 0.0
+
+    def test_batch_capped_at_max(self, sim):
+        platform, engine, ga3c = sim
+        served = []
+
+        def agent(i):
+            yield from ga3c.inference(i)
+            served.append(engine.now)
+
+        for i in range(20):
+            engine.process(agent(i))
+        engine.run()
+        # max_prediction_batch=8 forces at least ceil(20/8)=3 batches
+        # (the first is a singleton, so at least 4 service instants).
+        assert len(set(np.round(served, 9))) >= 3

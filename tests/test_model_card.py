@@ -1,0 +1,66 @@
+"""Tests for the calibration model card, plus the LSTM hardware
+topology."""
+
+import pytest
+
+from repro.analysis import model_card, model_card_rows
+from repro.nn.network import A3CNetwork
+from repro.nn.network_lstm import lstm_a3c_network
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return A3CNetwork(num_actions=6).topology()
+
+
+class TestModelCard:
+    def test_every_entry_has_anchor_and_check(self, topology):
+        entries = model_card(topology)
+        assert len(entries) >= 10
+        for entry in entries:
+            assert entry.anchor
+            assert entry.check
+
+    def test_no_calibration_drift(self, topology):
+        """Every live anchor check passes — moving a constant in
+        calibration.py without retuning trips this test."""
+        for entry in model_card(topology):
+            assert "OFF" not in entry.check, \
+                f"{entry.name} drifted: {entry.check}"
+
+    def test_rows_are_printable(self, topology):
+        from repro.harness import format_table
+        text = format_table(model_card_rows(topology))
+        assert "gpu.launch_overhead" in text
+        assert "fpga.clock_hz" in text
+
+
+class TestLSTMTopology:
+    def test_lstm_appears_as_dense_layer(self):
+        topology = lstm_a3c_network(num_actions=6).topology()
+        names = [spec.name for spec in topology.layers]
+        assert names == ["Conv1", "Conv2", "FC3", "LSTM", "FC4"]
+        lstm = topology.layers[3]
+        assert lstm.kind == "dense"
+        assert lstm.in_channels == 512      # I + H
+        assert lstm.out_channels == 1024    # 4H
+
+    def test_parameter_count_matches_cell(self):
+        net = lstm_a3c_network(num_actions=6)
+        topology = net.topology()
+        assert topology.num_params == net.num_params()
+
+    def test_lstm_variant_costs_more_traffic(self):
+        feedforward = A3CNetwork(num_actions=6).topology()
+        recurrent = lstm_a3c_network(num_actions=6).topology()
+        assert recurrent.num_params - feedforward.num_params == 525_312
+
+    def test_lstm_topology_drives_fpga_model(self):
+        """The hardware models consume the recurrent topology without
+        special-casing — the generic-PE claim."""
+        from repro.fpga.platform import FA3CPlatform
+        platform = FA3CPlatform.fa3c(
+            lstm_a3c_network(num_actions=6).topology())
+        assert platform.inference_latency() > \
+            FA3CPlatform.fa3c(
+                A3CNetwork(num_actions=6).topology()).inference_latency()

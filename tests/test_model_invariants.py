@@ -1,0 +1,150 @@
+"""Cross-cutting invariants tying the models together.
+
+These tests check relationships *between* subsystems — the timing model
+vs ideal PE throughput, the discrete-event simulation vs the analytic
+latencies, gradient linearity across rollouts — rather than any single
+module's behaviour.
+"""
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.fpga.timing import GLOBAL, LOCAL, TimingModel
+from repro.nn.losses import a3c_loss_and_head_gradients
+from repro.nn.network import A3CNetwork, LayerSpec, NetworkTopology
+from repro.platforms import HostModel, measure_ips
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return A3CNetwork(num_actions=6).topology()
+
+
+layer_specs = st.builds(
+    lambda i, o, k, s, hw: LayerSpec(
+        name="L", kind="conv", in_channels=i, out_channels=o, kernel=k,
+        stride=s, in_height=hw, in_width=hw,
+        out_height=(hw - k) // s + 1, out_width=(hw - k) // s + 1),
+    st.integers(1, 8), st.integers(1, 32), st.integers(1, 4),
+    st.integers(1, 2), st.integers(8, 32),
+).filter(lambda spec: spec.in_height >= spec.kernel)
+
+
+class TestTimingInvariants:
+    @hypothesis.given(layer_specs, st.integers(1, 8))
+    @hypothesis.settings(max_examples=40, deadline=None)
+    def test_schedule_never_beats_ideal_pe_throughput(self, spec, batch):
+        """No schedule can need fewer cycles than MACs / N_PE."""
+        timing = TimingModel(NetworkTopology((spec.in_channels,
+                                              spec.in_height,
+                                              spec.in_width),
+                                             (spec,)), n_pe=64)
+        fw = timing.fw_stage(spec, batch, first_layer=True)
+        ideal = spec.macs_fw(batch) / 64
+        assert fw.compute_cycles >= ideal * 0.99
+
+    @hypothesis.given(layer_specs, st.integers(1, 8))
+    @hypothesis.settings(max_examples=40, deadline=None)
+    def test_alt1_never_faster_than_fa3c(self, spec, batch):
+        topo = NetworkTopology((spec.in_channels, spec.in_height,
+                                spec.in_width), (spec,))
+        fa3c = TimingModel(topo, layout_mode="fa3c")
+        alt1 = TimingModel(topo, layout_mode="alt1")
+        assert alt1.bw_stage(spec, batch, None).compute_cycles >= \
+            fa3c.bw_stage(spec, batch, None).compute_cycles
+
+    def test_traffic_totals_equal_stage_sums(self, topology):
+        """The Table 2 calculator and the per-stage timing model agree
+        on parameter traffic."""
+        timing = TimingModel(topology)
+        inference = timing.inference_task(1)
+        param_loads = sum(
+            stage.loads.get(LOCAL, 0) for stage in inference) \
+            - timing.input_words(1)
+        assert param_loads == timing.total_param_words()
+
+    def test_training_stores_one_gradient_set(self, topology):
+        timing = TimingModel(topology)
+        training = timing.training_task(5)
+        gradient_stores = sum(stage.stores.get(GLOBAL, 0)
+                              for stage in training
+                              if stage.name.startswith("GC"))
+        assert gradient_stores == timing.total_param_words()
+
+
+class TestSimVsAnalytic:
+    def test_single_agent_routine_time_matches_analytic(self, topology):
+        """With one agent there is no contention: the DES routine time
+        equals the analytic task times plus host/PCIe overheads."""
+        platform = FA3CPlatform.fa3c(topology)
+        host = HostModel()
+        result = measure_ips(platform, 1, routines_per_agent=20,
+                             host=host)
+        measured_routine = 5.0 / result.ips
+        analytic = (6 * platform.inference_latency()
+                    + platform.training_latency(5)
+                    + platform.sync_latency()
+                    + 5 * host.step_time + host.train_prep_time)
+        # PCIe DMA per inference adds a few percent on top.
+        assert measured_routine == pytest.approx(analytic, rel=0.06)
+
+    def test_saturated_ips_bounded_by_training_cu(self, topology):
+        """At saturation, per-pair throughput cannot exceed the training
+        CU's service rate."""
+        platform = FA3CPlatform.fa3c(topology)
+        result = measure_ips(platform, 32, routines_per_agent=15)
+        pairs = platform.config.cu_pairs
+        cap = pairs * 5.0 / platform.training_latency(5)
+        assert result.ips <= cap * 1.01
+
+    def test_more_cu_pairs_scale_throughput(self, topology):
+        one = measure_ips(FA3CPlatform.fa3c(topology, cu_pairs=1), 16,
+                          routines_per_agent=15)
+        two = measure_ips(FA3CPlatform.fa3c(topology, cu_pairs=2), 16,
+                          routines_per_agent=15)
+        assert two.ips > one.ips * 1.6
+
+
+class TestGradientLinearity:
+    def test_batch_gradient_equals_sum_of_per_sample_gradients(self):
+        """The A3C loss sums over the batch, so gradients are additive —
+        the property that lets FA3C accumulate GC results across the
+        rollout."""
+        rng = np.random.default_rng(0)
+        net = A3CNetwork(num_actions=4, input_shape=(2, 20, 20),
+                         conv_channels=(4, 8), hidden=32)
+        params = net.init_params(rng)
+        states = rng.standard_normal((3, 2, 20, 20)).astype(np.float32)
+        actions = np.array([0, 1, 2])
+        returns = rng.standard_normal(3).astype(np.float32)
+
+        def grads_for(index_list):
+            s = states[index_list]
+            a = actions[index_list]
+            r = returns[index_list]
+            logits, values = net.forward(s, params)
+            loss = a3c_loss_and_head_gradients(logits, values, a, r)
+            return net.backward_and_grads(loss.dlogits, loss.dvalues,
+                                          params)
+
+        whole = grads_for([0, 1, 2])
+        parts = [grads_for([i]) for i in range(3)]
+        for name in whole:
+            summed = parts[0][name] + parts[1][name] + parts[2][name]
+            np.testing.assert_allclose(whole[name], summed, rtol=1e-3,
+                                       atol=1e-5)
+
+    def test_zero_advantage_zero_entropy_gives_zero_policy_gradient(self):
+        """With R = V and no entropy term, the policy head gets no
+        gradient (the actor-critic fixed point)."""
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((4, 3)).astype(np.float32)
+        values = rng.standard_normal(4).astype(np.float32)
+        result = a3c_loss_and_head_gradients(
+            logits, values, np.array([0, 1, 2, 0]), values.copy(),
+            entropy_beta=0.0)
+        np.testing.assert_allclose(result.dlogits, 0.0, atol=1e-6)
+        np.testing.assert_allclose(result.dvalues, 0.0, atol=1e-6)

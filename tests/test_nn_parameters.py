@@ -1,0 +1,88 @@
+"""Tests for ParameterSet, including property-based round-trips."""
+
+import hypothesis
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+
+from repro.nn import ParameterSet
+
+shapes = st.lists(
+    st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    min_size=1, max_size=4)
+
+
+def _make(shape_list, seed=0):
+    rng = np.random.default_rng(seed)
+    return ParameterSet({
+        f"p{i}": rng.standard_normal(shape).astype(np.float32)
+        for i, shape in enumerate(shape_list)})
+
+
+class TestParameterSet:
+    def test_arrays_coerced_to_float32(self):
+        params = ParameterSet({"w": np.ones(3, dtype=np.float64)})
+        assert params["w"].dtype == np.float32
+
+    def test_num_values_and_bytes(self):
+        params = _make([(2, 3), (4, 1)])
+        assert params.num_values() == 10
+        assert params.num_bytes() == 40
+
+    def test_copy_is_independent(self):
+        params = _make([(2, 2)])
+        cloned = params.copy()
+        cloned["p0"][0, 0] = 99.0
+        assert params["p0"][0, 0] != 99.0
+
+    def test_copy_from_requires_same_names(self):
+        with pytest.raises(ValueError):
+            _make([(2, 2)]).copy_from(ParameterSet({"other": np.ones(4)}))
+
+    def test_copy_from_overwrites_in_place(self):
+        a = _make([(2, 2)], seed=1)
+        b = _make([(2, 2)], seed=2)
+        view = a["p0"]
+        a.copy_from(b)
+        assert a.allclose(b)
+        assert view is a["p0"]  # same storage, as sync requires
+
+    def test_add_scaled(self):
+        a = _make([(3,)], seed=1)
+        b = _make([(3,)], seed=2)
+        expected = a["p0"] + 0.5 * b["p0"]
+        a.add_scaled(b, 0.5)
+        np.testing.assert_allclose(a["p0"], expected, rtol=1e-6)
+
+    def test_zeros_like(self):
+        z = _make([(2, 3)]).zeros_like()
+        np.testing.assert_array_equal(z["p0"], 0.0)
+
+    @hypothesis.given(shapes, st.integers(0, 2 ** 31 - 1))
+    @hypothesis.settings(max_examples=30, deadline=None)
+    def test_flatten_load_round_trip(self, shape_list, seed):
+        params = _make(shape_list, seed)
+        flat = params.flatten()
+        assert flat.size == params.num_values()
+        restored = params.zeros_like()
+        restored.load_flat(flat)
+        assert restored.allclose(params, rtol=0, atol=0)
+
+    def test_load_flat_size_validation(self):
+        params = _make([(2, 2)])
+        with pytest.raises(ValueError):
+            params.load_flat(np.zeros(3, dtype=np.float32))
+
+    def test_allclose_detects_differences(self):
+        a = _make([(2, 2)], seed=1)
+        b = a.copy()
+        assert a.allclose(b)
+        b["p0"][0, 0] += 1.0
+        assert not a.allclose(b)
+
+    def test_names_preserve_insertion_order(self):
+        params = ParameterSet()
+        for name in ["conv1.weight", "conv1.bias", "fc.weight"]:
+            params[name] = np.zeros(1)
+        assert params.names() == ["conv1.weight", "conv1.bias",
+                                  "fc.weight"]

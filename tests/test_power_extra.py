@@ -1,0 +1,51 @@
+"""Extra power-model coverage: the dummy-platform methodology details."""
+
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.nn.network import A3CNetwork
+from repro.platforms import HostModel, measure_ips
+from repro.power import PowerEnvelope, PowerModel
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return A3CNetwork(num_actions=6).topology()
+
+
+class TestDummyPlatformMethodology:
+    def test_custom_envelopes_override_defaults(self, topology):
+        result = measure_ips(FA3CPlatform.fa3c(topology), 4,
+                             routines_per_agent=10)
+        custom = PowerModel({"FA3C": PowerEnvelope(idle_delta=1.0,
+                                                   active=2.0)})
+        report = custom.report(result)
+        assert 1.0 <= report.watts <= 2.0
+
+    def test_power_scales_with_load(self, topology):
+        """The Section 5.3 methodology: the measured delta grows with
+        utilisation, so a lightly-loaded platform draws less."""
+        platform = FA3CPlatform.fa3c(topology)
+        light = measure_ips(platform, 1, routines_per_agent=10)
+        heavy = measure_ips(FA3CPlatform.fa3c(topology), 16,
+                            routines_per_agent=10)
+        model = PowerModel()
+        assert model.report(light).watts < model.report(heavy).watts
+
+    def test_efficiency_peaks_at_saturation(self, topology):
+        """IPS/W improves with load: throughput grows faster than the
+        dynamic power term."""
+        model = PowerModel()
+        reports = []
+        for n in (1, 4, 16):
+            result = measure_ips(FA3CPlatform.fa3c(topology), n,
+                                 routines_per_agent=10)
+            reports.append(model.report(result).inferences_per_watt)
+        assert reports[0] < reports[1] < reports[2]
+
+    def test_dummy_host_has_no_accelerator_work(self):
+        """The dummy platform runs agents with random actions and no DNN
+        tasks — modelled as host time only."""
+        dummy = HostModel.dummy()
+        assert dummy.train_prep_time == 0.0
+        assert dummy.step_time > 0

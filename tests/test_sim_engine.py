@@ -1,0 +1,160 @@
+"""Unit tests for the engine and process semantics."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt
+
+
+class TestEngineClock:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_run_until_deadline(self):
+        engine = Engine()
+        engine.timeout(10.0)
+        engine.run(until=4.0)
+        assert engine.now == 4.0
+
+    def test_deadline_past_queue_advances_clock(self):
+        engine = Engine()
+        engine.timeout(1.0)
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            engine.timeout(delay).callbacks.append(
+                lambda e, d=delay: order.append(d))
+        engine.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_ties_broken_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        for tag in "abc":
+            engine.timeout(1.0).callbacks.append(
+                lambda e, t=tag: order.append(t))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_event_drained_queue_raises(self):
+        engine = Engine()
+        never = engine.event()
+        with pytest.raises(RuntimeError, match="drained"):
+            engine.run(never)
+
+
+class TestProcess:
+    def test_simple_process_advances_time(self):
+        engine = Engine()
+        def body():
+            yield engine.timeout(1.0)
+            yield engine.timeout(2.0)
+            return "finished"
+        proc = engine.process(body())
+        engine.run(proc)
+        assert engine.now == 3.0
+        assert proc.value == "finished"
+
+    def test_requires_generator(self):
+        engine = Engine()
+        with pytest.raises(TypeError):
+            engine.process(lambda: None)
+
+    def test_yielding_non_event_raises(self):
+        engine = Engine()
+        def body():
+            yield 42
+        engine.process(body())
+        with pytest.raises(TypeError, match="not an Event"):
+            engine.run()
+
+    def test_process_receives_event_value(self):
+        engine = Engine()
+        received = []
+        def body():
+            value = yield engine.timeout(1.0, value="hello")
+            received.append(value)
+        engine.process(body())
+        engine.run()
+        assert received == ["hello"]
+
+    def test_failed_event_raises_inside_process(self):
+        engine = Engine()
+        trap = engine.event()
+        caught = []
+        def body():
+            try:
+                yield trap
+            except ValueError as error:
+                caught.append(str(error))
+        engine.process(body())
+        trap.fail(ValueError("injected"))
+        engine.run()
+        assert caught == ["injected"]
+
+    def test_process_waiting_on_finished_process(self):
+        engine = Engine()
+        def child():
+            yield engine.timeout(1.0)
+            return "child-result"
+        def parent(proc):
+            value = yield proc
+            return f"saw {value}"
+        child_proc = engine.process(child())
+        parent_proc = engine.process(parent(child_proc))
+        engine.run(parent_proc)
+        assert parent_proc.value == "saw child-result"
+
+    def test_chained_processes_sequential_time(self):
+        engine = Engine()
+        def stage(duration):
+            yield engine.timeout(duration)
+        def pipeline():
+            yield engine.process(stage(1.0))
+            yield engine.process(stage(2.0))
+        proc = engine.process(pipeline())
+        engine.run(proc)
+        assert engine.now == 3.0
+
+    def test_interrupt_wakes_process(self):
+        engine = Engine()
+        log = []
+        def body():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as stop:
+                log.append(stop.cause)
+        proc = engine.process(body())
+        def interrupter():
+            yield engine.timeout(1.0)
+            proc.interrupt("enough")
+        engine.process(interrupter())
+        engine.run(proc)
+        assert log == ["enough"]
+        assert engine.now == 1.0
+
+    def test_interrupting_finished_process_raises(self):
+        engine = Engine()
+        def body():
+            yield engine.timeout(0.0)
+        proc = engine.process(body())
+        engine.run(proc)
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+
+    def test_determinism_across_runs(self):
+        def simulate():
+            engine = Engine()
+            trace = []
+            def worker(i):
+                for k in range(3):
+                    yield engine.timeout(0.5 * (i + 1))
+                    trace.append((engine.now, i, k))
+            for i in range(3):
+                engine.process(worker(i))
+            engine.run()
+            return trace
+        assert simulate() == simulate()

@@ -1,0 +1,72 @@
+"""Extra timing-model coverage: batch scaling, layout comparisons, and
+the launch-overhead accounting."""
+
+import pytest
+
+from repro.fpga.timing import GLOBAL, LOCAL, TimingModel
+from repro.nn.network import A3CNetwork
+
+
+@pytest.fixture(scope="module")
+def timing():
+    return TimingModel(A3CNetwork(num_actions=6).topology())
+
+
+class TestBatchScaling:
+    def test_fw_compute_scales_linearly_with_batch(self, timing):
+        conv1 = timing.topology.layers[0]
+        one = timing.fw_stage(conv1, 1, True).compute_cycles
+        five = timing.fw_stage(conv1, 5, True).compute_cycles
+        assert five == pytest.approx(5 * one, rel=0.02)
+
+    def test_fw_parameter_traffic_independent_of_batch(self, timing):
+        conv2 = timing.topology.layers[1]
+        one = timing.fw_stage(conv2, 1, False)
+        five = timing.fw_stage(conv2, 5, False)
+        assert one.loads[LOCAL] == five.loads[LOCAL]
+        # Feature-map stores do scale.
+        assert five.stores[LOCAL] == 5 * one.stores[LOCAL]
+
+    def test_gc_accumulation_frequency_is_batch_for_dense(self, timing):
+        fc3 = timing.topology.layers[2]
+        assert fc3.accumulation_frequency_gc(1) == 1
+        assert fc3.accumulation_frequency_gc(5) == 5
+
+    def test_operational_intensity_motivation(self, timing):
+        """Per-inference parameter traffic dwarfs compute on FC3: the
+        memory wall the whole design is built around."""
+        fc3 = timing.topology.layers[2]
+        stage = timing.fw_stage(fc3, 1, False)
+        words_per_cycle = stage.words(LOCAL) / stage.compute_cycles
+        assert words_per_cycle > 10   # >10 words needed per PE cycle
+
+
+class TestTaskAccounting:
+    def test_task_words_helper(self, timing):
+        stages = timing.inference_task(1)
+        total = TimingModel.task_words(stages)
+        local = TimingModel.task_words(stages, LOCAL)
+        global_ = TimingModel.task_words(stages, GLOBAL)
+        assert total == local + global_
+        assert global_ == 0     # inference never touches global theta
+
+    def test_task_compute_helper(self, timing):
+        stages = timing.training_task(5)
+        assert TimingModel.task_compute_cycles(stages) == \
+            sum(stage.compute_cycles for stage in stages)
+
+    def test_sync_task_is_pure_dma(self, timing):
+        (stage,) = timing.sync_task()
+        assert stage.compute_cycles == 0
+
+    def test_rmsprop_words_cover_theta_and_g_both_ways(self, timing):
+        stage = timing.rmsprop_stage()
+        words = timing.total_param_words()
+        assert stage.loads[GLOBAL] == 2 * words
+        assert stage.stores[GLOBAL] == 2 * words
+
+    def test_inference_task_overhead_on_first_stage(self, timing):
+        plain = timing.fw_stage(timing.topology.layers[0], 1, True)
+        task = timing.inference_task(1)
+        assert task[0].compute_cycles == plain.compute_cycles \
+            + TimingModel.TASK_OVERHEAD_CYCLES
