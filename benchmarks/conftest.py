@@ -6,6 +6,7 @@ who wins, by roughly what factor, where crossovers fall.
 """
 
 import os
+import re
 
 import pytest
 
@@ -36,3 +37,28 @@ def show(capsys):
             print()
             print(text)
     return _show
+
+
+@pytest.fixture(autouse=True)
+def obs_snapshots(request):
+    """Per-bench metric snapshots for run-to-run comparison.
+
+    Set ``REPRO_OBS_DIR=/some/dir`` to enable :mod:`repro.obs` around
+    every bench and write one ``<bench>.metrics.jsonl`` per test, so two
+    bench runs can be diffed metric-by-metric (per-CU busy fractions,
+    DRAM bytes, kernel launches) rather than only by headline IPS.
+    """
+    out_dir = os.environ.get("REPRO_OBS_DIR")
+    if not out_dir:
+        yield
+        return
+    from repro import obs
+    os.makedirs(out_dir, exist_ok=True)
+    obs.enable(reset=True)
+    try:
+        yield
+    finally:
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+        path = os.path.join(out_dir, f"{slug}.metrics.jsonl")
+        obs.metrics().write_jsonl(path, meta={"bench": request.node.nodeid})
+        obs.disable()

@@ -16,6 +16,7 @@ Subpackages:
 * :mod:`repro.power` — the dummy-platform power methodology.
 * :mod:`repro.analysis` — Table 2/3 accounting and roofline analysis.
 * :mod:`repro.sim` — the discrete-event simulation engine.
+* :mod:`repro.obs` — unified metrics/tracing with Chrome-trace export.
 * :mod:`repro.harness` — experiment registry and report rendering.
 """
 
@@ -30,6 +31,7 @@ __all__ = [
     "gpu",
     "harness",
     "nn",
+    "obs",
     "platforms",
     "power",
     "sim",

@@ -3,12 +3,16 @@
 Commands:
 
 * ``train``   — train A3C on a simulated Atari game (optionally the
-  LSTM variant), with checkpointing.
+  LSTM variant), with checkpointing.  ``--trace out.json`` /
+  ``--metrics out.jsonl`` capture a Chrome/Perfetto trace and metric
+  snapshots through :mod:`repro.obs`.
 * ``compare`` — the Figure 8/9 platform comparison.
 * ``ablate``  — the Figure 10 configuration ablation.
 * ``tables``  — print Tables 1-4 from the implemented models.
 * ``card``    — the calibration model card with live anchor checks.
 * ``sweep``   — the paper's per-game learning-rate tuning protocol.
+* ``obs-report`` — summarise a previous run's ``--metrics`` /
+  ``--trace`` files (utilisation, DRAM traffic, step rates).
 """
 
 from __future__ import annotations
@@ -46,6 +50,10 @@ def _build_trainer(args) -> A3CTrainer:
 
 
 def cmd_train(args) -> int:
+    observing = bool(args.trace or args.metrics)
+    if observing:
+        from repro import obs
+        obs.enable(reset=True)
     trainer = _build_trainer(args)
     variant = "A3C-LSTM" if args.lstm else "A3C"
     print(f"Training {variant} on {args.game}: {args.agents} agents, "
@@ -67,6 +75,55 @@ def cmd_train(args) -> int:
                                   "global_step": result.global_steps,
                                   "lstm": args.lstm})
         print(f"checkpoint written to {args.checkpoint}")
+    if observing:
+        _emit_observability(args)
+    return 0
+
+
+def _emit_observability(args) -> None:
+    """Write the ``--trace`` / ``--metrics`` outputs for one run.
+
+    Alongside the trainer's wall-clock metrics this runs a short FA3C
+    shadow simulation at the same agent count / t_max, so the exported
+    trace carries the accelerator-side sim lanes (per-CU stages, DRAM
+    channels) and the metrics include per-CU busy fraction and
+    per-channel DRAM bytes next to the trainer step-rate histograms.
+    """
+    from repro import obs
+    from repro.fpga.platform import FA3CPlatform
+    from repro.platforms import measure_ips
+
+    num_actions = make_game(args.game).action_space.n
+    topology = A3CNetwork(num_actions).topology()
+    measure_ips(FA3CPlatform.fa3c(topology), args.agents,
+                t_max=args.t_max, routines_per_agent=8)
+    meta = {"game": args.game, "agents": args.agents,
+            "t_max": args.t_max, "steps": args.steps}
+    if args.metrics:
+        samples = obs.metrics().write_jsonl(args.metrics, meta=meta)
+        print(f"metrics: {samples} samples -> {args.metrics}")
+    if args.trace:
+        spans = obs.write_chrome_trace(args.trace, obs.tracer(),
+                                       meta=meta)
+        print(f"trace: {spans} spans -> {args.trace} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    print()
+    print(obs.registry_report(obs.metrics()))
+
+
+def cmd_obs_report(args) -> int:
+    from repro import obs
+
+    if not args.metrics and not args.trace:
+        print("obs-report needs --metrics and/or --trace")
+        return 2
+    try:
+        rows = obs.load_jsonl(args.metrics) if args.metrics else []
+        doc = obs.load_chrome_trace(args.trace) if args.trace else None
+    except OSError as exc:
+        print(f"obs-report: cannot read {exc.filename}: {exc.strerror}")
+        return 2
+    print(obs.obs_report(rows, doc))
     return 0
 
 
@@ -187,7 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train A3C on a simulated game")
     train.add_argument("--game", choices=GAME_NAMES, default="breakout")
-    train.add_argument("--steps", type=int, default=20_000)
+    train.add_argument("--steps", "--max-steps", dest="steps",
+                       type=int, default=20_000)
     train.add_argument("--agents", type=int, default=4)
     train.add_argument("--t-max", type=int, default=5)
     train.add_argument("--learning-rate", type=float, default=7e-4)
@@ -200,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="deterministic round-robin agents")
     train.add_argument("--checkpoint", default=None,
                        help="write final parameters to this .npz")
+    train.add_argument("--trace", default=None,
+                       help="write a Chrome/Perfetto trace JSON here")
+    train.add_argument("--metrics", default=None,
+                       help="write metric snapshots (JSONL) here")
     train.set_defaults(func=cmd_train)
 
     compare = sub.add_parser("compare",
@@ -231,6 +293,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--rates", type=float, nargs="+",
                        default=[1e-4, 7e-4, 3e-3])
     sweep.set_defaults(func=cmd_sweep)
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="summarise --metrics/--trace files from a previous run")
+    obs_report.add_argument("--metrics", default=None,
+                            help="metrics JSONL from `train --metrics`")
+    obs_report.add_argument("--trace", default=None,
+                            help="Chrome trace JSON from `train --trace`")
+    obs_report.set_defaults(func=cmd_obs_report)
     return parser
 
 

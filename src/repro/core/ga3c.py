@@ -27,6 +27,7 @@ from repro.core.parameter_server import ParameterServer
 from repro.core.rollout import Rollout
 from repro.core.trainer import TrainResult
 from repro.envs.base import Env
+from repro.obs import runtime as _obs
 from repro.nn.losses import a3c_loss_and_head_gradients, softmax
 from repro.nn.network import A3CNetwork
 
@@ -94,6 +95,7 @@ class GA3CTrainer:
         """Drain queued rollouts into one combined training batch."""
         if len(self._train_queue) < self.training_batch_rollouts:
             return
+        started = time.perf_counter()
         batches = [self._train_queue.popleft()
                    for _ in range(self.training_batch_rollouts)]
         states = np.concatenate([b[0] for b in batches])
@@ -107,15 +109,32 @@ class GA3CTrainer:
                                                 self.server.params)
         self.server.apply_gradients(grads)
         self._routines += 1
+        if _obs.enabled():
+            elapsed = time.perf_counter() - started
+            metrics = _obs.metrics()
+            metrics.counter("trainer.routines").inc(trainer="ga3c")
+            metrics.counter("trainer.steps").inc(len(states),
+                                                 trainer="ga3c")
+            metrics.histogram("trainer.routine_seconds").observe(
+                elapsed, trainer="ga3c")
+            if elapsed > 0:
+                metrics.histogram("trainer.step_rate").observe(
+                    len(states) / elapsed, trainer="ga3c")
+            _obs.tracer().record("ga3c-trainer", "train_batch", started,
+                                 started + elapsed, clock="wall",
+                                 samples=len(states))
 
     def train(self, max_steps: typing.Optional[int] = None) -> TrainResult:
         """Run the predictor/trainer loop until ``max_steps``."""
         if max_steps is not None:
             self.config.max_steps = max_steps
-        start = time.time()
+        # perf_counter: monotonic, so rates survive NTP clock steps.
+        start = time.perf_counter()
         while self.server.global_step < self.config.max_steps:
             # Predictor: one batched inference for every waiting agent.
-            logits, values = self._predict(self.workers)
+            with _obs.span("ga3c-predictor", "predict_batch",
+                           batch=len(self.workers)):
+                logits, values = self._predict(self.workers)
             for index, worker in enumerate(self.workers):
                 probs = softmax(logits[index])
                 action = int(worker.rng.choice(len(probs), p=probs))
@@ -137,7 +156,7 @@ class GA3CTrainer:
             self.server.add_steps(len(self.workers))
             # Trainer: combine queued rollouts into large batches.
             self._train_from_queue()
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         return TrainResult(global_steps=self.server.global_step,
                            routines=self._routines,
                            episodes=sum(w.episodes for w in self.workers),

@@ -23,6 +23,7 @@ from repro.envs.base import Env
 from repro.envs.vector import SyncVectorEnv
 from repro.nn.losses import a3c_loss_and_head_gradients, softmax
 from repro.nn.network import A3CNetwork
+from repro.obs import runtime as _obs
 
 
 class PAACTrainer:
@@ -95,24 +96,40 @@ class PAACTrainer:
         """Run synchronous update rounds until ``max_steps``."""
         if max_steps is not None:
             self.config.max_steps = max_steps
-        start = time.time()
+        # perf_counter: monotonic, so rates survive NTP clock steps.
+        start = time.perf_counter()
         while self.server.global_step < self.config.max_steps:
-            states, actions, rewards, dones, bootstrap = \
-                self._rollout_phase()
+            round_started = time.perf_counter()
+            with _obs.span("paac", "rollout_phase"):
+                states, actions, rewards, dones, bootstrap = \
+                    self._rollout_phase()
             returns = self._returns(rewards, dones, bootstrap)
             # One synchronous update over the combined (T*N) batch.
-            flat_states = states.reshape((-1,) + states.shape[2:])
-            logits, values = self.network.forward(flat_states,
-                                                  self.server.params)
-            loss = a3c_loss_and_head_gradients(
-                logits, values, actions.reshape(-1).astype(np.int64),
-                returns.reshape(-1),
-                entropy_beta=self.config.entropy_beta)
-            grads = self.network.backward_and_grads(
-                loss.dlogits, loss.dvalues, self.server.params)
-            self.server.apply_gradients(grads)
+            with _obs.span("paac", "update"):
+                flat_states = states.reshape((-1,) + states.shape[2:])
+                logits, values = self.network.forward(flat_states,
+                                                      self.server.params)
+                loss = a3c_loss_and_head_gradients(
+                    logits, values, actions.reshape(-1).astype(np.int64),
+                    returns.reshape(-1),
+                    entropy_beta=self.config.entropy_beta)
+                grads = self.network.backward_and_grads(
+                    loss.dlogits, loss.dvalues, self.server.params)
+                self.server.apply_gradients(grads)
             self._routines += 1
-        elapsed = time.time() - start
+            if _obs.enabled():
+                elapsed_round = time.perf_counter() - round_started
+                steps = self.config.t_max * self.config.num_agents
+                metrics = _obs.metrics()
+                metrics.counter("trainer.routines").inc(trainer="paac")
+                metrics.counter("trainer.steps").inc(steps,
+                                                     trainer="paac")
+                metrics.histogram("trainer.routine_seconds").observe(
+                    elapsed_round, trainer="paac")
+                if elapsed_round > 0:
+                    metrics.histogram("trainer.step_rate").observe(
+                        steps / elapsed_round, trainer="paac")
+        elapsed = time.perf_counter() - start
         return TrainResult(global_steps=self.server.global_step,
                            routines=self._routines,
                            episodes=self.episodes,

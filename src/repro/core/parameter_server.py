@@ -11,6 +11,7 @@ threads sharing a device queue).
 from __future__ import annotations
 
 import threading
+import time
 import typing
 
 import numpy as np
@@ -18,6 +19,7 @@ import numpy as np
 from repro.core.config import A3CConfig
 from repro.nn.optim import SharedRMSProp
 from repro.nn.parameters import ParameterSet
+from repro.obs import runtime as _obs
 
 
 def clip_by_global_norm(grads: ParameterSet,
@@ -68,10 +70,27 @@ class ParameterServer:
         with self._lock:
             self._global_step = int(value)
 
+    def _timed_acquire(self, op: str) -> None:
+        """Take the lock, recording the wait when observability is on."""
+        if not _obs.enabled():
+            self._lock.acquire()
+            return
+        waited = time.perf_counter()
+        self._lock.acquire()
+        _obs.metrics().histogram("ps.lock_wait_seconds").observe(
+            time.perf_counter() - waited, op=op)
+
     def snapshot_into(self, local: ParameterSet) -> None:
         """Parameter sync: copy global θ into an agent's local θ."""
-        with self._lock:
+        self._timed_acquire("snapshot")
+        try:
+            started = time.perf_counter() if _obs.enabled() else 0.0
             local.copy_from(self.params)
+            if _obs.enabled():
+                _obs.metrics().histogram("ps.sync_seconds").observe(
+                    time.perf_counter() - started)
+        finally:
+            self._lock.release()
 
     def snapshot(self) -> ParameterSet:
         """A fresh copy of global θ."""
@@ -83,13 +102,22 @@ class ParameterServer:
 
         Returns the learning rate used.
         """
-        with self._lock:
+        self._timed_acquire("apply")
+        try:
+            started = time.perf_counter() if _obs.enabled() else 0.0
             lr = self.config.learning_rate_at(self._global_step)
             if self.config.grad_clip_norm is not None:
                 clip_by_global_norm(grads, self.config.grad_clip_norm)
             self.optimizer.step(self.params, grads, learning_rate=lr)
             self.updates_applied += 1
+            if _obs.enabled():
+                metrics = _obs.metrics()
+                metrics.counter("ps.updates").inc()
+                metrics.histogram("ps.apply_seconds").observe(
+                    time.perf_counter() - started)
             return lr
+        finally:
+            self._lock.release()
 
     @property
     def rmsprop_statistics(self) -> typing.Optional[ParameterSet]:

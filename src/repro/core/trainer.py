@@ -30,6 +30,7 @@ from repro.core.parameter_server import ParameterServer
 from repro.envs.base import Env
 from repro.nn.network import A3CNetwork
 from repro.nn.parameters import ParameterSet
+from repro.obs import runtime as _obs
 
 
 @dataclasses.dataclass
@@ -108,11 +109,31 @@ class A3CTrainer:
     def _agent_loop(self, agent: A3CAgent, stop: threading.Event) -> None:
         while not stop.is_set() and \
                 self.server.global_step < self.config.max_steps:
+            started = time.perf_counter()
             stats = agent.run_routine()
+            if _obs.enabled():
+                self._record_routine(f"agent-{agent.agent_id}",
+                                     started, stats.steps)
             with self._routines_lock:
                 self._routines += 1
             for score in stats.episode_scores:
                 self.tracker.record(self.server.global_step, score)
+
+    def _record_routine(self, lane: str, started: float,
+                        steps: int) -> None:
+        """One finished routine into the metrics/trace sinks."""
+        ended = time.perf_counter()
+        elapsed = ended - started
+        metrics = _obs.metrics()
+        metrics.counter("trainer.routines").inc(trainer="a3c")
+        metrics.counter("trainer.steps").inc(steps, trainer="a3c")
+        metrics.histogram("trainer.routine_seconds").observe(
+            elapsed, trainer="a3c")
+        if elapsed > 0:
+            metrics.histogram("trainer.step_rate").observe(
+                steps / elapsed, trainer="a3c")
+        _obs.tracer().record(lane, "routine", started, ended,
+                             clock="wall", steps=steps)
 
     def train(self, max_steps: typing.Optional[int] = None,
               threads: bool = True,
@@ -127,12 +148,13 @@ class A3CTrainer:
         """
         if max_steps is not None:
             self.config.max_steps = max_steps
-        start = time.time()
+        # perf_counter: monotonic, so rates survive NTP clock steps.
+        start = time.perf_counter()
         if threads:
             self._train_threaded(progress, progress_interval)
         else:
             self._train_round_robin(progress, progress_interval)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         episodes = sum(agent.episodes_finished for agent in self.agents)
         return TrainResult(global_steps=self.server.global_step,
                            routines=self._routines,
@@ -168,7 +190,11 @@ class A3CTrainer:
             for agent in self.agents:
                 if self.server.global_step >= self.config.max_steps:
                     break
+                started = time.perf_counter()
                 stats = agent.run_routine()
+                if _obs.enabled():
+                    self._record_routine(f"agent-{agent.agent_id}",
+                                         started, stats.steps)
                 self._routines += 1
                 for score in stats.episode_scores:
                     self.tracker.record(self.server.global_step, score)

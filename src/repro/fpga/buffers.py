@@ -24,6 +24,8 @@ import typing
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+
 #: On-chip buffer row width in words (= DRAM burst width).
 ROW_WORDS = 16
 
@@ -152,6 +154,8 @@ class BufferControlUnit:
         line = LineBuffer(width)
         line.load(flat)
         self.stitch_ops += 1
+        if _obs.enabled():
+            _obs.metrics().counter("fpga.bcu.ops").inc(op="stitch")
         return line
 
     def shift_window(self, line: LineBuffer, window: int
@@ -160,10 +164,14 @@ class BufferControlUnit:
         cycle (Section 4.5, "Shifting").  Yields until the line drains.
         """
         steps = line.width - window + 1
+        shifted = 0
         for _ in range(max(steps, 0)):
             yield line.registers[:window].copy()
             line.shift(1)
             self.shift_ops += 1
+            shifted += 1
+        if shifted and _obs.enabled():
+            _obs.metrics().counter("fpga.bcu.ops").inc(shifted, op="shift")
 
     def scatter(self, line: LineBuffer, buffer: OnChipBuffer,
                 placements: typing.Sequence[typing.Tuple[int, int]]
@@ -178,3 +186,5 @@ class BufferControlUnit:
         for index, (row, offset) in enumerate(placements):
             buffer.write_row(row, line.registers[index:index + 1], offset)
         self.scatter_ops += 1
+        if _obs.enabled():
+            _obs.metrics().counter("fpga.bcu.ops").inc(op="scatter")

@@ -18,6 +18,8 @@ import typing
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+
 #: Words per DRAM interface beat (512-bit bus / 32-bit words).
 WORDS_PER_BEAT = 16
 WORD_BYTES = 4
@@ -76,6 +78,12 @@ class DRAMChannel:
         cycles = self.transfer_cycles(words, sequential)
         self.traffic.loaded_words += words
         self.busy_cycles += cycles
+        if _obs.enabled():
+            metrics = _obs.metrics()
+            metrics.counter("fpga.dram.bytes").inc(
+                words * WORD_BYTES, channel=self.name, dir="load")
+            metrics.counter("fpga.dram.bursts").inc(
+                -(-words // WORDS_PER_BEAT), channel=self.name)
         return cycles
 
     def store(self, words: int, sequential: bool = True) -> int:
@@ -83,6 +91,12 @@ class DRAMChannel:
         cycles = self.transfer_cycles(words, sequential)
         self.traffic.stored_words += words
         self.busy_cycles += cycles
+        if _obs.enabled():
+            metrics = _obs.metrics()
+            metrics.counter("fpga.dram.bytes").inc(
+                words * WORD_BYTES, channel=self.name, dir="store")
+            metrics.counter("fpga.dram.bursts").inc(
+                -(-words // WORDS_PER_BEAT), channel=self.name)
         return cycles
 
 

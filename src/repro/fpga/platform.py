@@ -22,10 +22,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.fpga.dram import WORDS_PER_BEAT
+from repro.fpga.dram import WORD_BYTES, WORDS_PER_BEAT
 from repro.fpga.resources import VU9P, DeviceCapacity, ResourceModel
 from repro.fpga.timing import GLOBAL, LOCAL, StageTiming, TimingModel
 from repro.nn.network import NetworkTopology
+from repro.obs import runtime as _obs
 from repro.sim import Engine, Resource, Tracer
 
 
@@ -164,6 +165,10 @@ class FPGASim:
                  tracer: typing.Optional[Tracer] = None):
         self.platform = platform
         self.engine = engine
+        if tracer is None and _obs.enabled():
+            # With observability on, stage spans flow to the global
+            # tracer by default (and from there to the Chrome export).
+            tracer = _obs.tracer()
         self.tracer = tracer
         config = platform.config
         self.infer_cus = []
@@ -194,21 +199,47 @@ class FPGASim:
         return agent_id % self.platform.config.cu_pairs
 
     def _dma_plan(self, stage: StageTiming, pair: int):
-        """(channel resource, hold seconds) pairs for one stage's DMA."""
+        """(channel resource, hold seconds, words) triples for one
+        stage's DMA."""
         platform = self.platform
         plan = []
         local_words = stage.words(LOCAL)
         if local_words:
             plan.append((self.local_channels[pair],
-                         platform._words_seconds(local_words)))
+                         platform._words_seconds(local_words),
+                         local_words))
         global_words = stage.words(GLOBAL)
         if global_words:
             # Striped across the global channels in parallel.
             share = -(-global_words // len(self.global_channels))
             duration = platform._words_seconds(share)
             for channel in self.global_channels:
-                plan.append((channel, duration))
+                plan.append((channel, duration, share))
         return plan
+
+    def _count_dma(self, stage: StageTiming, pair: int) -> None:
+        """Per-channel byte/burst counters for one stage's transfers."""
+        metrics = _obs.metrics()
+        traffic = metrics.counter("fpga.dram.bytes")
+        bursts = metrics.counter("fpga.dram.bursts")
+        stripe = len(self.global_channels)
+        for direction, words_by_channel in (("load", stage.loads),
+                                            ("store", stage.stores)):
+            local_words = words_by_channel.get(LOCAL, 0)
+            if local_words:
+                name = self.local_channels[pair].name
+                traffic.inc(local_words * WORD_BYTES, channel=name,
+                            dir=direction)
+                bursts.inc(-(-local_words // WORDS_PER_BEAT),
+                           channel=name)
+            global_words = words_by_channel.get(GLOBAL, 0)
+            if global_words:
+                share = -(-global_words // stripe)
+                for channel in self.global_channels:
+                    traffic.inc(share * WORD_BYTES, channel=channel.name,
+                                dir=direction)
+                    bursts.inc(-(-share // WORDS_PER_BEAT),
+                               channel=channel.name)
 
     def _run_stage(self, stage: StageTiming, pair: int):
         """Process body: one stage = compute overlapped with channel DMA
@@ -216,22 +247,26 @@ class FPGASim:
         platform = self.platform
         compute_seconds = stage.compute_cycles / platform.config.clock_hz
         plan = self._dma_plan(stage, pair)
+        if _obs.enabled():
+            self._count_dma(stage, pair)
         if platform.config.double_buffering:
             events = [self.engine.timeout(compute_seconds)]
             events.extend(self.engine.process(resource.use(duration),
                                               name=f"dma-{stage.name}")
-                          for resource, duration in plan)
+                          for resource, duration, _words in plan)
             yield self.engine.all_of(events)
         else:
             # No overlap: the PEs stall until every transfer finishes.
-            for resource, duration in plan:
+            for resource, duration, _words in plan:
                 yield from resource.use(duration)
             yield self.engine.timeout(compute_seconds)
 
     def _run_task(self, stages: typing.Sequence[StageTiming],
-                  cu: Resource, pair: int):
+                  cu: Resource, pair: int, task: str = "task"):
         """Process body: acquire the CU, run all stages, release."""
         yield cu.acquire()
+        observing = _obs.enabled()
+        task_start = self.engine.now
         try:
             for stage in stages:
                 start = self.engine.now
@@ -241,6 +276,12 @@ class FPGASim:
                                        self.engine.now)
         finally:
             cu.release()
+            if observing:
+                metrics = _obs.metrics()
+                metrics.counter("fpga.cu.busy_seconds").inc(
+                    self.engine.now - task_start, cu=cu.name)
+                metrics.counter("fpga.cu.tasks").inc(cu=cu.name,
+                                                     task=task)
 
     # -- the task interface used by the throughput simulation ---------------
 
@@ -259,7 +300,8 @@ class FPGASim:
         yield self.engine.timeout(
             self._pcie_seconds(batch * timing.input_words(1) * 4))
         stages = timing.inference_task(batch)
-        yield from self._run_task(stages, self.infer_cus[pair], pair)
+        yield from self._run_task(stages, self.infer_cus[pair], pair,
+                                  task="inference")
         last = self.platform.topology.layers[-1]
         yield self.engine.timeout(
             self._pcie_seconds(batch * last.num_outputs * 4))
@@ -268,7 +310,8 @@ class FPGASim:
         """Process body for one training task."""
         pair = self._pair(agent_id)
         stages = self.platform.timing.training_task(batch)
-        yield from self._run_task(stages, self.train_cus[pair], pair)
+        yield from self._run_task(stages, self.train_cus[pair], pair,
+                                  task="train")
 
     def sync(self, agent_id: int):
         """Process body for one parameter-sync task (runs on the training
@@ -276,4 +319,8 @@ class FPGASim:
         pair = self._pair(agent_id)
         stages = self.platform.timing.sync_task()
         for stage in stages:
+            start = self.engine.now
             yield from self._run_stage(stage, pair)
+            if self.tracer is not None:
+                self.tracer.record(f"sync{pair}", stage.name, start,
+                                   self.engine.now)

@@ -19,6 +19,7 @@ import typing
 import numpy as np
 
 from repro.fpga.layouts import PATCH
+from repro.obs import runtime as _obs
 
 
 class TransposeLoadUnit:
@@ -75,6 +76,10 @@ class TransposeLoadUnit:
         # reading rows back reversed yields the transpose.
         transposed = self._rows[:, ::-1].copy()
         self.patches_transposed += 1
+        if _obs.enabled():
+            metrics = _obs.metrics()
+            metrics.counter("fpga.tlu.patches").inc()
+            metrics.counter("fpga.tlu.words").inc(self.patch * self.patch)
         return transposed
 
     def transpose_cycles(self) -> int:

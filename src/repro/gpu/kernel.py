@@ -17,6 +17,7 @@ import typing
 
 from repro.gpu.calibration import GPUCalibration
 from repro.gpu.specs import GPUSpec
+from repro.obs import runtime as _obs
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +57,15 @@ class KernelCostModel:
                        include_launch: bool = True) -> float:
         """Full kernel time as the host observes it."""
         body = self.compute_seconds(call)
+        if _obs.enabled():
+            metrics = _obs.metrics()
+            if include_launch:
+                metrics.counter("gpu.kernel.launches").inc(
+                    kernel=call.name)
+            metrics.histogram("gpu.kernel.occupancy").observe(
+                self.utilisation(call.outputs))
+            metrics.histogram("gpu.kernel.seconds").observe(
+                body, kernel=call.name)
         return body + (self.cal.launch_overhead if include_launch else 0.0)
 
     def sequence_seconds(self, calls: typing.Sequence[KernelCall],

@@ -1,0 +1,71 @@
+"""repro.obs — unified metrics and tracing for the reproduction.
+
+The paper's claims are measurements; this package is how the repo
+measures.  It provides:
+
+* :class:`MetricsRegistry` — labelled counters / gauges / histograms with
+  snapshot, reset, and JSON / JSONL emission (:mod:`repro.obs.registry`);
+* :class:`SpanTracer` — one tracer for *sim-time* spans (drop-in where a
+  :class:`repro.sim.trace.Tracer` is accepted) and *wall-clock* spans
+  (``with obs.span(...)`` / ``@obs.traced(...)``, stamped with
+  ``time.perf_counter``) (:mod:`repro.obs.tracer`);
+* a Chrome trace-event exporter loadable in ``chrome://tracing`` and
+  Perfetto (:mod:`repro.obs.chrome`);
+* the process-wide switch: collection is off unless ``REPRO_OBS=1`` is
+  set or :func:`enable` is called, and every instrumented hot path is
+  gated on :func:`enabled` so disabled runs pay one boolean branch
+  (:mod:`repro.obs.runtime`);
+* report rendering for ``repro obs-report`` (:mod:`repro.obs.report`).
+"""
+
+from repro.obs.chrome import (
+    chrome_trace_document,
+    chrome_trace_events,
+    load_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    load_jsonl,
+)
+from repro.obs.report import obs_report, registry_report
+from repro.obs.runtime import (
+    disable,
+    enable,
+    enabled,
+    enabled_scope,
+    metrics,
+    span,
+    traced,
+    tracer,
+)
+from repro.obs.tracer import SIM, WALL, ObsSpan, SpanTracer
+
+__all__ = [
+    "SIM",
+    "WALL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSpan",
+    "SpanTracer",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "load_chrome_trace",
+    "load_jsonl",
+    "metrics",
+    "obs_report",
+    "registry_report",
+    "span",
+    "traced",
+    "tracer",
+    "write_chrome_trace",
+]

@@ -1,0 +1,278 @@
+"""Labelled metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` owns named metrics; each metric holds one
+sample per label combination (Prometheus-style, e.g. a single
+``fpga.dram.bytes`` counter with a sample per ``channel``/``dir`` pair).
+Snapshots are plain dict rows so they serialise directly to JSON, and
+:meth:`MetricsRegistry.write_jsonl` appends one row per line so repeated
+bench runs produce diffable, comparable files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import typing
+
+LabelKey = typing.Tuple[typing.Tuple[str, str], ...]
+
+#: Retained observations per histogram sample; beyond this the window
+#: slides (percentiles then describe the most recent observations, while
+#: count / sum / min / max stay exact over the full stream).
+HISTOGRAM_WINDOW = 8192
+
+
+def _label_key(labels: typing.Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Base: name + per-label-combination samples."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._samples: typing.Dict[LabelKey, typing.Any] = {}
+
+    def _sample(self, labels: typing.Mapping[str, str]):
+        key = _label_key(labels)
+        if key not in self._samples:
+            self._samples[key] = self._new_sample()
+        return self._samples[key]
+
+    def _new_sample(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels_seen(self) -> typing.List[typing.Dict[str, str]]:
+        """Every label combination this metric has samples for."""
+        return [dict(key) for key in self._samples]
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    def rows(self) -> typing.List[typing.Dict[str, object]]:
+        """One snapshot dict per label combination."""
+        out = []
+        for key, sample in self._samples.items():
+            row: typing.Dict[str, object] = {
+                "name": self.name,
+                "type": self.kind,
+                "labels": dict(key),
+            }
+            row.update(self._sample_fields(sample))
+            out.append(row)
+        return out
+
+    def _sample_fields(self, sample) -> typing.Dict[str, object]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum per label combination."""
+
+    kind = "counter"
+
+    def _new_sample(self) -> float:
+        return 0.0
+
+    def inc(self, value: float = 1.0, **labels: str) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + value
+
+    def value(self, **labels: str) -> float:
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over all label combinations."""
+        return sum(self._samples.values())
+
+    def _sample_fields(self, sample: float) -> typing.Dict[str, object]:
+        return {"value": sample}
+
+
+class Gauge(_Metric):
+    """A last-write-wins value per label combination."""
+
+    kind = "gauge"
+
+    def _new_sample(self) -> float:
+        return 0.0
+
+    def set(self, value: float, **labels: str) -> None:
+        self._samples[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, **labels: str) -> None:
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + delta
+
+    def value(self, **labels: str) -> float:
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def _sample_fields(self, sample: float) -> typing.Dict[str, object]:
+        return {"value": sample}
+
+
+class _HistogramSample:
+    """Running count/sum/min/max plus a sliding window for percentiles."""
+
+    __slots__ = ("count", "sum", "min", "max", "window")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.window: typing.List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.window.append(value)
+        if len(self.window) > HISTOGRAM_WINDOW:
+            del self.window[: len(self.window) - HISTOGRAM_WINDOW]
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile over the retained window."""
+        if not self.window:
+            return float("nan")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        ordered = sorted(self.window)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+
+class Histogram(_Metric):
+    """Distribution summary per label combination."""
+
+    kind = "histogram"
+
+    def _new_sample(self) -> _HistogramSample:
+        return _HistogramSample()
+
+    def observe(self, value: float, **labels: str) -> None:
+        self._sample(labels).observe(float(value))
+
+    def count(self, **labels: str) -> int:
+        key = _label_key(labels)
+        return self._samples[key].count if key in self._samples else 0
+
+    def percentile(self, q: float, **labels: str) -> float:
+        key = _label_key(labels)
+        if key not in self._samples:
+            return float("nan")
+        return self._samples[key].percentile(q)
+
+    def mean(self, **labels: str) -> float:
+        key = _label_key(labels)
+        if key not in self._samples:
+            return float("nan")
+        return self._samples[key].mean
+
+    def _sample_fields(self, sample: _HistogramSample
+                       ) -> typing.Dict[str, object]:
+        return {
+            "count": sample.count,
+            "sum": sample.sum,
+            "min": sample.min if sample.count else None,
+            "max": sample.max if sample.count else None,
+            "mean": sample.mean if sample.count else None,
+            "p50": sample.percentile(50.0) if sample.count else None,
+            "p90": sample.percentile(90.0) if sample.count else None,
+            "p99": sample.percentile(99.0) if sample.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Owns named metrics; snapshot / reset / JSON + JSONL emission."""
+
+    def __init__(self):
+        self._metrics: typing.Dict[str, _Metric] = {}
+
+    def _get(self, cls: type, name: str, help: str) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}, requested {cls.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return typing.cast(Counter, self._get(Counter, name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return typing.cast(Gauge, self._get(Gauge, name, help))
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return typing.cast(Histogram, self._get(Histogram, name, help))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> typing.List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every sample (metric objects stay registered)."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    def snapshot(self, meta: typing.Optional[
+            typing.Mapping[str, object]] = None
+            ) -> typing.List[typing.Dict[str, object]]:
+        """All samples as JSON-ready rows, sorted by (name, labels)."""
+        rows: typing.List[typing.Dict[str, object]] = []
+        for name in sorted(self._metrics):
+            rows.extend(self._metrics[name].rows())
+        rows.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        if meta:
+            for row in rows:
+                row.update(meta)
+        return rows
+
+    def to_json(self, meta: typing.Optional[
+            typing.Mapping[str, object]] = None, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(meta), indent=indent)
+
+    def write_jsonl(self, path: str, meta: typing.Optional[
+            typing.Mapping[str, object]] = None,
+            append: bool = False) -> int:
+        """Emit one sample per line; returns the number of lines."""
+        rows = self.snapshot(meta)
+        mode = "a" if append else "w"
+        with open(path, mode, encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        return len(rows)
+
+
+def load_jsonl(path: str) -> typing.List[typing.Dict[str, object]]:
+    """Read back rows written by :meth:`MetricsRegistry.write_jsonl`."""
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

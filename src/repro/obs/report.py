@@ -1,0 +1,194 @@
+"""Utilisation / traffic summaries over collected (or reloaded) metrics.
+
+Works from either a live :class:`~repro.obs.registry.MetricsRegistry`
+snapshot or rows re-read from a JSONL file, so ``repro obs-report`` can
+post-process any previous run.  The canonical metric names it understands
+are listed in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.harness.report import format_table
+from repro.obs.registry import MetricsRegistry
+
+Rows = typing.Sequence[typing.Mapping[str, object]]
+
+
+def _select(rows: Rows, name: str) -> typing.List[typing.Mapping]:
+    return [row for row in rows if row.get("name") == name]
+
+
+def _label(row: typing.Mapping, key: str, default: str = "-") -> str:
+    labels = row.get("labels") or {}
+    return str(labels.get(key, default))
+
+
+def cu_utilisation_rows(rows: Rows) -> typing.List[typing.Dict[str, object]]:
+    """Per-CU busy fraction (and busy sim-seconds when counted)."""
+    busy = {_label(r, "cu"): r.get("value", 0.0)
+            for r in _select(rows, "fpga.cu.busy_seconds")}
+    out = []
+    for row in _select(rows, "fpga.cu.utilisation"):
+        cu = _label(row, "cu")
+        out.append({
+            "cu": cu,
+            "platform": _label(row, "platform"),
+            "busy_fraction": round(float(row.get("value", 0.0)), 4),
+            "busy_seconds": round(float(busy.get(cu, 0.0)), 6),
+        })
+    return sorted(out, key=lambda r: (r["platform"], r["cu"]))
+
+
+def dram_traffic_rows(rows: Rows) -> typing.List[typing.Dict[str, object]]:
+    """Per-channel DRAM bytes split by direction, plus DMA bursts."""
+    by_channel: typing.Dict[str, typing.Dict[str, float]] = {}
+    for row in _select(rows, "fpga.dram.bytes"):
+        entry = by_channel.setdefault(
+            _label(row, "channel"), {"load": 0.0, "store": 0.0})
+        entry[_label(row, "dir", "load")] = float(row.get("value", 0.0))
+    bursts = {_label(r, "channel"): float(r.get("value", 0.0))
+              for r in _select(rows, "fpga.dram.bursts")}
+    out = []
+    for channel in sorted(by_channel):
+        entry = by_channel[channel]
+        out.append({
+            "channel": channel,
+            "loaded_bytes": int(entry.get("load", 0.0)),
+            "stored_bytes": int(entry.get("store", 0.0)),
+            "total_bytes": int(entry.get("load", 0.0)
+                               + entry.get("store", 0.0)),
+            "bursts": int(bursts.get(channel, 0.0)),
+        })
+    return out
+
+
+def trainer_rows(rows: Rows) -> typing.List[typing.Dict[str, object]]:
+    """Per-trainer routine counts and step-rate distribution."""
+    routines = {_label(r, "trainer"): float(r.get("value", 0.0))
+                for r in _select(rows, "trainer.routines")}
+    steps = {_label(r, "trainer"): float(r.get("value", 0.0))
+             for r in _select(rows, "trainer.steps")}
+    out = []
+    for row in _select(rows, "trainer.step_rate"):
+        trainer = _label(row, "trainer")
+        out.append({
+            "trainer": trainer,
+            "routines": int(routines.get(trainer, 0.0)),
+            "steps": int(steps.get(trainer, 0.0)),
+            "step_rate_p50": _round(row.get("p50")),
+            "step_rate_p90": _round(row.get("p90")),
+            "step_rate_mean": _round(row.get("mean")),
+        })
+    return sorted(out, key=lambda r: r["trainer"])
+
+
+def gpu_kernel_rows(rows: Rows) -> typing.List[typing.Dict[str, object]]:
+    """Per-kernel launch counts plus the occupancy distribution."""
+    out = []
+    for row in _select(rows, "gpu.kernel.launches"):
+        out.append({"kernel": _label(row, "kernel"),
+                    "launches": int(row.get("value", 0.0))})
+    out.sort(key=lambda r: (-r["launches"], r["kernel"]))
+    for row in _select(rows, "gpu.kernel.occupancy"):
+        out.append({"kernel": "(occupancy p50/p90)",
+                    "launches": f"{_round(row.get('p50'))}/"
+                                f"{_round(row.get('p90'))}"})
+    return out
+
+
+def ips_rows(rows: Rows) -> typing.List[typing.Dict[str, object]]:
+    out = []
+    for row in _select(rows, "platform.ips"):
+        out.append({"platform": _label(row, "platform"),
+                    "agents": _label(row, "agents"),
+                    "ips": _round(row.get("value"))})
+    return sorted(out, key=lambda r: (r["platform"], r["agents"]))
+
+
+def _round(value, digits: int = 3):
+    if value is None:
+        return "-"
+    try:
+        return round(float(value), digits)
+    except (TypeError, ValueError):
+        return value
+
+
+def trace_lane_rows(doc: typing.Mapping[str, object]
+                    ) -> typing.List[typing.Dict[str, object]]:
+    """Per-lane busy time / span count from a Chrome trace document."""
+    events = doc.get("traceEvents", [])
+    names: typing.Dict[typing.Tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[(event["pid"], event["tid"])] = \
+                event.get("args", {}).get("name", "?")
+    busy: typing.Dict[typing.Tuple[int, int], float] = {}
+    counts: typing.Dict[typing.Tuple[int, int], int] = {}
+    window: typing.Dict[int, typing.List[float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        key = (event["pid"], event["tid"])
+        busy[key] = busy.get(key, 0.0) + float(event.get("dur", 0.0))
+        counts[key] = counts.get(key, 0) + 1
+        lo_hi = window.setdefault(event["pid"], [float("inf"), 0.0])
+        lo_hi[0] = min(lo_hi[0], float(event["ts"]))
+        lo_hi[1] = max(lo_hi[1], float(event["ts"])
+                       + float(event.get("dur", 0.0)))
+    rows = []
+    for key in sorted(busy):
+        pid = key[0]
+        lo, hi = window.get(pid, [0.0, 0.0])
+        total = hi - lo
+        rows.append({
+            "lane": names.get(key, f"pid{key[0]}/tid{key[1]}"),
+            "clock": {1: "sim", 2: "wall"}.get(pid, str(pid)),
+            "spans": counts[key],
+            "busy_ms": round(busy[key] / 1000.0, 3),
+            "busy_fraction": round(busy[key] / total, 4)
+            if total > 0 else 0.0,
+        })
+    return rows
+
+
+def obs_report(rows: Rows,
+               trace_doc: typing.Optional[typing.Mapping] = None) -> str:
+    """The full plain-text report ``repro obs-report`` prints."""
+    sections = []
+    cu = cu_utilisation_rows(rows)
+    if cu:
+        sections.append(format_table(
+            cu, title="Compute-unit utilisation"))
+    dram = dram_traffic_rows(rows)
+    if dram:
+        sections.append(format_table(
+            dram, title="DRAM traffic by channel"))
+    trainers = trainer_rows(rows)
+    if trainers:
+        sections.append(format_table(
+            trainers, title="Trainer step rates (steps/s per routine)"))
+    kernels = gpu_kernel_rows(rows)
+    if kernels:
+        sections.append(format_table(kernels, title="GPU kernel launches"))
+    ips = ips_rows(rows)
+    if ips:
+        sections.append(format_table(ips, title="Measured IPS"))
+    if trace_doc is not None:
+        lanes = trace_lane_rows(trace_doc)
+        if lanes:
+            sections.append(format_table(
+                lanes, title="Trace lanes (busy over each clock's "
+                             "span window)"))
+    if not sections:
+        return "(no recognised metrics — was REPRO_OBS/--metrics on?)"
+    return "\n\n".join(sections)
+
+
+def registry_report(registry: MetricsRegistry,
+                    trace_doc: typing.Optional[typing.Mapping] = None
+                    ) -> str:
+    """Report straight from a live registry."""
+    return obs_report(registry.snapshot(), trace_doc)

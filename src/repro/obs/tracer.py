@@ -1,0 +1,173 @@
+"""Unified span tracing over two clocks.
+
+A :class:`SpanTracer` records both
+
+* **sim-time** spans — it exposes the exact ``record(lane, label, start,
+  end)`` signature of :class:`repro.sim.trace.Tracer`, so it can be passed
+  anywhere a sim tracer is expected (e.g. ``FA3CPlatform.build_sim``) or
+  absorb an existing sim tracer's spans after a run; and
+* **wall-clock** spans — a context manager / decorator API stamped with
+  ``time.perf_counter`` (monotonic; immune to NTP adjustments).
+
+Both kinds carry a ``clock`` tag so the Chrome exporter can place them in
+separate trace processes with sensible time scales.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import functools
+import threading
+import time
+import typing
+
+from repro.sim.trace import Tracer as SimTracer
+
+SIM = "sim"
+WALL = "wall"
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsSpan:
+    """One traced interval on either clock."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+    clock: str = SIM
+    depth: int = 0
+    args: typing.Mapping[str, object] = dataclasses.field(
+        default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> typing.Dict[str, object]:
+        return {"lane": self.lane, "label": self.label,
+                "start": self.start, "end": self.end,
+                "clock": self.clock, "depth": self.depth,
+                "args": dict(self.args)}
+
+
+class SpanTracer:
+    """Collects :class:`ObsSpan` records from sim and wall clocks."""
+
+    def __init__(self, clock: typing.Callable[[], float]
+                 = time.perf_counter):
+        self._clock = clock
+        self.spans: typing.List[ObsSpan] = []
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- sim-time API (repro.sim.trace.Tracer compatible) -----------------
+
+    def record(self, lane: str, label: str, start: float, end: float,
+               clock: str = SIM, **args: object) -> None:
+        """Add one completed span (sim-time unless ``clock`` says wall)."""
+        if end < start:
+            raise ValueError(f"span ends before it starts: {label}")
+        span = ObsSpan(lane=lane, label=label, start=start, end=end,
+                       clock=clock, args=args)
+        with self._lock:
+            self.spans.append(span)
+
+    def absorb(self, tracer: SimTracer, clock: str = SIM) -> int:
+        """Copy every span out of a :class:`repro.sim.trace.Tracer`.
+
+        Returns the number of spans absorbed.
+        """
+        with self._lock:
+            for span in tracer.spans:
+                self.spans.append(ObsSpan(lane=span.lane, label=span.label,
+                                          start=span.start, end=span.end,
+                                          clock=clock))
+        return len(tracer.spans)
+
+    # -- wall-clock API ----------------------------------------------------
+
+    def _depth_stack(self) -> typing.List[str]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    @contextlib.contextmanager
+    def span(self, lane: str, label: str, **args: object):
+        """Wall-clock span context manager; nests per thread."""
+        stack = self._depth_stack()
+        depth = len(stack)
+        stack.append(label)
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            end = self._clock()
+            stack.pop()
+            record = ObsSpan(lane=lane, label=label, start=start,
+                             end=end, clock=WALL, depth=depth, args=args)
+            with self._lock:
+                self.spans.append(record)
+
+    def traced(self, lane: str, label: typing.Optional[str] = None):
+        """Decorator form of :meth:`span`."""
+        def decorate(func):
+            span_label = label or func.__qualname__
+
+            @functools.wraps(func)
+            def wrapper(*args, **kwargs):
+                with self.span(lane, span_label):
+                    return func(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+    def lanes(self, clock: typing.Optional[str] = None
+              ) -> typing.List[str]:
+        """Lane names in first-appearance order (optionally one clock)."""
+        seen: typing.List[str] = []
+        for span in self.spans:
+            if clock is not None and span.clock != clock:
+                continue
+            if span.lane not in seen:
+                seen.append(span.lane)
+        return seen
+
+    def by_clock(self, clock: str) -> typing.List[ObsSpan]:
+        return [s for s in self.spans if s.clock == clock]
+
+    def lane_busy(self, lane: str, clock: typing.Optional[str] = None
+                  ) -> float:
+        """Total busy time of one lane (top-level spans only, so nested
+        wall spans are not double-counted)."""
+        return sum(s.duration for s in self.spans
+                   if s.lane == lane and s.depth == 0
+                   and (clock is None or s.clock == clock))
+
+    def window(self, clock: typing.Optional[str] = None
+               ) -> typing.Tuple[float, float]:
+        """(earliest start, latest end) over the selected spans."""
+        spans = [s for s in self.spans
+                 if clock is None or s.clock == clock]
+        if not spans:
+            return (0.0, 0.0)
+        return (min(s.start for s in spans), max(s.end for s in spans))
+
+    def to_sim_tracer(self, clock: str = SIM) -> SimTracer:
+        """A :class:`repro.sim.trace.Tracer` view of one clock's spans
+        (for the text Gantt renderer)."""
+        tracer = SimTracer()
+        for span in self.by_clock(clock):
+            tracer.record(span.lane, span.label, span.start, span.end)
+        return tracer

@@ -32,12 +32,20 @@ class IPSMeter:
         """Steady-state IPS: drop the warm-up prefix of routines.
 
         The first ``discard_fraction`` of routines is excluded so the
-        pipeline-fill transient does not bias the estimate.
+        pipeline-fill transient does not bias the estimate.  Boundary
+        behaviour for tiny windows: with a non-zero ``discard_fraction``
+        at least one routine is always discarded once there are three or
+        more (``int(3 * 0.25) == 0`` used to silently discard nothing
+        while claiming steady state); with exactly two routines the rate
+        between them is returned — there is nothing left to discard and
+        the figure is *not* steady-state.
         """
         if len(self._events) < 2:
             return 0.0
         events = sorted(self._events)
         start_index = int(len(events) * discard_fraction)
+        if discard_fraction > 0 and len(events) >= 3:
+            start_index = max(start_index, 1)
         start_index = min(start_index, len(events) - 2)
         t0 = events[start_index][0]
         t1 = events[-1][0]

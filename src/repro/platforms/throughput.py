@@ -16,6 +16,7 @@ import typing
 import numpy as np
 
 from repro.gpu.calibration import GPUCalibration
+from repro.obs import runtime as _obs
 from repro.platforms.metrics import IPSMeter
 from repro.sim import Engine
 
@@ -112,12 +113,32 @@ def measure_ips(platform, num_agents: int, t_max: int = 5,
     engine.run(engine.all_of(processes))
     name = getattr(platform, "name", None) or platform.config.name
     utilisation = sim.utilisation() if hasattr(sim, "utilisation") else 0.0
-    return ThroughputResult(platform=name, num_agents=num_agents,
-                            t_max=t_max, ips=meter.ips(),
-                            routines=num_agents * routines_per_agent,
-                            sim_seconds=engine.now,
-                            utilisation=utilisation,
-                            inference_latencies=tuple(latencies))
+    result = ThroughputResult(platform=name, num_agents=num_agents,
+                              t_max=t_max, ips=meter.ips(),
+                              routines=num_agents * routines_per_agent,
+                              sim_seconds=engine.now,
+                              utilisation=utilisation,
+                              inference_latencies=tuple(latencies))
+    if _obs.enabled():
+        _record_throughput(sim, result)
+    return result
+
+
+def _record_throughput(sim, result: ThroughputResult) -> None:
+    """End-of-run gauges: IPS, sim duration, per-CU busy fraction."""
+    metrics = _obs.metrics()
+    labels = {"platform": result.platform,
+              "agents": str(result.num_agents)}
+    metrics.gauge("platform.ips").set(result.ips, **labels)
+    metrics.gauge("platform.sim_seconds").set(result.sim_seconds,
+                                              **labels)
+    cus = []
+    for attr in ("infer_cus", "train_cus"):
+        cus.extend(getattr(sim, attr, []))
+    unique = {id(cu): cu for cu in cus}
+    for cu in unique.values():
+        metrics.gauge("fpga.cu.utilisation").set(
+            cu.utilisation(), cu=cu.name, platform=result.platform)
 
 
 def sweep_agents(platform, agent_counts: typing.Sequence[int],

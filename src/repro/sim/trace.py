@@ -25,12 +25,25 @@ class Span:
     def duration(self) -> float:
         return self.end - self.start
 
+    def as_dict(self) -> typing.Dict[str, object]:
+        """JSON-ready form (machine-readable export paths)."""
+        return {"lane": self.lane, "label": self.label,
+                "start": self.start, "end": self.end}
+
 
 class Tracer:
-    """Collects spans and renders them."""
+    """Collects spans and renders them.
 
-    def __init__(self):
+    ``sink`` is an optional duck-typed forwarding target with the same
+    ``record(lane, label, start, end)`` signature — pass a
+    :class:`repro.obs.SpanTracer` to mirror every sim span into the
+    unified observability layer (Chrome-trace export etc.) while keeping
+    this tracer's text-Gantt rendering.
+    """
+
+    def __init__(self, sink: typing.Optional[object] = None):
         self.spans: typing.List[Span] = []
+        self.sink = sink
 
     def record(self, lane: str, label: str, start: float,
                end: float) -> None:
@@ -39,6 +52,8 @@ class Tracer:
             raise ValueError(f"span ends before it starts: {label}")
         self.spans.append(Span(lane=lane, label=label, start=start,
                                end=end))
+        if self.sink is not None:
+            self.sink.record(lane, label, start, end)
 
     def lanes(self) -> typing.List[str]:
         """Lane names in first-appearance order."""

@@ -28,6 +28,14 @@ class TestParser:
             ["sweep", "--rates", "1e-4", "7e-4"])
         assert args.rates == [1e-4, 7e-4]
 
+    def test_max_steps_is_an_alias_for_steps(self):
+        args = build_parser().parse_args(["train", "--max-steps", "200"])
+        assert args.steps == 200
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["train"])
+        assert args.trace is None and args.metrics is None
+
 
 class TestCommands:
     def test_tables_prints_all_four(self, capsys):
@@ -58,6 +66,38 @@ class TestCommands:
                      "--lstm"])
         assert code == 0
         assert "A3C-LSTM" in capsys.readouterr().out
+
+    def test_train_with_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro import obs
+        trace = os.path.join(tmp_path, "t.json")
+        metrics = os.path.join(tmp_path, "m.jsonl")
+        code = main(["train", "--game", "pong", "--max-steps", "60",
+                     "--agents", "2", "--episode-cap", "50", "--serial",
+                     "--trace", trace, "--metrics", metrics])
+        obs.disable()
+        obs.metrics().reset()
+        assert code == 0
+        doc = json.loads(open(trace).read())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete and all("ts" in e and "dur" in e
+                                for e in complete)
+        rows = [json.loads(line) for line in open(metrics)]
+        names = {row["name"] for row in rows}
+        assert {"fpga.cu.utilisation", "fpga.dram.bytes",
+                "trainer.step_rate"} <= names
+        out = capsys.readouterr().out
+        assert "Compute-unit utilisation" in out
+        assert "DRAM traffic by channel" in out
+        # The report renders again from the files alone.
+        assert main(["obs-report", "--metrics", metrics,
+                     "--trace", trace]) == 0
+        assert "Trace lanes" in capsys.readouterr().out
+
+    def test_obs_report_requires_an_input(self, capsys):
+        assert main(["obs-report"]) == 2
+        assert "needs" in capsys.readouterr().out
 
     def test_card_prints_checks(self, capsys):
         assert main(["card"]) == 0

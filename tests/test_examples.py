@@ -23,7 +23,7 @@ class TestExamples:
         assert {"quickstart.py", "atari_breakout.py",
                 "platform_comparison.py", "fpga_backend_demo.py",
                 "ablation_study.py", "lstm_memory.py",
-                "watch_games.py"} <= names
+                "watch_games.py", "trace_dual_cu.py"} <= names
 
     def test_watch_games(self):
         result = _run("watch_games.py", ["pong"])
@@ -45,6 +45,20 @@ class TestExamples:
         result = _run("atari_breakout.py", ["400"])
         assert result.returncode == 0, result.stderr
         assert "Training A3C on simulated breakout" in result.stdout
+
+    def test_trace_dual_cu(self, tmp_path):
+        import json
+        result = _run("trace_dual_cu.py", [str(tmp_path)])
+        assert result.returncode == 0, result.stderr
+        assert "dual-CU speedup over single-CU" in result.stdout
+        for name in ("trace_dual_cu.json", "trace_single_cu.json"):
+            doc = json.loads((tmp_path / name).read_text())
+            assert doc["traceEvents"], name
+        # The dual-CU trace shows icu/tcu lanes; single-CU only cu0.
+        dual = (tmp_path / "trace_dual_cu.json").read_text()
+        single = (tmp_path / "trace_single_cu.json").read_text()
+        assert "icu0" in dual and "tcu0" in dual
+        assert "icu0" not in single and '"cu0"' in single
 
     @pytest.mark.slow
     def test_quickstart(self):
