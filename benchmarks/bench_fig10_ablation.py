@@ -13,24 +13,63 @@ normalises to FA3C at n = 16.  Shape anchors:
 
 import pytest
 
+from repro import obs
 from repro.fpga.platform import FA3CPlatform
-from repro.harness import format_series
-from repro.platforms import sweep_agents
+from repro.harness import format_series, format_table
+from repro.obs.prof import AttributionReport
+from repro.platforms import measure_ips, sweep_agents
 
 AGENTS = (1, 2, 4, 8, 16)
 
 
+def _variants(topology):
+    return {
+        "FA3C": FA3CPlatform.fa3c(topology, cu_pairs=1),
+        "FA3C-Alt1": FA3CPlatform.alt1(topology, cu_pairs=1),
+        "FA3C-Alt2": FA3CPlatform.alt2(topology, cu_pairs=1),
+        "FA3C-SingleCU": FA3CPlatform.single_cu(topology, cu_pairs=1),
+        "FA3C-NoDB": FA3CPlatform.fa3c(topology, cu_pairs=1,
+                                       double_buffering=False),
+    }
+
+
+def _stall_breakdown(topology, num_agents=16):
+    """Per-variant cycle-attribution shares at one agent count.
+
+    The profiler's explanation of Figure 10: which cause bucket each
+    configuration's lost cycles land in (stall = everything that is not
+    PE/RMSProp work).
+    """
+    rows = []
+    for name, platform in _variants(topology).items():
+        with obs.enabled_scope(reset=True):
+            measure_ips(platform, num_agents, routines_per_agent=25)
+            report = AttributionReport.from_registry(
+                obs.metrics()).validate()
+        shares = report.fpga_bucket_shares()
+        stall = (shares.get("dram_wait", 0.0)
+                 + shares.get("buffer_stall", 0.0)
+                 + shares.get("tlu_layout", 0.0))
+        rows.append({
+            "config": name,
+            "stall": f"{100.0 * stall:.1f}%",
+            "dram_wait": f"{100.0 * shares.get('dram_wait', 0.0):.1f}%",
+            "buffer_stall":
+                f"{100.0 * shares.get('buffer_stall', 0.0):.1f}%",
+            "tlu_layout":
+                f"{100.0 * shares.get('tlu_layout', 0.0):.1f}%",
+            "pe_compute":
+                f"{100.0 * shares.get('pe_compute', 0.0):.1f}%",
+        })
+    return rows
+
+
 def test_fig10_configurations(benchmark, topology, show):
     def run():
-        variants = {
-            "FA3C": FA3CPlatform.fa3c(topology, cu_pairs=1),
-            "FA3C-Alt1": FA3CPlatform.alt1(topology, cu_pairs=1),
-            "FA3C-Alt2": FA3CPlatform.alt2(topology, cu_pairs=1),
-            "FA3C-SingleCU": FA3CPlatform.single_cu(topology,
-                                                    cu_pairs=1),
-        }
         series = {}
-        for name, platform in variants.items():
+        for name, platform in _variants(topology).items():
+            if name == "FA3C-NoDB":
+                continue    # profiled below, not part of Figure 10
             results = sweep_agents(platform, AGENTS,
                                    routines_per_agent=25)
             series[name] = [r.ips for r in results]
@@ -43,6 +82,9 @@ def test_fig10_configurations(benchmark, topology, show):
     show(format_series(AGENTS, normalised,
                        title="Figure 10: relative performance "
                              "(normalised to FA3C at n = 16, 1 CU pair)"))
+    show(format_table(_stall_breakdown(topology),
+                      title="Stall breakdown at n = 16 (share of all "
+                            "simulated CU cycles)"))
 
     # Alt1: ~33 % lower at n = 16.
     assert normalised["FA3C-Alt1"][-1] == pytest.approx(0.67, abs=0.12)

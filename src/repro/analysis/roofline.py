@@ -14,6 +14,24 @@ import typing
 from repro.nn.network import WORD_BYTES, LayerSpec, NetworkTopology
 
 
+def stage_flops(spec: LayerSpec, batch: int, stage: str) -> float:
+    """FLOPs of one layer stage (a MAC is two FLOPs)."""
+    if stage == "fw":
+        return 2.0 * spec.macs_fw(batch)
+    if stage == "bw":
+        return 2.0 * spec.macs_bw(batch)
+    if stage == "gc":
+        return 2.0 * spec.macs_gc(batch)
+    raise ValueError(f"unknown stage {stage!r}")
+
+
+def stage_traffic_bytes(spec: LayerSpec, batch: int) -> float:
+    """Off-chip bytes of one layer stage: the parameters plus the
+    input/output feature maps (the same for FW, BW and GC)."""
+    return (spec.num_params
+            + batch * (spec.num_inputs + spec.num_outputs)) * WORD_BYTES
+
+
 def operational_intensity(spec: LayerSpec, batch: int,
                           stage: str = "fw") -> float:
     """FLOPs per off-chip byte for one layer stage.
@@ -22,31 +40,15 @@ def operational_intensity(spec: LayerSpec, batch: int,
     maps; increasing the batch amortises the parameter traffic — which is
     exactly what A3C cannot do (Section 3.2).
     """
-    if stage == "fw":
-        flops = 2.0 * spec.macs_fw(batch)
-    elif stage == "bw":
-        flops = 2.0 * spec.macs_bw(batch)
-    elif stage == "gc":
-        flops = 2.0 * spec.macs_gc(batch)
-    else:
-        raise ValueError(f"unknown stage {stage!r}")
-    traffic = (spec.num_params
-               + batch * (spec.num_inputs + spec.num_outputs)) * WORD_BYTES
-    return flops / traffic
+    return stage_flops(spec, batch, stage) / stage_traffic_bytes(spec,
+                                                                 batch)
 
 
 def roofline_time(spec: LayerSpec, batch: int, peak_flops: float,
                   mem_bandwidth: float, stage: str = "fw") -> float:
     """Roofline execution time: max of compute-limit and memory-limit."""
-    if stage == "fw":
-        flops = 2.0 * spec.macs_fw(batch)
-    elif stage == "bw":
-        flops = 2.0 * spec.macs_bw(batch)
-    else:
-        flops = 2.0 * spec.macs_gc(batch)
-    traffic = (spec.num_params
-               + batch * (spec.num_inputs + spec.num_outputs)) * WORD_BYTES
-    return max(flops / peak_flops, traffic / mem_bandwidth)
+    return max(stage_flops(spec, batch, stage) / peak_flops,
+               stage_traffic_bytes(spec, batch) / mem_bandwidth)
 
 
 def intensity_table(topology: NetworkTopology,

@@ -12,7 +12,11 @@ Commands:
 * ``card``    — the calibration model card with live anchor checks.
 * ``sweep``   — the paper's per-game learning-rate tuning protocol.
 * ``obs-report`` — summarise a previous run's ``--metrics`` /
-  ``--trace`` files (utilisation, DRAM traffic, step rates).
+  ``--trace`` files (utilisation, DRAM traffic, step rates, cycle
+  attribution), optionally re-exporting a folded flamegraph profile.
+* ``bench``   — the perf-baseline gate: ``--baseline`` snapshots IPS +
+  cycle-attribution shares per scenario into ``BENCH_fa3c.json``;
+  ``--check`` re-runs the scenarios and exits non-zero on regression.
 """
 
 from __future__ import annotations
@@ -50,7 +54,7 @@ def _build_trainer(args) -> A3CTrainer:
 
 
 def cmd_train(args) -> int:
-    observing = bool(args.trace or args.metrics)
+    observing = bool(args.trace or args.metrics or args.folded)
     if observing:
         from repro import obs
         obs.enable(reset=True)
@@ -107,6 +111,12 @@ def _emit_observability(args) -> None:
                                        meta=meta)
         print(f"trace: {spans} spans -> {args.trace} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.folded:
+        from repro.obs.prof import AttributionReport, write_folded
+        report = AttributionReport.from_registry(obs.metrics())
+        lines = write_folded(report, args.folded)
+        print(f"folded profile: {lines} stacks -> {args.folded} "
+              f"(open in speedscope.app or flamegraph.pl)")
     print()
     print(obs.registry_report(obs.metrics()))
 
@@ -123,8 +133,114 @@ def cmd_obs_report(args) -> int:
     except OSError as exc:
         print(f"obs-report: cannot read {exc.filename}: {exc.strerror}")
         return 2
+    if args.folded:
+        from repro.obs.prof import AttributionReport, write_folded
+        report = AttributionReport(rows)
+        if not (report.has_fpga or report.has_gpu):
+            print("obs-report: no attribution metrics in the input; "
+                  "--folded needs a run recorded with profiling on")
+            return 2
+        lines = write_folded(report, args.folded)
+        print(f"folded profile: {lines} stacks -> {args.folded}")
     print(obs.obs_report(rows, doc))
     return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.obs.prof import baseline as bench
+
+    names = list(args.scenarios) if args.scenarios else None
+    base = None
+    if args.check:
+        try:
+            base = bench.load_snapshot(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot load baseline {args.file}: {exc}")
+            return 2
+        if names is None:
+            names = sorted(base.get("scenarios") or {})
+    if names is None:
+        names = bench.scenario_names()
+
+    failures: typing.List[str] = []
+    scenarios: typing.Dict[str, typing.Dict[str, object]] = {}
+    for name in names:
+        try:
+            entry, report = bench.run_scenario(name)
+        except ValueError as exc:
+            failures.append(str(exc))
+            continue
+        scenarios[name] = entry
+        buckets = " ".join(f"{bucket}={share:.3f}" for bucket, share
+                           in entry["buckets"].items())
+        print(f"{name}: ips={entry['ips']:.1f} {buckets}")
+        if args.report_dir:
+            _write_bench_report(args.report_dir, name, report)
+
+    current = {
+        "version": bench.SNAPSHOT_VERSION,
+        "tolerances": {
+            "ips_rtol": args.ips_tolerance
+            if args.ips_tolerance is not None else bench.DEFAULT_IPS_RTOL,
+            "share_atol": args.share_tolerance
+            if args.share_tolerance is not None
+            else bench.DEFAULT_SHARE_ATOL,
+        },
+        "scenarios": scenarios,
+    }
+    if args.baseline:
+        bench.write_snapshot(current, args.file)
+        print(f"baseline: {len(scenarios)} scenarios -> {args.file}")
+    if args.check:
+        compare = base
+        if args.scenarios:
+            # Only gate the requested subset; flag requested scenarios
+            # the baseline has never recorded.
+            recorded = base.get("scenarios") or {}
+            for name in args.scenarios:
+                if name not in recorded:
+                    failures.append(f"{name}: not in baseline "
+                                    f"{args.file}")
+            compare = dict(base)
+            compare["scenarios"] = {name: entry for name, entry
+                                    in recorded.items()
+                                    if name in set(args.scenarios)}
+        failures.extend(bench.check_snapshot(
+            compare, current, ips_rtol=args.ips_tolerance,
+            share_atol=args.share_tolerance))
+        if failures:
+            print(f"\nPERF GATE FAILED ({len(failures)} finding(s)):")
+            for failure in failures:
+                print(f"  - {failure}")
+            print("If the change is intentional, refresh the snapshot "
+                  "with `repro bench --baseline`.")
+            return 1
+        print(f"\nperf gate OK: {len(scenarios)} scenarios within "
+              "tolerance of " + str(args.file))
+    return 0
+
+
+def _write_bench_report(report_dir: str, name: str, report) -> None:
+    """Per-scenario attribution artifacts for the CI perf-gate upload."""
+    import os
+
+    from repro.obs.prof import write_folded
+
+    os.makedirs(report_dir, exist_ok=True)
+    write_folded(report, os.path.join(report_dir, f"{name}.folded"))
+    sections = []
+    if report.has_fpga:
+        sections.append(format_table(
+            report.layer_rows(), title=f"{name}: cycle attribution by "
+                                       "layer/stage"))
+        sections.append(format_table(
+            report.cu_rows(), title=f"{name}: cycle attribution by CU"))
+    if report.has_gpu:
+        sections.append(format_table(
+            report.gpu_rows(), title=f"{name}: GPU time attribution"))
+    with open(os.path.join(report_dir, f"{name}.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write("\n\n".join(sections) + "\n")
 
 
 def cmd_compare(args) -> int:
@@ -262,6 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome/Perfetto trace JSON here")
     train.add_argument("--metrics", default=None,
                        help="write metric snapshots (JSONL) here")
+    train.add_argument("--folded", default=None,
+                       help="write a folded flamegraph profile here")
     train.set_defaults(func=cmd_train)
 
     compare = sub.add_parser("compare",
@@ -301,7 +419,34 @@ def build_parser() -> argparse.ArgumentParser:
                             help="metrics JSONL from `train --metrics`")
     obs_report.add_argument("--trace", default=None,
                             help="Chrome trace JSON from `train --trace`")
+    obs_report.add_argument("--folded", default=None,
+                            help="re-export the metrics' cycle "
+                                 "attribution as a folded profile here")
     obs_report.set_defaults(func=cmd_obs_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-baseline gate over the scenario matrix")
+    bench.add_argument("--baseline", action="store_true",
+                       help="write the measured snapshot to --file")
+    bench.add_argument("--check", action="store_true",
+                       help="diff against --file; non-zero exit on "
+                            "regression")
+    bench.add_argument("--file", default="BENCH_fa3c.json",
+                       help="baseline snapshot path "
+                            "(default: BENCH_fa3c.json)")
+    bench.add_argument("--scenarios", nargs="+", default=None,
+                       help="subset of scenario names to run")
+    bench.add_argument("--ips-tolerance", type=float, default=None,
+                       help="allowed relative IPS drop (overrides the "
+                            "baseline's tolerance)")
+    bench.add_argument("--share-tolerance", type=float, default=None,
+                       help="allowed absolute bucket-share drift "
+                            "(overrides the baseline's tolerance)")
+    bench.add_argument("--report-dir", default=None,
+                       help="write per-scenario attribution tables and "
+                            "folded profiles here")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -171,7 +171,10 @@ class BufferControlUnit:
             self.shift_ops += 1
             shifted += 1
         if shifted and _obs.enabled():
-            _obs.metrics().counter("fpga.bcu.ops").inc(shifted, op="shift")
+            metrics = _obs.metrics()
+            metrics.counter("fpga.bcu.ops").inc(shifted, op="shift")
+            # One word per cycle: shift ops double as a cycle count.
+            metrics.counter("fpga.bcu.cycles").inc(shifted, op="shift")
 
     def scatter(self, line: LineBuffer, buffer: OnChipBuffer,
                 placements: typing.Sequence[typing.Tuple[int, int]]

@@ -84,6 +84,8 @@ class DRAMChannel:
                 words * WORD_BYTES, channel=self.name, dir="load")
             metrics.counter("fpga.dram.bursts").inc(
                 -(-words // WORDS_PER_BEAT), channel=self.name)
+            metrics.counter("fpga.dram.busy_cycles").inc(
+                cycles, channel=self.name, dir="load")
         return cycles
 
     def store(self, words: int, sequential: bool = True) -> int:
@@ -97,6 +99,8 @@ class DRAMChannel:
                 words * WORD_BYTES, channel=self.name, dir="store")
             metrics.counter("fpga.dram.bursts").inc(
                 -(-words // WORDS_PER_BEAT), channel=self.name)
+            metrics.counter("fpga.dram.busy_cycles").inc(
+                cycles, channel=self.name, dir="store")
         return cycles
 
 

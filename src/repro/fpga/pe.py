@@ -18,6 +18,8 @@ import typing
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+
 
 class ProcessingElement:
     """One fp32 multiplier + accumulator."""
@@ -91,6 +93,8 @@ class PEArray:
         rounds = -(-n_outputs // self.n_pe)
         self.total_cycles += rounds * freq
         self.busy_pe_cycles += n_outputs * freq
+        if _obs.enabled():
+            _obs.metrics().counter("fpga.pe.cycles").inc(rounds * freq)
         # fp32 accumulation order matches the sequential hardware sum.
         acc = np.zeros(n_outputs, dtype=np.float32)
         a32 = operand_a.astype(np.float32)
@@ -113,4 +117,6 @@ class PEArray:
         cycles = rounds * accumulation_frequency
         self.total_cycles += cycles
         self.busy_pe_cycles += n_outputs * accumulation_frequency
+        if _obs.enabled():
+            _obs.metrics().counter("fpga.pe.cycles").inc(cycles)
         return cycles

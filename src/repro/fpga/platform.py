@@ -27,6 +27,7 @@ from repro.fpga.resources import VU9P, DeviceCapacity, ResourceModel
 from repro.fpga.timing import GLOBAL, LOCAL, StageTiming, TimingModel
 from repro.nn.network import NetworkTopology
 from repro.obs import runtime as _obs
+from repro.obs.prof import buckets as _prof
 from repro.sim import Engine, Resource, Tracer
 
 
@@ -119,6 +120,30 @@ class FA3CPlatform:
 
     def task_seconds(self, stages: typing.Sequence[StageTiming]) -> float:
         return sum(self.stage_seconds(stage) for stage in stages)
+
+    def stage_attribution(self, stage: StageTiming
+                          ) -> typing.Dict[str, float]:
+        """Uncontended stage duration split into cause buckets.
+
+        Fractional cycles summing to ``stage_seconds(stage) * clock_hz``
+        (up to float rounding); the measured counterpart is recorded per
+        executed stage by :class:`FPGASim`.
+        """
+        total = self.stage_seconds(stage) * self.config.clock_hz
+        # stage_seconds round-trips compute_cycles through seconds;
+        # clamp the last-ulp loss so the compute floor holds exactly.
+        total = max(total, float(stage.compute_cycles))
+        return _prof.fpga_stage_buckets(stage, total,
+                                        self.config.double_buffering)
+
+    def task_attribution(self, stages: typing.Sequence[StageTiming]
+                         ) -> typing.Dict[str, float]:
+        """Summed :meth:`stage_attribution` over a task's stages."""
+        totals: typing.Dict[str, float] = {}
+        for stage in stages:
+            for bucket, cycles in self.stage_attribution(stage).items():
+                totals[bucket] = totals.get(bucket, 0.0) + cycles
+        return totals
 
     def inference_latency(self, batch: int = 1) -> float:
         """Uncontended single-inference latency in seconds."""
@@ -261,6 +286,33 @@ class FPGASim:
                 yield from resource.use(duration)
             yield self.engine.timeout(compute_seconds)
 
+    def _record_stage(self, stage: StageTiming, cu_name: str, task: str,
+                      elapsed: float) -> None:
+        """Attribute one executed stage's cycles to cause buckets.
+
+        The simulated duration is snapped to integer cycles (DMA burst
+        times are fractional-cycle at the modelled efficiency, so up to
+        half a cycle per stage is rounded away) and decomposed by
+        :func:`repro.obs.prof.buckets.fpga_stage_buckets`; the total
+        counter is incremented by the bucket sum itself, making the
+        buckets-sum-to-total invariant exact by construction.
+        """
+        config = self.platform.config
+        cycles = int(round(elapsed * config.clock_hz))
+        total = max(cycles, stage.compute_cycles)
+        buckets = _prof.fpga_stage_buckets(stage, total,
+                                           config.double_buffering)
+        kind, layer = _prof.split_stage_name(stage.name)
+        metrics = _obs.metrics()
+        counter = metrics.counter(_prof.FPGA_CYCLES_METRIC)
+        recorded = 0
+        for bucket, value in buckets.items():
+            counter.inc(value, cu=cu_name, task=task, stage=kind,
+                        layer=layer, bucket=bucket)
+            recorded += value
+        metrics.counter(_prof.FPGA_CYCLES_TOTAL_METRIC).inc(recorded,
+                                                            cu=cu_name)
+
     def _run_task(self, stages: typing.Sequence[StageTiming],
                   cu: Resource, pair: int, task: str = "task"):
         """Process body: acquire the CU, run all stages, release."""
@@ -274,6 +326,9 @@ class FPGASim:
                 if self.tracer is not None:
                     self.tracer.record(cu.name, stage.name, start,
                                        self.engine.now)
+                if observing:
+                    self._record_stage(stage, cu.name, task,
+                                       self.engine.now - start)
         finally:
             cu.release()
             if observing:
@@ -318,9 +373,13 @@ class FPGASim:
         CU's DMA path; occupies channels but not PEs)."""
         pair = self._pair(agent_id)
         stages = self.platform.timing.sync_task()
+        observing = _obs.enabled()
         for stage in stages:
             start = self.engine.now
             yield from self._run_stage(stage, pair)
             if self.tracer is not None:
                 self.tracer.record(f"sync{pair}", stage.name, start,
                                    self.engine.now)
+            if observing:
+                self._record_stage(stage, f"sync{pair}", "sync",
+                                   self.engine.now - start)

@@ -42,6 +42,14 @@ class StageTiming:
     compute_cycles: int
     loads: typing.Dict[str, int] = dataclasses.field(default_factory=dict)
     stores: typing.Dict[str, int] = dataclasses.field(default_factory=dict)
+    overhead_cycles: int = 0
+    """Share of ``compute_cycles`` that is fixed control overhead
+    (pipeline fill, buffer swap, task handshake) rather than PE work —
+    the attribution profiler's ``control`` bucket."""
+    transform_words: int = 0
+    """Share of the stage's DRAM words that exists only for layout
+    transformation (TLU-transposed BW parameters, the Alt2 second
+    layout copy) — the profiler's ``tlu_layout`` bucket."""
 
     def words(self, channel: str) -> int:
         """Total words moved on one channel."""
@@ -167,7 +175,8 @@ class TimingModel:
         # Output feature maps are saved to DRAM for reuse by the training
         # task (Section 4.3).
         stores = {LOCAL: self.feature_words(spec, batch)}
-        return StageTiming(f"FW:{spec.name}", compute, loads, stores)
+        return StageTiming(f"FW:{spec.name}", compute, loads, stores,
+                           overhead_cycles=self.STAGE_OVERHEAD_CYCLES)
 
     def gc_stage(self, spec: LayerSpec, batch: int,
                  first_layer: bool) -> StageTiming:
@@ -186,7 +195,8 @@ class TimingModel:
             else 0
         loads = {LOCAL: input_feature_words}
         stores = {GLOBAL: self.param_image_words(spec)}
-        return StageTiming(f"GC:{spec.name}", compute, loads, stores)
+        return StageTiming(f"GC:{spec.name}", compute, loads, stores,
+                           overhead_cycles=self.STAGE_OVERHEAD_CYCLES)
 
     def bw_stage(self, spec: LayerSpec, batch: int,
                  prev_spec: typing.Optional[LayerSpec]) -> StageTiming:
@@ -199,11 +209,18 @@ class TimingModel:
         macs = spec.macs_bw(batch)
         parallel = _parallel_bw(self.n_pe, spec, self.layout_mode)
         compute = -(-macs // parallel) + self.STAGE_OVERHEAD_CYCLES
-        loads = {LOCAL: self.param_image_words(spec)}
+        param_words = self.param_image_words(spec)
+        loads = {LOCAL: param_words}
         if prev_spec is not None:
             # Feature maps of the upstream layer, needed by its GC.
             loads[LOCAL] += self.feature_words(prev_spec, batch)
-        return StageTiming(f"BW:{spec.name}", compute, loads, {})
+        # In the FA3C layout the BW parameter load flows through the TLU
+        # transpose; Alt1 reuses the FW layout untransformed and Alt2
+        # reads the pre-materialised second copy.
+        transform = param_words if self.layout_mode == "fa3c" else 0
+        return StageTiming(f"BW:{spec.name}", compute, loads, {},
+                           overhead_cycles=self.STAGE_OVERHEAD_CYCLES,
+                           transform_words=transform)
 
     def rmsprop_stage(self, num_rus: typing.Optional[int] = None
                       ) -> StageTiming:
@@ -218,7 +235,9 @@ class TimingModel:
         extra = words if self.layout_mode == "alt2" else 0
         loads = {GLOBAL: 2 * words}              # theta + g
         stores = {GLOBAL: 2 * words + extra}     # theta + g (+ 2nd layout)
-        return StageTiming("RMSProp", compute, loads, stores)
+        return StageTiming("RMSProp", compute, loads, stores,
+                           overhead_cycles=self.STAGE_OVERHEAD_CYCLES,
+                           transform_words=extra)
 
     def sync_stage(self) -> StageTiming:
         """Parameter sync: copy global theta to the agent's local theta."""
@@ -234,6 +253,7 @@ class TimingModel:
         for index, spec in enumerate(self.topology.layers):
             stages.append(self.fw_stage(spec, batch, first_layer=index == 0))
         stages[0].compute_cycles += self.TASK_OVERHEAD_CYCLES
+        stages[0].overhead_cycles += self.TASK_OVERHEAD_CYCLES
         return stages
 
     def training_task(self, batch: int) -> typing.List[StageTiming]:
@@ -250,6 +270,7 @@ class TimingModel:
                                             layers[index - 1]))
         stages.append(self.rmsprop_stage())
         stages[0].compute_cycles += self.TASK_OVERHEAD_CYCLES
+        stages[0].overhead_cycles += self.TASK_OVERHEAD_CYCLES
         return stages
 
     def sync_task(self) -> typing.List[StageTiming]:

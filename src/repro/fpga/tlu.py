@@ -80,6 +80,7 @@ class TransposeLoadUnit:
             metrics = _obs.metrics()
             metrics.counter("fpga.tlu.patches").inc()
             metrics.counter("fpga.tlu.words").inc(self.patch * self.patch)
+            metrics.counter("fpga.tlu.cycles").inc(self.transpose_cycles())
         return transposed
 
     def transpose_cycles(self) -> int:

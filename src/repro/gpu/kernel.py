@@ -74,6 +74,20 @@ class KernelCostModel:
         return sum(self.kernel_seconds(call, include_launch)
                    for call in calls)
 
+    def sequence_buckets(self, calls: typing.Sequence[KernelCall],
+                         include_launch: bool = True
+                         ) -> typing.Dict[str, float]:
+        """Body-vs-launch split of a kernel sequence, in seconds.
+
+        Feeds the attribution profiler; uses :meth:`compute_seconds`
+        directly so no per-kernel metrics are recorded twice.
+        """
+        body = sum(self.compute_seconds(call) for call in calls)
+        buckets = {"kernel": body}
+        if include_launch:
+            buckets["launch"] = len(calls) * self.cal.launch_overhead
+        return buckets
+
     def launch_fraction(self, calls: typing.Sequence[KernelCall]) -> float:
         """Share of total time spent in launch overhead (Section 3.4)."""
         total = self.sequence_seconds(calls, include_launch=True)

@@ -24,7 +24,29 @@ from repro.gpu.cudnn import CuDNNModel
 from repro.gpu.kernel import KernelCall, KernelCostModel
 from repro.gpu.specs import P100, XEON_E5_2630_PAIR, GPUSpec, HostSpec
 from repro.nn.network import NetworkTopology
+from repro.obs import runtime as _obs
+from repro.obs.prof import buckets as _prof
 from repro.sim import Engine, Resource, Store
+
+
+def _record_task_profile(platform_name: str, task: str,
+                         buckets: typing.Mapping[str, float]) -> None:
+    """Record one task's cause-bucket split as integer nanoseconds.
+
+    The total counter is incremented by the sum of the recorded bucket
+    integers, so buckets sum to the total exactly (the GPU analogue of
+    the FPGA cycle invariant)."""
+    metrics = _obs.metrics()
+    counter = metrics.counter(_prof.GPU_TIME_METRIC)
+    total = 0
+    for bucket, seconds in buckets.items():
+        ns = int(round(seconds * 1e9))
+        if ns <= 0:
+            continue
+        counter.inc(ns, platform=platform_name, task=task, bucket=bucket)
+        total += ns
+    metrics.counter(_prof.GPU_TIME_TOTAL_METRIC).inc(
+        total, platform=platform_name, task=task)
 
 
 class _GPUPlatformBase:
@@ -66,6 +88,41 @@ class _GPUPlatformBase:
         """Local-model refresh from the global model (device copy)."""
         return self.task_overhead \
             + self._kernel_time(self.model.sync_kernels())
+
+    def _kernel_buckets(self, calls: typing.Sequence[KernelCall]
+                        ) -> typing.Dict[str, float]:
+        """Body-vs-launch seconds, scaled like :meth:`_kernel_time`."""
+        return {bucket: seconds * self.kernel_slowdown
+                for bucket, seconds in
+                self.kernels.sequence_buckets(calls).items()}
+
+    def inference_buckets(self, batch: int = 1
+                          ) -> typing.Dict[str, float]:
+        """Cause-bucket split mirroring :meth:`inference_seconds`."""
+        buckets = self._kernel_buckets(self.model.inference_kernels(batch))
+        buckets[_prof.GPU_MEMCPY] = (
+            self.kernels.pcie_seconds(self.model.input_bytes(batch))
+            + self.kernels.pcie_seconds(self.model.output_bytes(batch)))
+        if self.task_overhead:
+            buckets[_prof.GPU_FRAMEWORK] = self.task_overhead
+        return buckets
+
+    def training_buckets(self, batch: int) -> typing.Dict[str, float]:
+        """Cause-bucket split mirroring :meth:`training_seconds`."""
+        buckets = self._kernel_buckets(self.model.training_kernels(batch))
+        last = self.topology.layers[-1]
+        buckets[_prof.GPU_MEMCPY] = self.kernels.pcie_seconds(
+            batch * last.num_outputs * 4)
+        if self.task_overhead:
+            buckets[_prof.GPU_FRAMEWORK] = self.task_overhead
+        return buckets
+
+    def sync_buckets(self) -> typing.Dict[str, float]:
+        """Cause-bucket split mirroring :meth:`sync_seconds`."""
+        buckets = self._kernel_buckets(self.model.sync_kernels())
+        if self.task_overhead:
+            buckets[_prof.GPU_FRAMEWORK] = self.task_overhead
+        return buckets
 
     def launch_fraction(self, batch: int = 1) -> float:
         """Launch-overhead share of an A3C routine's kernel time
@@ -109,12 +166,22 @@ class A3CTFCPUPlatform(_GPUPlatformBase):
         self.host = host
         self.task_overhead = self.cal.tf_run_overhead
 
+    #: Per-op executor dispatch (much cheaper than a GPU launch).
+    _DISPATCH_SECONDS = 4e-6
+
     def _kernel_time(self, calls: typing.Sequence[KernelCall]) -> float:
         throughput = self.host.peak_flops * self.cal.cpu_efficiency
         compute = sum(call.flops for call in calls) / throughput
-        # Per-op executor dispatch (much cheaper than a GPU launch).
-        dispatch = len(calls) * 4e-6
+        dispatch = len(calls) * self._DISPATCH_SECONDS
         return compute + dispatch
+
+    def _kernel_buckets(self, calls: typing.Sequence[KernelCall]
+                        ) -> typing.Dict[str, float]:
+        throughput = self.host.peak_flops * self.cal.cpu_efficiency
+        compute = sum(call.flops for call in calls) / throughput
+        # Executor dispatch is framework time, not kernel launch.
+        return {_prof.GPU_KERNEL: compute,
+                _prof.GPU_FRAMEWORK: len(calls) * self._DISPATCH_SECONDS}
 
     def inference_seconds(self, batch: int = 1) -> float:
         # No PCIe: observations stay in host memory.
@@ -128,6 +195,26 @@ class A3CTFCPUPlatform(_GPUPlatformBase):
     def sync_seconds(self) -> float:
         return self.task_overhead / 2 \
             + self._kernel_time(self.model.sync_kernels())
+
+    def _host_buckets(self, calls: typing.Sequence[KernelCall],
+                      overhead: float) -> typing.Dict[str, float]:
+        buckets = self._kernel_buckets(calls)
+        buckets[_prof.GPU_FRAMEWORK] = \
+            buckets.get(_prof.GPU_FRAMEWORK, 0.0) + overhead
+        return buckets
+
+    def inference_buckets(self, batch: int = 1
+                          ) -> typing.Dict[str, float]:
+        return self._host_buckets(self.model.inference_kernels(batch),
+                                  self.task_overhead)
+
+    def training_buckets(self, batch: int) -> typing.Dict[str, float]:
+        return self._host_buckets(self.model.training_kernels(batch),
+                                  self.task_overhead)
+
+    def sync_buckets(self) -> typing.Dict[str, float]:
+        return self._host_buckets(self.model.sync_kernels(),
+                                  self.task_overhead / 2)
 
     def build_sim(self, engine: Engine) -> "GPUSim":
         return GPUSim(self, engine,
@@ -149,14 +236,23 @@ class GPUSim:
 
     def inference(self, agent_id: int, batch: int = 1):
         del agent_id
+        if _obs.enabled():
+            _record_task_profile(self.platform.name, "inference",
+                                 self.platform.inference_buckets(batch))
         yield from self.device.use(self.platform.inference_seconds(batch))
 
     def train(self, agent_id: int, batch: int):
         del agent_id
+        if _obs.enabled():
+            _record_task_profile(self.platform.name, "train",
+                                 self.platform.training_buckets(batch))
         yield from self.device.use(self.platform.training_seconds(batch))
 
     def sync(self, agent_id: int):
         del agent_id
+        if _obs.enabled():
+            _record_task_profile(self.platform.name, "sync",
+                                 self.platform.sync_buckets())
         yield from self.device.use(self.platform.sync_seconds())
 
 
@@ -211,6 +307,12 @@ class GA3CSim:
                 platform.max_prediction_batch - 1)
             # Per-request Python-side handling (dequeue, batch assembly,
             # result scatter) serialises in the predictor thread.
+            if _obs.enabled():
+                buckets = platform.inference_buckets(len(batch))
+                buckets[_prof.GPU_FRAMEWORK] = (
+                    buckets.get(_prof.GPU_FRAMEWORK, 0.0)
+                    + len(batch) * platform.cal.ga3c_request_overhead)
+                _record_task_profile(platform.name, "predict", buckets)
             yield self.engine.timeout(
                 len(batch) * platform.cal.ga3c_request_overhead)
             yield from self.device.use(
@@ -225,6 +327,9 @@ class GA3CSim:
             extra = self.train_queue.get_batch(
                 platform.training_batch_rollouts - 1)
             total = int(first) + sum(int(b) for b in extra)
+            if _obs.enabled():
+                _record_task_profile(platform.name, "train",
+                                     platform.training_buckets(total))
             yield from self.device.use(platform.training_seconds(total))
 
     # -- agent-facing interface ------------------------------------------

@@ -15,7 +15,10 @@ measures.  It provides:
   set or :func:`enable` is called, and every instrumented hot path is
   gated on :func:`enabled` so disabled runs pay one boolean branch
   (:mod:`repro.obs.runtime`);
-* report rendering for ``repro obs-report`` (:mod:`repro.obs.report`).
+* report rendering for ``repro obs-report`` (:mod:`repro.obs.report`);
+* cycle-attribution profiling, folded-stack export and the perf-baseline
+  gate (:mod:`repro.obs.prof` — loaded lazily, because the platform
+  models it analyses themselves import this package).
 """
 
 from repro.obs.chrome import (
@@ -65,7 +68,15 @@ __all__ = [
     "obs_report",
     "registry_report",
     "span",
+    "prof",
     "traced",
     "tracer",
     "write_chrome_trace",
 ]
+
+
+def __getattr__(name):
+    if name == "prof":
+        import repro.obs.prof
+        return repro.obs.prof
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

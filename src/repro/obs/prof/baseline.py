@@ -1,0 +1,194 @@
+"""Perf baselines: named scenarios, ``BENCH_fa3c.json`` snapshots, checks.
+
+The simulator is a deterministic discrete-event model, so identical code
+produces bit-identical IPS and attribution — any drift in a snapshot
+diff is a real behaviour change.  That makes tight tolerances practical:
+the defaults allow 5 % relative IPS drop and 2 percentage points of
+bucket-share drift, there to absorb intentional small remodelling
+without a baseline refresh, not measurement noise.
+
+Workflow (see docs/observability.md):
+
+* ``repro bench --baseline`` runs the scenario matrix and (re)writes the
+  committed ``BENCH_fa3c.json`` — IPS plus cause-bucket shares per
+  scenario, no timestamps, so the file diffs cleanly in review;
+* ``repro bench --check`` re-runs the scenarios named in the snapshot
+  and exits non-zero listing every out-of-tolerance metric (the CI
+  ``perf-gate`` job).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro import obs
+from repro.obs.prof.attribution import AttributionReport
+
+#: The committed snapshot at the repo root.
+DEFAULT_BASELINE = "BENCH_fa3c.json"
+SNAPSHOT_VERSION = 1
+
+#: Allowed relative IPS drop before the gate fails.
+DEFAULT_IPS_RTOL = 0.05
+#: Allowed absolute drift of one bucket's share (0.02 = 2 points).
+DEFAULT_SHARE_ATOL = 0.02
+
+
+class Scenario(typing.NamedTuple):
+    """One benchmarked configuration: a platform under a fixed load."""
+
+    name: str
+    build: typing.Callable[[], object]    # () -> platform
+    num_agents: int = 8
+    t_max: int = 5
+    routines: int = 25
+
+
+def _topology():
+    from repro.nn.network import A3CNetwork
+    return A3CNetwork(num_actions=6).topology()
+
+
+def _fpga(constructor: str, **overrides):
+    def build():
+        from repro.fpga.platform import FA3CPlatform
+        return getattr(FA3CPlatform, constructor)(_topology(), **overrides)
+    return build
+
+
+def _gpu(class_name: str):
+    def build():
+        import repro.gpu.platform as gpu_platform
+        return getattr(gpu_platform, class_name)(_topology())
+    return build
+
+
+#: The bench matrix: the proposed design, the Section 5.4 ablations that
+#: move cycles between cause buckets (no double buffering -> buffer
+#: stalls, Alt2 -> layout traffic), and two software baselines.
+SCENARIOS: typing.Tuple[Scenario, ...] = (
+    Scenario("fa3c-n8", _fpga("fa3c")),
+    Scenario("fa3c-single-cu-n8", _fpga("single_cu")),
+    Scenario("fa3c-alt2-n8", _fpga("alt2")),
+    Scenario("fa3c-nodb-n8", _fpga("fa3c", double_buffering=False)),
+    Scenario("gpu-cudnn-n8", _gpu("A3CcuDNNPlatform")),
+    Scenario("ga3c-tf-n8", _gpu("GA3CTFPlatform")),
+)
+
+_BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}
+
+
+def scenario_names() -> typing.List[str]:
+    return [scenario.name for scenario in SCENARIOS]
+
+
+def run_scenario(name: str) -> typing.Tuple[typing.Dict[str, object],
+                                            AttributionReport]:
+    """Run one scenario under a fresh metrics scope.
+
+    Returns the snapshot entry (rounded for diff-stable JSON) and the
+    validated attribution report backing it.
+    """
+    try:
+        scenario = _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: "
+            f"{', '.join(scenario_names())}") from None
+    from repro.platforms import measure_ips
+    platform = scenario.build()
+    with obs.enabled_scope(reset=True):
+        result = measure_ips(platform, scenario.num_agents,
+                             t_max=scenario.t_max,
+                             routines_per_agent=scenario.routines)
+        report = AttributionReport.from_registry(obs.metrics()).validate()
+    shares = report.bucket_shares()
+    entry = {
+        "ips": round(result.ips, 3),
+        "buckets": {bucket: round(share, 4)
+                    for bucket, share in sorted(shares.items())},
+    }
+    return entry, report
+
+
+def collect_snapshot(names: typing.Optional[typing.Sequence[str]] = None,
+                     ips_rtol: float = DEFAULT_IPS_RTOL,
+                     share_atol: float = DEFAULT_SHARE_ATOL,
+                     ) -> typing.Dict[str, object]:
+    """Run scenarios and assemble a snapshot document (no reports)."""
+    scenarios = {}
+    for name in names or scenario_names():
+        entry, _report = run_scenario(name)
+        scenarios[name] = entry
+    return {
+        "version": SNAPSHOT_VERSION,
+        "tolerances": {"ips_rtol": ips_rtol, "share_atol": share_atol},
+        "scenarios": scenarios,
+    }
+
+
+def write_snapshot(snapshot: typing.Mapping[str, object], path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path) -> typing.Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported baseline version {version!r} "
+                         f"in {path}")
+    return snapshot
+
+
+def check_snapshot(baseline: typing.Mapping[str, object],
+                   current: typing.Mapping[str, object],
+                   ips_rtol: typing.Optional[float] = None,
+                   share_atol: typing.Optional[float] = None
+                   ) -> typing.List[str]:
+    """Compare two snapshots; returns failure messages (empty = pass).
+
+    IPS fails only on regression beyond ``ips_rtol`` (a faster run passes
+    — refresh the baseline to lock it in); bucket shares fail on drift in
+    either direction, because a share shift means the cycle attribution
+    itself changed.
+    """
+    tolerances = baseline.get("tolerances") or {}
+    if ips_rtol is None:
+        ips_rtol = float(tolerances.get("ips_rtol", DEFAULT_IPS_RTOL))
+    if share_atol is None:
+        share_atol = float(tolerances.get("share_atol",
+                                          DEFAULT_SHARE_ATOL))
+    failures = []
+    base_scenarios = baseline.get("scenarios") or {}
+    cur_scenarios = current.get("scenarios") or {}
+    for name in sorted(base_scenarios):
+        base = base_scenarios[name]
+        cur = cur_scenarios.get(name)
+        if cur is None:
+            failures.append(f"{name}: scenario missing from current run")
+            continue
+        base_ips = float(base.get("ips", 0.0))
+        cur_ips = float(cur.get("ips", 0.0))
+        floor = base_ips * (1.0 - ips_rtol)
+        if cur_ips < floor:
+            failures.append(
+                f"{name}: ips regressed {base_ips:.1f} -> {cur_ips:.1f} "
+                f"({100.0 * (cur_ips / base_ips - 1.0):+.1f}%, "
+                f"tolerance -{100.0 * ips_rtol:.0f}%)")
+        base_buckets = base.get("buckets") or {}
+        cur_buckets = cur.get("buckets") or {}
+        for bucket in sorted(set(base_buckets) | set(cur_buckets)):
+            base_share = float(base_buckets.get(bucket, 0.0))
+            cur_share = float(cur_buckets.get(bucket, 0.0))
+            drift = cur_share - base_share
+            if abs(drift) > share_atol:
+                failures.append(
+                    f"{name}: bucket {bucket!r} share moved "
+                    f"{base_share:.4f} -> {cur_share:.4f} "
+                    f"({100.0 * drift:+.1f} points, tolerance "
+                    f"±{100.0 * share_atol:.0f})")
+    return failures

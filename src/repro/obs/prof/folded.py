@@ -1,0 +1,76 @@
+"""Folded-stack (flamegraph) export of attribution data.
+
+One line per unique stack, semicolon-separated frames, space, integer
+weight — the format consumed by Brendan Gregg's ``flamegraph.pl``,
+`inferno <https://github.com/jonhoo/inferno>`_ and
+`speedscope <https://speedscope.app>`_::
+
+    fpga;cu0.infer;inference;FW:conv1;pe_compute 123456
+    gpu;gpu_cudnn;train;launch 987654
+
+FPGA stacks weigh simulated *cycles*; GPU stacks weigh modelled
+*nanoseconds*.  The two never appear in the same file section with
+mixed meaning — the frame root (``fpga`` / ``gpu``) names the unit, and
+:func:`folded_lines` keeps each platform's lines contiguous so a viewer
+can load either subtree on its own.
+"""
+
+from __future__ import annotations
+
+import typing
+
+FPGA_ROOT = "fpga"
+GPU_ROOT = "gpu"
+
+
+def _frame(text: str) -> str:
+    """Sanitise one stack frame: the format reserves ';' and ' '."""
+    return str(text).replace(";", ",").replace(" ", "_")
+
+
+def folded_lines(report) -> typing.List[str]:
+    """Render an :class:`~repro.obs.prof.attribution.AttributionReport`.
+
+    Weights are rounded to integers (they already are integers on the
+    instrumented paths); zero-weight stacks are dropped.  Lines are
+    sorted for deterministic golden-file comparison.
+    """
+    lines = []
+    for (cu, task, stage, layer, bucket), cycles in sorted(
+            report.fpga.items()):
+        weight = int(round(cycles))
+        if weight <= 0:
+            continue
+        stack = ";".join(_frame(f) for f in
+                         (FPGA_ROOT, cu, task, f"{stage}:{layer}", bucket))
+        lines.append(f"{stack} {weight}")
+    for (platform, task, bucket), ns in sorted(report.gpu.items()):
+        weight = int(round(ns))
+        if weight <= 0:
+            continue
+        stack = ";".join(_frame(f) for f in
+                         (GPU_ROOT, platform, task, bucket))
+        lines.append(f"{stack} {weight}")
+    return lines
+
+
+def write_folded(report, path) -> int:
+    """Write the folded profile to ``path``; returns the line count."""
+    lines = folded_lines(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def read_folded(path) -> typing.List[typing.Tuple[typing.List[str], int]]:
+    """Parse a folded file back to ``([frame, ...], weight)`` pairs."""
+    out = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            stack, _, weight = raw.rpartition(" ")
+            out.append((stack.split(";"), int(weight)))
+    return out

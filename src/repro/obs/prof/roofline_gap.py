@@ -1,0 +1,76 @@
+"""Measured-vs-roofline gap report (attribution × Section 3.2 analysis).
+
+Joins a measured :class:`~repro.obs.prof.attribution.AttributionReport`
+with the analytic roofline of :mod:`repro.analysis.roofline`: for every
+(layer, stage) the simulator executed, compare the measured per-task
+cycles against the roofline bound of the FPGA configuration and name the
+binding constraint (compute-bound vs. memory-bound) next to the measured
+dominant cause bucket.  A gap ratio near 1.0 with matching constraint
+names means the simulator agrees with the paper's Section 3.2 argument;
+a large gap points at contention or fixed overheads the roofline cannot
+see — which the bucket column then explains.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.analysis.roofline import stage_flops, stage_traffic_bytes
+from repro.fpga.dram import WORD_BYTES, WORDS_PER_BEAT
+
+#: Stage kinds the roofline models, with the task whose count normalises
+#: the measured cycles and the batch each task runs at.
+_STAGE_TASKS = (("FW", "inference"), ("GC", "train"), ("BW", "train"))
+
+
+def fpga_peak_flops(config) -> float:
+    """Peak FLOP/s of one CU: each PE does one MAC (2 FLOPs) per cycle."""
+    return 2.0 * config.pe_per_cu * config.clock_hz
+
+
+def fpga_mem_bandwidth(config) -> float:
+    """Achieved bytes/s of one DDR4 channel at the modelled efficiency."""
+    return (WORDS_PER_BEAT * WORD_BYTES * config.clock_hz
+            * config.dram_efficiency)
+
+
+def fpga_roofline_gap_rows(report, platform,
+                           inference_batch: int = 1,
+                           training_batch: int = 5
+                           ) -> typing.List[typing.Dict[str, object]]:
+    """Per-(layer, stage) gap table for one FPGA platform's run.
+
+    ``report`` must come from a run of ``platform`` (same topology and
+    batch sizes); measured cycles are averaged over the executed task
+    count, so contention across agents shows up as gap, not as volume.
+    """
+    config = platform.config
+    peak = fpga_peak_flops(config)
+    bandwidth = fpga_mem_bandwidth(config)
+    rows = []
+    for spec in platform.topology.layers:
+        for kind, task in _STAGE_TASKS:
+            measured = report.fpga_layer_cycles(stage=kind,
+                                                layer=spec.name)
+            tasks = report.task_counts.get(task, 0.0)
+            if not measured or not tasks:
+                continue
+            batch = inference_batch if kind == "FW" else training_batch
+            flops = stage_flops(spec, batch, kind.lower())
+            traffic = stage_traffic_bytes(spec, batch)
+            compute_limit = flops / peak
+            memory_limit = traffic / bandwidth
+            roofline = max(compute_limit, memory_limit)
+            measured_seconds = measured / tasks / config.clock_hz
+            rows.append({
+                "layer": spec.name,
+                "stage": kind,
+                "measured_us": round(measured_seconds * 1e6, 3),
+                "roofline_us": round(roofline * 1e6, 3),
+                "gap": round(measured_seconds / roofline, 2)
+                if roofline else float("inf"),
+                "bound": "compute" if compute_limit >= memory_limit
+                else "memory",
+                "top_bucket": report.fpga_top_bucket(kind, spec.name),
+            })
+    return rows

@@ -11,6 +11,7 @@ from __future__ import annotations
 import typing
 
 from repro.harness.report import format_table
+from repro.obs.prof.attribution import AttributionReport
 from repro.obs.registry import MetricsRegistry
 
 Rows = typing.Sequence[typing.Mapping[str, object]]
@@ -176,6 +177,18 @@ def obs_report(rows: Rows,
     ips = ips_rows(rows)
     if ips:
         sections.append(format_table(ips, title="Measured IPS"))
+    attribution = AttributionReport(rows)
+    if attribution.has_fpga:
+        sections.append(format_table(
+            attribution.layer_rows(),
+            title="Cycle attribution by layer/stage (share of all CU "
+                  "cycles, bucket % of the row)"))
+        sections.append(format_table(
+            attribution.cu_rows(), title="Cycle attribution by CU"))
+    if attribution.has_gpu:
+        sections.append(format_table(
+            attribution.gpu_rows(),
+            title="GPU time attribution by task (bucket % of the row)"))
     if trace_doc is not None:
         lanes = trace_lane_rows(trace_doc)
         if lanes:
