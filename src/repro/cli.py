@@ -60,10 +60,16 @@ def cmd_train(args) -> int:
         obs.enable(reset=True)
     trainer = _build_trainer(args)
     variant = "A3C-LSTM" if args.lstm else "A3C"
+    backend = args.backend
+    if backend is None and args.serial:
+        backend = "serial"
     print(f"Training {variant} on {args.game}: {args.agents} agents, "
-          f"{args.steps} steps, lr {args.learning_rate}")
+          f"{args.steps} steps, lr {args.learning_rate}"
+          + (f", backend {backend}" if backend else ""))
     result = trainer.train(
         threads=not args.serial,
+        backend=backend,
+        workers=args.workers,
         progress=lambda step, tracker: print(
             f"  step {step:>8}: episodes={len(tracker)} "
             f"mean={tracker.recent_mean(100):.1f}"),
@@ -149,6 +155,10 @@ def cmd_obs_report(args) -> int:
 def cmd_bench(args) -> int:
     from repro.obs.prof import baseline as bench
 
+    if args.wallclock:
+        return _cmd_bench_wallclock(args, bench)
+    if args.file is None:
+        args.file = bench.DEFAULT_BASELINE
     names = list(args.scenarios) if args.scenarios else None
     base = None
     if args.check:
@@ -217,6 +227,71 @@ def cmd_bench(args) -> int:
             return 1
         print(f"\nperf gate OK: {len(scenarios)} scenarios within "
               "tolerance of " + str(args.file))
+    return 0
+
+
+def _cmd_bench_wallclock(args, bench) -> int:
+    """Host-time bench: routines/sec per scenario, loose gate.
+
+    Unlike the modelled-IPS gate this measures wall clock, so the check
+    is informational with a wide tolerance (see
+    ``DEFAULT_WALLCLOCK_RTOL``) — CI treats it as a smoke signal, not a
+    hard gate.
+    """
+    path = args.file or bench.DEFAULT_WALLCLOCK_BASELINE
+    names = list(args.scenarios) if args.scenarios else None
+    base = None
+    if args.check:
+        try:
+            base = bench.load_wallclock(path)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot load wall-clock baseline {path}: "
+                  f"{exc}")
+            return 2
+        if names is None:
+            names = sorted(base.get("scenarios") or {})
+
+    failures: typing.List[str] = []
+    try:
+        current = bench.collect_wallclock(names, repeats=args.repeats)
+    except ValueError as exc:
+        print(f"bench: {exc}")
+        return 2
+    for name, entry in current["scenarios"].items():
+        print(f"{name}: {entry['routines_per_second']:.1f} routines/s "
+              f"({entry['wall_seconds']:.4f}s)")
+    print(f"total: {current['total_wall_seconds']:.4f}s")
+
+    if args.baseline:
+        bench.write_snapshot(current, path)
+        print(f"wall-clock baseline: "
+              f"{len(current['scenarios'])} scenarios -> {path}")
+    if args.check:
+        compare = base
+        if args.scenarios:
+            # Only gate the requested subset; flag requested scenarios
+            # the baseline has never recorded.
+            recorded = base.get("scenarios") or {}
+            for name in args.scenarios:
+                if name not in recorded:
+                    failures.append(f"{name}: not in baseline {path}")
+            compare = dict(base)
+            compare["scenarios"] = {name: entry for name, entry
+                                    in recorded.items()
+                                    if name in set(args.scenarios)}
+        failures.extend(bench.check_wallclock(compare, current))
+        if failures:
+            print(f"\nWALL-CLOCK SMOKE FAILED ({len(failures)} "
+                  "finding(s)):")
+            for failure in failures:
+                print(f"  - {failure}")
+            print("Wall clock is host-dependent; refresh with "
+                  "`repro bench --wallclock --baseline` if the "
+                  "hardware or the intended performance changed.")
+            return 1
+        print(f"\nwall-clock smoke OK: "
+              f"{len(current['scenarios'])} scenarios within "
+              f"tolerance of {path}")
     return 0
 
 
@@ -372,6 +447,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the A3C-LSTM variant")
     train.add_argument("--serial", action="store_true",
                        help="deterministic round-robin agents")
+    train.add_argument("--backend", choices=["threads", "procs", "serial"],
+                       default=None,
+                       help="actor execution backend (default: threads, "
+                            "or serial when --serial is given)")
+    train.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --backend procs "
+                            "(default: one per agent)")
     train.add_argument("--checkpoint", default=None,
                        help="write final parameters to this .npz")
     train.add_argument("--trace", default=None,
@@ -432,9 +514,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check", action="store_true",
                        help="diff against --file; non-zero exit on "
                             "regression")
-    bench.add_argument("--file", default="BENCH_fa3c.json",
-                       help="baseline snapshot path "
-                            "(default: BENCH_fa3c.json)")
+    bench.add_argument("--wallclock", action="store_true",
+                       help="measure host-side wall clock instead of "
+                            "modelled IPS (loose, informational gate)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="wall-clock repeats per scenario; best-of "
+                            "is recorded (default: 3)")
+    bench.add_argument("--file", default=None,
+                       help="baseline snapshot path (default: "
+                            "BENCH_fa3c.json, or BENCH_wallclock.json "
+                            "with --wallclock)")
     bench.add_argument("--scenarios", nargs="+", default=None,
                        help="subset of scenario names to run")
     bench.add_argument("--ips-tolerance", type=float, default=None,

@@ -26,6 +26,10 @@ from repro.core.paac import PAACTrainer
 from repro.core.parameter_server import ParameterServer
 from repro.core.recurrent_agent import RecurrentA3CAgent
 from repro.core.rollout import Rollout, compute_returns
+from repro.core.shared_params import (
+    SharedParameterServer,
+    SharedParameterStore,
+)
 from repro.core.sweep import SweepResult, sweep_learning_rates
 from repro.core.trainer import A3CTrainer, TrainResult
 
@@ -40,6 +44,8 @@ __all__ = [
     "RecurrentA3CAgent",
     "Rollout",
     "ScoreTracker",
+    "SharedParameterServer",
+    "SharedParameterStore",
     "SweepResult",
     "TrainResult",
     "compute_returns",

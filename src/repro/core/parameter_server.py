@@ -81,14 +81,26 @@ class ParameterServer:
             time.perf_counter() - waited, op=op)
 
     def snapshot_into(self, local: ParameterSet) -> None:
-        """Parameter sync: copy global θ into an agent's local θ."""
+        """Parameter sync: copy global θ into an agent's local θ.
+
+        Runs once per agent routine.  The destination's preallocated
+        arrays are reused (``copy_from`` is in-place and allocation
+        free), and the telemetry gate is checked once up front so the
+        disabled path is a bare lock/copy/unlock.
+        """
+        if not _obs.enabled():
+            self._lock.acquire()
+            try:
+                local.copy_from(self.params)
+            finally:
+                self._lock.release()
+            return
         self._timed_acquire("snapshot")
         try:
-            started = time.perf_counter() if _obs.enabled() else 0.0
+            started = time.perf_counter()
             local.copy_from(self.params)
-            if _obs.enabled():
-                _obs.metrics().histogram("ps.sync_seconds").observe(
-                    time.perf_counter() - started)
+            _obs.metrics().histogram("ps.sync_seconds").observe(
+                time.perf_counter() - started)
         finally:
             self._lock.release()
 

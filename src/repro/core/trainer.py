@@ -12,11 +12,19 @@ are provided:
 * ``threads=False`` — agents are stepped round-robin on the calling thread.
   Deterministic given the seed; used by the test-suite and the shorter
   benches.
+* ``backend="procs"`` — agents are partitioned over worker *processes*
+  (``fork`` start method), sidestepping the GIL for the host-side NumPy
+  work.  Global θ and the shared RMSProp statistics live in shared memory
+  behind a seqlock-style versioned snapshot
+  (:mod:`repro.core.shared_params`), so parameter sync stays lock-free
+  while gradient application serialises on a writer lock, preserving the
+  Hogwild update semantics of the threaded backend.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import queue as queue_module
 import threading
 import time
 import typing
@@ -65,6 +73,9 @@ class A3CTrainer:
         pass :class:`~repro.core.recurrent_agent.RecurrentA3CAgent` with a
         recurrent network factory for the A3C-LSTM variant."""
         self.config = config
+        self.env_factory = env_factory
+        self.network_factory = network_factory
+        self.agent_class = agent_class
         self.tracker = tracker or ScoreTracker()
         rng = np.random.default_rng(config.seed)
         template = network_factory()
@@ -137,10 +148,19 @@ class A3CTrainer:
 
     def train(self, max_steps: typing.Optional[int] = None,
               threads: bool = True,
+              backend: typing.Optional[str] = None,
+              workers: typing.Optional[int] = None,
               progress: typing.Optional[
                   typing.Callable[[int, ScoreTracker], None]] = None,
               progress_interval: int = 10_000) -> TrainResult:
         """Run until ``max_steps`` global inference steps.
+
+        ``backend`` selects the execution mode: ``"threads"`` (one host
+        thread per agent), ``"procs"`` (agents partitioned over
+        ``workers`` forked processes, default ``num_agents``), or
+        ``"serial"`` (deterministic round-robin).  When ``backend`` is
+        ``None`` the legacy ``threads`` flag picks between ``"threads"``
+        and ``"serial"``.
 
         ``progress(global_step, tracker)`` is invoked roughly every
         ``progress_interval`` steps (only in round-robin mode is the exact
@@ -148,12 +168,19 @@ class A3CTrainer:
         """
         if max_steps is not None:
             self.config.max_steps = max_steps
+        if backend is None:
+            backend = "threads" if threads else "serial"
         # perf_counter: monotonic, so rates survive NTP clock steps.
         start = time.perf_counter()
-        if threads:
+        if backend == "threads":
             self._train_threaded(progress, progress_interval)
-        else:
+        elif backend == "procs":
+            self._train_procs(workers, progress, progress_interval)
+        elif backend == "serial":
             self._train_round_robin(progress, progress_interval)
+        else:
+            raise ValueError(f"unknown backend {backend!r}; expected "
+                             f"'threads', 'procs', or 'serial'")
         elapsed = time.perf_counter() - start
         episodes = sum(agent.episodes_finished for agent in self.agents)
         return TrainResult(global_steps=self.server.global_step,
@@ -201,3 +228,114 @@ class A3CTrainer:
             if progress and self.server.global_step >= next_report:
                 progress(self.server.global_step, self.tracker)
                 next_report += progress_interval
+
+    # -- multiprocessing backend -------------------------------------------
+
+    def _train_procs(self, workers: typing.Optional[int],
+                     progress, progress_interval: int) -> None:
+        """Partition the agents over forked worker processes.
+
+        θ and the RMSProp statistics move into a shared-memory
+        :class:`~repro.core.shared_params.SharedParameterStore`; each
+        worker wraps it in a
+        :class:`~repro.core.shared_params.SharedParameterServer` and runs
+        its share of the agents round-robin against it.  On completion the
+        final θ/g/step state is read back into ``self.server`` so
+        checkpointing and :class:`TrainResult` behave identically to the
+        threaded backend.
+        """
+        import multiprocessing
+
+        from repro.core.shared_params import SharedParameterStore
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the 'procs' backend needs the fork start method (workers "
+                "inherit env/network factories without pickling); use "
+                "backend='threads' on this platform")
+        ctx = multiprocessing.get_context("fork")
+        num_workers = workers or self.config.num_agents
+        num_workers = max(1, min(num_workers, self.config.num_agents))
+        store = SharedParameterStore(ctx, self.server.params)
+        statistics = self.server.rmsprop_statistics
+        store.publish(self.server.params, statistics=statistics,
+                      global_step=self.server.global_step)
+        results: "multiprocessing.Queue" = ctx.Queue()
+        procs = [ctx.Process(target=self._proc_worker,
+                             args=(worker_id, num_workers, store, results),
+                             name=f"a3c-worker-{worker_id}", daemon=True)
+                 for worker_id in range(num_workers)]
+        for proc in procs:
+            proc.start()
+        reports = []
+        try:
+            next_report = progress_interval
+            # Drain the queue while polling: a worker blocked on a full
+            # result queue can never be joined.
+            while len(reports) < num_workers:
+                try:
+                    reports.append(results.get(timeout=0.05))
+                    continue
+                except queue_module.Empty:
+                    pass
+                if progress and store.global_step >= next_report:
+                    progress(store.global_step, self.tracker)
+                    next_report += progress_interval
+                if not any(proc.is_alive() for proc in procs):
+                    # Dead workers cannot report again; drain stragglers
+                    # whose results are still in the queue's pipe buffer.
+                    try:
+                        while len(reports) < num_workers:
+                            reports.append(results.get(timeout=0.5))
+                    except queue_module.Empty:
+                        break
+        finally:
+            for proc in procs:
+                proc.join()
+        for report in reports:
+            self._routines += report["routines"]
+            for agent_id, episodes in report["episodes"].items():
+                self.agents[agent_id].episodes_finished = episodes
+            for step, score in report["scores"]:
+                self.tracker.record(step, score)
+        # Fold the shared state back into the in-process server.
+        store.read_params_into(self.server.params)
+        if statistics is not None:
+            store.read_statistics_into(statistics)
+        self.server.set_global_step(store.global_step)
+        self.server.updates_applied += store.updates_applied
+
+    def _proc_worker(self, worker_id: int, num_workers: int,
+                     store, results) -> None:
+        """Worker-process body: run this worker's agents to completion.
+
+        Runs in a forked child, so ``self`` (agents, envs, networks) is an
+        inherited copy; only the shared store is common state.  Results
+        travel back through ``results`` as plain dicts.
+        """
+        from repro.core.shared_params import SharedParameterServer
+
+        server = SharedParameterServer(store, self.config)
+        agents = [agent for agent in self.agents
+                  if agent.agent_id % num_workers == worker_id]
+        for agent in agents:
+            agent.server = server
+        routines = 0
+        scores: typing.List[typing.Tuple[int, float]] = []
+        while server.global_step < self.config.max_steps:
+            for agent in agents:
+                if server.global_step >= self.config.max_steps:
+                    break
+                started = time.perf_counter()
+                stats = agent.run_routine()
+                if _obs.enabled():
+                    self._record_routine(f"agent-{agent.agent_id}",
+                                         started, stats.steps)
+                routines += 1
+                for score in stats.episode_scores:
+                    scores.append((server.global_step, score))
+        results.put({"worker": worker_id,
+                     "routines": routines,
+                     "scores": scores,
+                     "episodes": {agent.agent_id: agent.episodes_finished
+                                  for agent in agents}})

@@ -47,7 +47,8 @@ class ComputeUnit:
         self.name = name
         self.pes = PEArray(n_pe)
         self.bcu = BufferControlUnit()
-        self.tlus = (TransposeLoadUnit(), TransposeLoadUnit())
+        self.tlus = (TransposeLoadUnit(emulate=use_tlu_emulation),
+                     TransposeLoadUnit(emulate=use_tlu_emulation))
         self.use_tlu_emulation = use_tlu_emulation
         # On-chip buffers sized like the VU9P configuration (Table 4):
         # row counts are generous; capacity checks are in load_matrix.

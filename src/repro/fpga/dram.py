@@ -14,6 +14,7 @@ exactly one copy of the parameters in DRAM, as the paper's design does.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 
 import numpy as np
@@ -67,8 +68,10 @@ class DRAMChannel:
 
         Non-sequential transfers additionally pay the first-word latency.
         """
+        # math.ceil over the same float64 quotient np.ceil would see:
+        # identical result without the numpy scalar round-trip.
         beats = -(-words // WORDS_PER_BEAT)
-        cycles = int(np.ceil(beats / self.efficiency))
+        cycles = math.ceil(beats / self.efficiency)
         if not sequential:
             cycles += self.latency_cycles
         return cycles

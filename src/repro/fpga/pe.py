@@ -56,8 +56,16 @@ class ProcessingElement:
         if len(a_values) != len(b_values):
             raise ValueError("operand sequences differ in length")
         self.clear()
-        for a, b in zip(a_values, b_values):
-            self.mac(a, b)
+        n = len(a_values)
+        if n:
+            products = np.asarray(a_values, dtype=np.float32) \
+                * np.asarray(b_values, dtype=np.float32)
+            # np.add.accumulate is strictly left-to-right in fp32, so the
+            # running sum is bit-identical to n individual mac() calls
+            # (1-D np.add.reduce would pairwise-sum and is not).
+            self._accumulator = np.float32(
+                np.add.accumulate(products, dtype=np.float32)[-1])
+            self.mac_count += n
         return self.value
 
 
@@ -95,12 +103,14 @@ class PEArray:
         self.busy_pe_cycles += n_outputs * freq
         if _obs.enabled():
             _obs.metrics().counter("fpga.pe.cycles").inc(rounds * freq)
-        # fp32 accumulation order matches the sequential hardware sum.
+        # fp32 accumulation order matches the sequential hardware sum:
+        # np.add.reduce over axis 0 adds rows first-to-last in fp32,
+        # bit-identical to the per-row accumulation loop it replaces.
         acc = np.zeros(n_outputs, dtype=np.float32)
-        a32 = operand_a.astype(np.float32)
-        b32 = operand_b.astype(np.float32)
-        for r in range(freq):
-            acc += a32[r] * b32[r]
+        if freq:
+            products = operand_a.astype(np.float32) \
+                * operand_b.astype(np.float32)
+            acc += np.add.reduce(products, axis=0, dtype=np.float32)
         return acc
 
     def schedule_cycles(self, n_outputs: int, accumulation_frequency: int,

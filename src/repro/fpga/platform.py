@@ -28,7 +28,10 @@ from repro.fpga.timing import GLOBAL, LOCAL, StageTiming, TimingModel
 from repro.nn.network import NetworkTopology
 from repro.obs import runtime as _obs
 from repro.obs.prof import buckets as _prof
+from repro.perf import runtime as _fast
+from repro.perf import stageplan as _stageplan
 from repro.sim import Engine, Resource, Tracer
+from repro.sim.events import Event
 
 
 @dataclasses.dataclass
@@ -177,6 +180,138 @@ class FA3CPlatform:
         return FPGASim(self, engine, tracer=tracer)
 
 
+class _BoundStage:
+    """One :class:`~repro.perf.stageplan.StagePlan` bound to a simulator
+    instance: channel resources resolved, attribution counter cells
+    pre-resolved lazily (labels sorted once, not per increment)."""
+
+    __slots__ = ("plan", "name", "compute_seconds", "double_buffering",
+                 "holds", "cu_name", "task", "clock_hz", "_local_name",
+                 "_global_names", "_cells")
+
+    def __init__(self, sim: "FPGASim", plan: _stageplan.StagePlan,
+                 pair: int, cu_name: str, task: str):
+        self.plan = plan
+        self.name = plan.name
+        self.compute_seconds = plan.compute_seconds
+        self.double_buffering = plan.double_buffering
+        holds = []
+        if plan.local_words:
+            holds.append((sim.local_channels[pair], plan.local_seconds))
+        if plan.global_share_words:
+            for channel in sim.global_channels:
+                holds.append((channel, plan.global_share_seconds))
+        self.holds = tuple(holds)
+        self.cu_name = cu_name
+        self.task = task
+        self.clock_hz = sim.platform.config.clock_hz
+        self._local_name = sim.local_channels[pair].name
+        self._global_names = tuple(channel.name
+                                   for channel in sim.global_channels)
+        self._cells = None
+
+    def _build_cells(self, metrics):
+        plan = self.plan
+        counter = metrics.counter(_prof.FPGA_CYCLES_METRIC)
+        labels = dict(cu=self.cu_name, task=self.task, stage=plan.kind,
+                      layer=plan.layer)
+        traffic = metrics.counter("fpga.dram.bytes")
+        bursts = metrics.counter("fpga.dram.bursts")
+        dma = []
+        for direction, num_bytes, num_bursts in plan.local_traffic:
+            dma.append((traffic.cell(channel=self._local_name,
+                                     dir=direction), num_bytes))
+            dma.append((bursts.cell(channel=self._local_name),
+                        num_bursts))
+        for direction, num_bytes, num_bursts in plan.global_traffic:
+            for name in self._global_names:
+                dma.append((traffic.cell(channel=name, dir=direction),
+                            num_bytes))
+                dma.append((bursts.cell(channel=name), num_bursts))
+        cells = (
+            metrics,
+            counter.cell(bucket=plan.compute_bucket, **labels),
+            counter.cell(bucket=_prof.CONTROL, **labels),
+            counter.cell(bucket=_prof.BUFFER_STALL, **labels),
+            counter.cell(bucket=_prof.TLU_LAYOUT, **labels),
+            counter.cell(bucket=_prof.DRAM_WAIT, **labels),
+            metrics.counter(_prof.FPGA_CYCLES_TOTAL_METRIC).cell(
+                cu=self.cu_name),
+            tuple(dma),
+        )
+        self._cells = cells
+        return cells
+
+    def record(self, metrics, elapsed: float) -> None:
+        """Fast-path equivalent of ``_count_dma`` + ``_record_stage``:
+        identical integer arithmetic, pre-resolved label keys."""
+        cells = self._cells
+        if cells is None or cells[0] is not metrics:
+            cells = self._build_cells(metrics)
+        (_registry, work_c, control_c, stall_c, tlu_c, dram_c,
+         total_c, dma) = cells
+        for cell, value in dma:
+            cell.inc(value)
+        plan = self.plan
+        cycles = int(round(elapsed * self.clock_hz))
+        compute = plan.compute_cycles
+        total = cycles if cycles > compute else compute
+        if plan.work_cycles:
+            work_c.inc(plan.work_cycles)
+        if plan.overhead_cycles:
+            control_c.inc(plan.overhead_cycles)
+        residual = total - compute
+        if residual > 0:
+            if not self.double_buffering and compute:
+                stall_c.inc(residual)
+            else:
+                transform = 0
+                if plan.transform_words:
+                    transform = (residual * plan.transform_words
+                                 // plan.dma_words)
+                if transform:
+                    tlu_c.inc(transform)
+                rest = residual - transform
+                if rest:
+                    dram_c.inc(rest)
+        total_c.inc(total)
+
+
+class _BoundTask:
+    """A cached :class:`~repro.perf.stageplan.TaskPlan` bound to one
+    simulator's resources for one CU pair."""
+
+    __slots__ = ("plan", "stages", "cu_name", "task", "pcie_in_seconds",
+                 "pcie_out_seconds", "double_buffering", "_cells")
+
+    def __init__(self, sim: "FPGASim", plan: _stageplan.TaskPlan,
+                 pair: int, cu_name: str, task: str):
+        self.plan = plan
+        self.stages = tuple(_BoundStage(sim, stage_plan, pair, cu_name,
+                                        task)
+                            for stage_plan in plan.stages)
+        self.cu_name = cu_name
+        self.task = task
+        self.pcie_in_seconds = plan.pcie_in_seconds
+        self.pcie_out_seconds = plan.pcie_out_seconds
+        # Uniform across a task's stages (it is a config field).
+        self.double_buffering = all(stage.double_buffering
+                                    for stage in self.stages)
+        self._cells = None
+
+    def record_task(self, metrics, elapsed: float) -> None:
+        cells = self._cells
+        if cells is None or cells[0] is not metrics:
+            cells = (metrics,
+                     metrics.counter("fpga.cu.busy_seconds").cell(
+                         cu=self.cu_name),
+                     metrics.counter("fpga.cu.tasks").cell(
+                         cu=self.cu_name, task=self.task))
+            self._cells = cells
+        cells[1].inc(elapsed)
+        cells[2].inc()
+
+
 class FPGASim:
     """Discrete-event resources + task processes for one FA3C platform.
 
@@ -184,6 +319,13 @@ class FPGASim:
     the SingleCU ablation) plus a *local* DRAM channel; one *global*
     channel is shared platform-wide (the single global θ copy).  Agents
     are assigned to pairs round-robin, as the host runtime does.
+
+    Tasks run on one of two equivalent paths: the default *fast path*
+    replays memoized :mod:`repro.perf.stageplan` plans through
+    callback-chained channel holds; with ``REPRO_FASTPATH=0`` the
+    original derivation path re-builds stages per task.  Both produce
+    bit-identical simulated times, grant orders, and attribution — the
+    perf gate and the equivalence tests assert it.
     """
 
     def __init__(self, platform: FA3CPlatform, engine: Engine,
@@ -195,6 +337,8 @@ class FPGASim:
             # tracer by default (and from there to the Chrome export).
             tracer = _obs.tracer()
         self.tracer = tracer
+        self._bound: typing.Dict[tuple, _BoundTask] = {}
+        self._bound_topology = platform.topology
         config = platform.config
         self.infer_cus = []
         self.train_cus = []
@@ -338,6 +482,148 @@ class FPGASim:
                 metrics.counter("fpga.cu.tasks").inc(cu=cu.name,
                                                      task=task)
 
+    # -- the fast path: memoized plan replay --------------------------------
+
+    def _bound_task(self, kind: str, batch: int, pair: int) -> _BoundTask:
+        """The task's plan bound to this sim's pair resources.
+
+        The key embeds the live config's field values, so mutating the
+        config (or swapping the topology) naturally misses and rebinds.
+        """
+        if self.platform.topology is not self._bound_topology:
+            self._bound.clear()
+            self._bound_topology = self.platform.topology
+        cfg_key = _stageplan.config_key(self.platform.config)
+        key = (kind, batch, pair, cfg_key)
+        bound = self._bound.get(key)
+        if bound is None:
+            plan = _stageplan.CACHE.task_plan(self.platform, kind, batch,
+                                              cfg_key=cfg_key)
+            if kind == "inference":
+                cu_name, task = self.infer_cus[pair].name, "inference"
+            elif kind == "train":
+                cu_name, task = self.train_cus[pair].name, "train"
+            else:
+                cu_name, task = f"sync{pair}", "sync"
+            bound = _BoundTask(self, plan, pair, cu_name, task)
+            self._bound[key] = bound
+        return bound
+
+    def _hold(self, resource: Resource, duration: float,
+              finish) -> None:
+        """Callback-chained equivalent of ``process(resource.use(d))``:
+        acquire -> hold ``duration`` -> release -> ``finish``.
+
+        The release happens while the hold timeout is being processed
+        and ``finish`` runs one queue hop later (via the chain event) —
+        exactly where the derivation path's process-end event sits, so
+        same-timestamp resume ordering between agents is preserved
+        bit-for-bit."""
+        engine = self.engine
+
+        def _granted(_event):
+            def _expired(_event2):
+                resource.release()
+                chain = Event(engine)
+                chain.callbacks.append(finish)
+                chain.succeed()
+            engine.timeout(duration).callbacks.append(_expired)
+
+        resource.acquire().callbacks.append(_granted)
+
+    def _launch_stage(self, bound: _BoundStage) -> Event:
+        """Start one double-buffered stage; returns its stage-end event.
+
+        Compute overlaps every channel hold; the join counts the compute
+        timeout plus each hold's post-release chain event, mirroring the
+        derivation path's ``AllOf`` over (timeout, DMA processes)."""
+        engine = self.engine
+        holds = bound.holds
+        done = Event(engine)
+        remaining = [1 + len(holds)]
+
+        def _finish(_event):
+            remaining[0] -= 1
+            if not remaining[0]:
+                done.succeed()
+
+        engine.timeout(bound.compute_seconds).callbacks.append(_finish)
+        for resource, duration in holds:
+            self._hold(resource, duration, _finish)
+        return done
+
+    def _serial_stage(self, bound: _BoundStage):
+        """Process body for one stage without double buffering: each
+        channel hold completes before the next starts, then compute runs
+        — hop-identical to the derivation path's serial generators."""
+        for resource, duration in bound.holds:
+            yield resource.acquire()
+            try:
+                yield self.engine.timeout(duration)
+            finally:
+                resource.release()
+        yield self.engine.timeout(bound.compute_seconds)
+
+    def _replay_task(self, bound: _BoundTask, cu: Resource):
+        """Fast-path process body mirroring ``_run_task``."""
+        yield cu.acquire()
+        engine = self.engine
+        tracer = self.tracer
+        observing = _obs.enabled()
+        task_start = engine.now
+        try:
+            if tracer is None and not observing:
+                if bound.double_buffering:
+                    for stage in bound.stages:
+                        yield self._launch_stage(stage)
+                else:
+                    for stage in bound.stages:
+                        yield from self._serial_stage(stage)
+            else:
+                metrics = _obs.metrics() if observing else None
+                for stage in bound.stages:
+                    start = engine.now
+                    if stage.double_buffering:
+                        yield self._launch_stage(stage)
+                    else:
+                        yield from self._serial_stage(stage)
+                    if tracer is not None:
+                        tracer.record(cu.name, stage.name, start,
+                                      engine.now)
+                    if observing:
+                        stage.record(metrics, engine.now - start)
+        finally:
+            cu.release()
+            if observing:
+                bound.record_task(_obs.metrics(),
+                                  engine.now - task_start)
+
+    def _replay_sync(self, bound: _BoundTask, pair: int):
+        """Fast-path process body mirroring the ``sync`` stage loop."""
+        engine = self.engine
+        tracer = self.tracer
+        observing = _obs.enabled()
+        if tracer is None and not observing:
+            if bound.double_buffering:
+                for stage in bound.stages:
+                    yield self._launch_stage(stage)
+            else:
+                for stage in bound.stages:
+                    yield from self._serial_stage(stage)
+            return
+        metrics = _obs.metrics() if observing else None
+        lane = f"sync{pair}"
+        for stage in bound.stages:
+            start = engine.now
+            if stage.double_buffering:
+                yield self._launch_stage(stage)
+            else:
+                yield from self._serial_stage(stage)
+            if tracer is not None:
+                tracer.record(lane, stage.name, start, engine.now)
+            if observing:
+                stage.record(metrics, engine.now - start)
+
     # -- the task interface used by the throughput simulation ---------------
 
     def _pcie_seconds(self, num_bytes: float) -> float:
@@ -351,6 +637,12 @@ class FPGASim:
         with the (tiny) output DMA back to the host (Section 4.1).
         """
         pair = self._pair(agent_id)
+        if _fast.enabled():
+            bound = self._bound_task("inference", batch, pair)
+            yield self.engine.timeout(bound.pcie_in_seconds)
+            yield from self._replay_task(bound, self.infer_cus[pair])
+            yield self.engine.timeout(bound.pcie_out_seconds)
+            return
         timing = self.platform.timing
         yield self.engine.timeout(
             self._pcie_seconds(batch * timing.input_words(1) * 4))
@@ -364,6 +656,10 @@ class FPGASim:
     def train(self, agent_id: int, batch: int):
         """Process body for one training task."""
         pair = self._pair(agent_id)
+        if _fast.enabled():
+            bound = self._bound_task("train", batch, pair)
+            yield from self._replay_task(bound, self.train_cus[pair])
+            return
         stages = self.platform.timing.training_task(batch)
         yield from self._run_task(stages, self.train_cus[pair], pair,
                                   task="train")
@@ -372,6 +668,10 @@ class FPGASim:
         """Process body for one parameter-sync task (runs on the training
         CU's DMA path; occupies channels but not PEs)."""
         pair = self._pair(agent_id)
+        if _fast.enabled():
+            yield from self._replay_sync(self._bound_task("sync", 0,
+                                                          pair), pair)
+            return
         stages = self.platform.timing.sync_task()
         observing = _obs.enabled()
         for stage in stages:

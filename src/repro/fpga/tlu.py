@@ -7,8 +7,11 @@ instances working in a double-buffered pair — one fills the parameter
 buffer while the other prepares the next transposed patch — and the TLU
 issues read requests ahead of PE consumption to hide DRAM latency.
 
-This class emulates the register-level shift-transpose so the test suite
-can validate the mechanism itself, not just ``np.transpose``.
+With ``emulate=True`` this class emulates the register-level
+shift-transpose beat by beat so the test suite can validate the
+mechanism itself; the default path produces the identical patch with one
+``np.transpose`` (pure data movement — no arithmetic, so the outputs are
+bit-equal) while keeping the same FIFO, counter, and cycle accounting.
 """
 
 from __future__ import annotations
@@ -25,9 +28,11 @@ from repro.obs import runtime as _obs
 class TransposeLoadUnit:
     """Shift-register emulation of one TLU instance."""
 
-    def __init__(self, patch: int = PATCH, fifo_depth: int = 4):
+    def __init__(self, patch: int = PATCH, fifo_depth: int = 4,
+                 emulate: bool = False):
         self.patch = patch
         self.fifo_depth = fifo_depth
+        self.emulate = emulate
         self._fifo: collections.deque = collections.deque()
         # The register file: `patch` shift rows of `patch` words.
         self._rows = np.zeros((patch, patch), dtype=np.float32)
@@ -66,15 +71,19 @@ class TransposeLoadUnit:
         if not self._fifo:
             raise RuntimeError("no staged patch to transpose")
         words = self._fifo.popleft().reshape(self.patch, self.patch)
-        self._rows[:] = 0.0
-        for beat in range(self.patch):
-            # Shift every register row right by one word...
-            self._rows[:, 1:] = self._rows[:, :-1]
-            # ...and insert the incoming DRAM row broadside into column 0.
-            self._rows[:, 0] = words[beat]
-        # Register row r now holds original column r, last-in first:
-        # reading rows back reversed yields the transpose.
-        transposed = self._rows[:, ::-1].copy()
+        if self.emulate:
+            self._rows[:] = 0.0
+            for beat in range(self.patch):
+                # Shift every register row right by one word...
+                self._rows[:, 1:] = self._rows[:, :-1]
+                # ...and insert the incoming DRAM row broadside into
+                # column 0.
+                self._rows[:, 0] = words[beat]
+            # Register row r now holds original column r, last-in first:
+            # reading rows back reversed yields the transpose.
+            transposed = self._rows[:, ::-1].copy()
+        else:
+            transposed = words.T.copy()
         self.patches_transposed += 1
         if _obs.enabled():
             metrics = _obs.metrics()

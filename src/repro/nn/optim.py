@@ -68,6 +68,14 @@ class RMSProp(Optimizer):
         """Pre-allocate statistics matching ``params`` (all zeros)."""
         self._g = params.zeros_like()
 
+    def adopt_statistics(self, g: ParameterSet) -> None:
+        """Use an existing statistics set in place of allocating one.
+
+        The multiprocessing backend passes shared-memory views here so
+        every worker updates the same ``g``, as A3C requires.
+        """
+        self._g = g
+
     def step(self, params: ParameterSet, grads: ParameterSet,
              learning_rate: typing.Optional[float] = None) -> None:
         lr = self.learning_rate if learning_rate is None else learning_rate

@@ -58,11 +58,17 @@ class ParameterSet:
         return ParameterSet({k: v.copy() for k, v in self._arrays.items()})
 
     def copy_from(self, other: "ParameterSet") -> None:
-        """In-place copy of every array from ``other`` (parameter sync)."""
-        if set(other.names()) != set(self.names()):
+        """In-place copy of every array from ``other`` (parameter sync).
+
+        Allocation-free: runs once per agent routine, so the name check
+        compares dict key views (set semantics without building sets) and
+        the copies reuse the destination arrays.
+        """
+        if other._arrays.keys() != self._arrays.keys():
             raise ValueError("parameter sets have different names")
-        for name, value in other.items():
-            np.copyto(self._arrays[name], value)
+        arrays = self._arrays
+        for name, value in other._arrays.items():
+            np.copyto(arrays[name], value)
 
     def zeros_like(self) -> "ParameterSet":
         """A same-shaped set of zeros (gradient or RMSProp-g storage)."""

@@ -69,6 +69,30 @@ class _Metric:
         raise NotImplementedError
 
 
+class CounterCell:
+    """A pre-resolved (counter, label combination) incrementer.
+
+    Hot paths that increment the same labelled sample many times (the
+    FPGA simulator's per-stage attribution) resolve the sorted label key
+    once via :meth:`Counter.cell` instead of paying it per
+    :meth:`Counter.inc` call.  Cells stay valid across
+    :meth:`MetricsRegistry.reset`: samples are cleared in place, the
+    backing dict object is retained.
+    """
+
+    __slots__ = ("_samples", "_key")
+
+    def __init__(self, samples: typing.Dict[LabelKey, float],
+                 key: LabelKey):
+        self._samples = samples
+        self._key = key
+
+    def inc(self, value: float = 1.0) -> None:
+        samples = self._samples
+        key = self._key
+        samples[key] = samples.get(key, 0.0) + value
+
+
 class Counter(_Metric):
     """A monotonically increasing sum per label combination."""
 
@@ -82,6 +106,10 @@ class Counter(_Metric):
             raise ValueError(f"counter {self.name} cannot decrease")
         key = _label_key(labels)
         self._samples[key] = self._samples.get(key, 0.0) + value
+
+    def cell(self, **labels: str) -> CounterCell:
+        """A bound incrementer with the label key resolved once."""
+        return CounterCell(self._samples, _label_key(labels))
 
     def value(self, **labels: str) -> float:
         return self._samples.get(_label_key(labels), 0.0)

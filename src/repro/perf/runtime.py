@@ -1,0 +1,70 @@
+"""The fast-path switch.
+
+Mirrors :mod:`repro.obs.runtime`: a module-level boolean checked once per
+task, seeded from the ``REPRO_FASTPATH`` environment variable.  Unlike
+observability the fast path defaults to **on** — it is semantics
+preserving by construction and verified bit-exact by the perf gate.
+Disabling it (``REPRO_FASTPATH=0``) routes the FPGA simulator through
+the original per-stage derivation path, which the equivalence tests use
+as the reference.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+_FALSE = ("0", "false", "no", "off")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() \
+        not in _FALSE
+
+
+_enabled = _env_enabled()
+
+
+def enabled() -> bool:
+    """True when simulators should replay memoized stage plans."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+@contextlib.contextmanager
+def disabled_scope():
+    """Temporarily run on the legacy (re-deriving) path.
+
+    Used by the equivalence tests to produce reference results::
+
+        with perf_runtime.disabled_scope():
+            reference = measure_ips(platform, 8)
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+@contextlib.contextmanager
+def enabled_scope():
+    """Temporarily force the fast path on (for A/B benchmarks)."""
+    global _enabled
+    previous = _enabled
+    _enabled = True
+    try:
+        yield
+    finally:
+        _enabled = previous

@@ -12,6 +12,7 @@ from repro.platforms.metrics import IPSMeter, ips_definition_check
 from repro.platforms.throughput import (
     HostModel,
     ThroughputResult,
+    ThroughputSetup,
     measure_ips,
     sweep_agents,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "HostModel",
     "IPSMeter",
     "ThroughputResult",
+    "ThroughputSetup",
     "ips_definition_check",
     "measure_ips",
     "sweep_agents",

@@ -16,7 +16,7 @@ import heapq
 import types
 import typing
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, _PENDING
 
 
 class Interrupt(Exception):
@@ -34,6 +34,8 @@ class Process(Event):
     :class:`Event`; the process is resumed with the event's value (or the
     event's exception is thrown into the generator).
     """
+
+    __slots__ = ("generator", "name", "_waiting_on")
 
     def __init__(self, engine: "Engine", generator: types.GeneratorType,
                  name: str = ""):
@@ -83,11 +85,14 @@ class Process(Event):
         return callback
 
     def _resume(self, event: Event) -> None:
+        # Direct _ok/_value access: the event has fired by the time the
+        # engine invokes this callback, so the .value pending-guard can
+        # never trip and the property dispatch is pure overhead here.
         try:
-            if event.ok:
-                target = self.generator.send(event.value)
+            if event._ok:
+                target = self.generator.send(event._value)
             else:
-                target = self.generator.throw(event.value)
+                target = self.generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -98,7 +103,7 @@ class Process(Event):
             raise TypeError(f"process {self.name!r} yielded {target!r}, "
                             f"which is not an Event")
         self._waiting_on = target
-        if target.processed:
+        if target._processed:
             # Already fired: resume on the next engine step at current time.
             chain = Event(self.engine)
             chain.callbacks.append(self._resume)
@@ -166,18 +171,36 @@ class Engine:
         ``until`` may be ``None`` (drain the queue), a float (simulated
         deadline in seconds), or an :class:`Event` (stop when it fires).
         """
+        # The loops below are step() unrolled with the queue, heappop,
+        # and bound attributes held in locals — this is the simulator's
+        # hottest code and the call/lookup overhead is measurable.
+        queue = self._queue
+        heappop = heapq.heappop
         if isinstance(until, Event):
             stop = until
-            while not stop.triggered:
-                if not self._queue:
+            # stop.triggered, checked once per popped event, inlined.
+            while stop._value is _PENDING:
+                if not queue:
                     raise RuntimeError("simulation queue drained before the "
                                        "awaited event fired")
-                self.step()
+                time, _seq, event = heappop(queue)
+                self._now = time
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = []
+                for callback in callbacks:
+                    callback(event)
             if not stop.ok:
                 raise stop.value
             return
         deadline = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        while queue and queue[0][0] <= deadline:
+            time, _seq, event = heappop(queue)
+            self._now = time
+            event._processed = True
+            callbacks = event.callbacks
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
         if until is not None:
             self._now = max(self._now, deadline)

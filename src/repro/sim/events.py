@@ -8,6 +8,7 @@ in the waiting process.
 
 from __future__ import annotations
 
+import heapq
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -22,6 +23,8 @@ class Event:
     (callbacks have run).  ``succeed``/``fail`` trigger the event at the
     current simulation time.
     """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_processed")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -54,11 +57,18 @@ class Event:
 
     def succeed(self, value=None) -> "Event":
         """Trigger the event successfully with an optional payload."""
-        if self.triggered:
+        # Sentinel check inlined (not via .triggered): succeed() runs
+        # once per scheduled event and the property adds measurable cost.
+        if self._value is not _PENDING:
             raise RuntimeError("event has already been triggered")
         self._ok = True
         self._value = value
-        self.engine.schedule(self)
+        # Engine.schedule(self) unrolled — one Python call per trigger
+        # adds up across the tens of thousands of events in a run.
+        engine = self.engine
+        heapq.heappush(engine._queue,
+                       (engine._now, engine._sequence, self))
+        engine._sequence += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -67,7 +77,7 @@ class Event:
         The exception is re-raised inside every process waiting on the
         event.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -80,18 +90,28 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value=None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(engine)
+        # Field init is inlined (no super() chain): timeouts are the
+        # most-constructed event type in the simulator by far.
+        self.engine = engine
+        self.callbacks = []
+        self._processed = False
         self.delay = delay
         self._ok = True
         self._value = value
-        engine.schedule(self, delay=delay)
+        heapq.heappush(engine._queue,
+                       (engine._now + delay, engine._sequence, self))
+        engine._sequence += 1
 
 
 class AllOf(Event):
     """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
         super().__init__(engine)
@@ -119,6 +139,8 @@ class AllOf(Event):
 
 class AnyOf(Event):
     """Fires when the first child event fires; value is that event's value."""
+
+    __slots__ = ("events",)
 
     def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
         super().__init__(engine)

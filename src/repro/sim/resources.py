@@ -61,13 +61,17 @@ class Resource:
     def acquire(self) -> Event:
         """Return an event that fires when a server is granted."""
         self.total_requests += 1
-        event = Event(self.engine)
+        engine = self.engine
+        event = Event(engine)
         if self._in_use < self.capacity and not self._waiters:
-            self._account()
+            # _account() inlined: acquire is on the simulator's hot path.
+            now = engine._now
+            self._busy_time += self._in_use * (now - self._last_change)
+            self._last_change = now
             self._in_use += 1
             event.succeed()
         else:
-            self._waiters.append((event, self.engine.now))
+            self._waiters.append((event, engine._now))
         return event
 
     def release(self) -> None:

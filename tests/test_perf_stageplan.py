@@ -1,0 +1,138 @@
+"""Stage-plan cache: keying, invalidation, and fast/legacy equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.platform import FA3CPlatform
+from repro.nn.network import A3CNetwork
+from repro.perf import runtime as fast
+from repro.perf.stageplan import CACHE, PlanCache, config_key
+from repro.platforms import measure_ips
+
+
+@pytest.fixture
+def topology():
+    return A3CNetwork(num_actions=6).topology()
+
+
+@pytest.fixture
+def other_topology():
+    # The A3C-LSTM variant: a genuinely different layer stack (the CNN
+    # topology is action-count independent — the head is padded).
+    from repro.nn.network_lstm import lstm_a3c_network
+    return lstm_a3c_network(6).topology()
+
+
+class TestPlanCacheKeying:
+    def test_repeat_lookup_hits_and_returns_same_plan(self, topology):
+        cache = PlanCache()
+        platform = FA3CPlatform.fa3c(topology)
+        first = cache.task_plan(platform, "inference", 1)
+        second = cache.task_plan(platform, "inference", 1)
+        assert second is first
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_batch_change_misses(self, topology):
+        cache = PlanCache()
+        platform = FA3CPlatform.fa3c(topology)
+        one = cache.task_plan(platform, "train", 5)
+        other = cache.task_plan(platform, "train", 4)
+        assert cache.misses == 2 and cache.hits == 0
+        assert other is not one
+
+    def test_double_buffering_change_misses(self, topology):
+        cache = PlanCache()
+        db = FA3CPlatform.fa3c(topology)
+        nodb = FA3CPlatform.fa3c(topology, double_buffering=False)
+        plan_db = cache.task_plan(db, "inference", 1)
+        plan_nodb = cache.task_plan(nodb, "inference", 1)
+        assert cache.misses == 2 and cache.hits == 0
+        assert plan_db.stages[0].double_buffering
+        assert not plan_nodb.stages[0].double_buffering
+
+    def test_cu_count_change_misses(self, topology):
+        cache = PlanCache()
+        cache.task_plan(FA3CPlatform.fa3c(topology), "sync", 0)
+        cache.task_plan(FA3CPlatform.fa3c(topology, cu_pairs=1),
+                        "sync", 0)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_topology_change_misses(self, topology, other_topology):
+        cache = PlanCache()
+        cache.task_plan(FA3CPlatform.fa3c(topology), "inference", 1)
+        cache.task_plan(FA3CPlatform.fa3c(other_topology),
+                        "inference", 1)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_in_place_config_mutation_misses(self, topology):
+        """The key is recomputed per lookup, so live mutation is safe."""
+        cache = PlanCache()
+        platform = FA3CPlatform.fa3c(topology)
+        cache.task_plan(platform, "inference", 1)
+        platform.config.double_buffering = False
+        cache.task_plan(platform, "inference", 1)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_config_key_covers_distinct_configs(self, topology):
+        keys = {
+            config_key(FA3CPlatform.fa3c(topology).config),
+            config_key(FA3CPlatform.fa3c(topology,
+                                         double_buffering=False).config),
+            config_key(FA3CPlatform.fa3c(topology, cu_pairs=1).config),
+            config_key(FA3CPlatform.alt2(topology).config),
+            config_key(FA3CPlatform.single_cu(topology).config),
+        }
+        assert len(keys) == 5
+
+    def test_global_cache_is_warm_after_use(self, topology):
+        platform = FA3CPlatform.fa3c(topology)
+        before = CACHE.hits
+        measure_ips(platform, 2, routines_per_agent=2)
+        measure_ips(platform, 2, routines_per_agent=2)
+        assert CACHE.hits > before
+
+
+class TestFastLegacyEquivalence:
+    """Replayed plans must reproduce the derivation path's numbers
+    exactly — simulated seconds, IPS, and per-request latencies."""
+
+    VARIANTS = {
+        "fa3c": lambda t: FA3CPlatform.fa3c(t),
+        "nodb": lambda t: FA3CPlatform.fa3c(t, double_buffering=False),
+        "single-cu": lambda t: FA3CPlatform.single_cu(t),
+        "alt2": lambda t: FA3CPlatform.alt2(t),
+        "one-pair": lambda t: FA3CPlatform.fa3c(t, cu_pairs=1),
+    }
+
+    def _measure(self, build, topology, fastpath: bool):
+        if fastpath:
+            fast.enable()
+        else:
+            fast.disable()
+        try:
+            return measure_ips(build(topology), 6, t_max=5,
+                               routines_per_agent=8)
+        finally:
+            fast.enable()
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_modelled_numbers_bit_exact(self, variant, topology):
+        build = self.VARIANTS[variant]
+        legacy = self._measure(build, topology, fastpath=False)
+        replay = self._measure(build, topology, fastpath=True)
+        assert replay.ips == legacy.ips
+        assert replay.sim_seconds == legacy.sim_seconds
+        assert replay.utilisation == legacy.utilisation
+        np.testing.assert_array_equal(
+            np.asarray(replay.inference_latencies),
+            np.asarray(legacy.inference_latencies))
+
+    def test_cache_miss_after_invalidation_matches_legacy(self, topology):
+        """A post-invalidation (cold) replay still equals the legacy
+        derivation: correctness does not depend on cache warmth."""
+        build = self.VARIANTS["fa3c"]
+        legacy = self._measure(build, topology, fastpath=False)
+        CACHE.clear()
+        cold = self._measure(build, topology, fastpath=True)
+        assert cold.ips == legacy.ips
+        assert cold.sim_seconds == legacy.sim_seconds
