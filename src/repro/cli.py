@@ -17,6 +17,10 @@ Commands:
 * ``bench``   — the perf-baseline gate: ``--baseline`` snapshots IPS +
   cycle-attribution shares per scenario into ``BENCH_fa3c.json``;
   ``--check`` re-runs the scenarios and exits non-zero on regression.
+* ``lint``    — invariant-aware static analysis (:mod:`repro.lint`):
+  determinism, hot-path hygiene, seqlock protocol, fp32 reduction
+  order, attribution coverage.  ``--strict`` exits non-zero on
+  findings; ``--format json`` for machines.
 """
 
 from __future__ import annotations
@@ -318,6 +322,32 @@ def _write_bench_report(report_dir: str, name: str, report) -> None:
         handle.write("\n\n".join(sections) + "\n")
 
 
+def cmd_lint(args) -> int:
+    from repro import lint
+    from repro.lint import report as lint_report
+
+    try:
+        config = lint.load_config(args.config)
+    except (OSError, ValueError) as exc:
+        print(f"lint: cannot load config: {exc}")
+        return 2
+    paths = args.paths or config.paths
+    try:
+        run = lint.lint_paths(paths, config, select=args.select)
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}")
+        return 2
+    if args.format == "json":
+        print(lint_report.render_json(run))
+    else:
+        print(lint_report.render_text(run, verbose=args.verbose))
+    if run.errors:
+        return 2
+    if args.strict and run.findings:
+        return 1
+    return 0
+
+
 def cmd_compare(args) -> int:
     from repro.fpga.platform import FA3CPlatform
     from repro.gpu.platform import (
@@ -536,6 +566,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-scenario attribution tables and "
                             "folded profiles here")
     bench.set_defaults(func=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="invariant-aware static analysis (repro.lint)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint (default: the "
+                           "configured paths, normally src)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero when any finding survives "
+                           "pragma suppression")
+    lint.add_argument("--select", nargs="+", default=None,
+                      metavar="RULE",
+                      help="run only these rules (default: the "
+                           "configured select list)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--config", default=None,
+                      help="pyproject.toml to read [tool.repro-lint] "
+                           "from (default: nearest one upward from .)")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list pragma-skipped files")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

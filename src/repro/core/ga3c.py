@@ -30,6 +30,7 @@ from repro.envs.base import Env
 from repro.obs import runtime as _obs
 from repro.nn.losses import a3c_loss_and_head_gradients, softmax
 from repro.nn.network import A3CNetwork
+from repro.perf.hotpath import hot_path
 
 
 @dataclasses.dataclass
@@ -91,11 +92,12 @@ class GA3CTrainer:
         self._train_queue.append((states, actions, returns))
         worker.rollout = Rollout()
 
+    @hot_path
     def _train_from_queue(self) -> None:
         """Drain queued rollouts into one combined training batch."""
         if len(self._train_queue) < self.training_batch_rollouts:
             return
-        started = time.perf_counter()
+        started = time.perf_counter() if _obs.enabled() else 0.0
         batches = [self._train_queue.popleft()
                    for _ in range(self.training_batch_rollouts)]
         states = np.concatenate([b[0] for b in batches])

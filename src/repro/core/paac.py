@@ -99,7 +99,7 @@ class PAACTrainer:
         # perf_counter: monotonic, so rates survive NTP clock steps.
         start = time.perf_counter()
         while self.server.global_step < self.config.max_steps:
-            round_started = time.perf_counter()
+            round_started = time.perf_counter() if _obs.enabled() else 0.0
             with _obs.span("paac", "rollout_phase"):
                 states, actions, rewards, dones, bootstrap = \
                     self._rollout_phase()

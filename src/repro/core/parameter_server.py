@@ -20,6 +20,7 @@ from repro.core.config import A3CConfig
 from repro.nn.optim import SharedRMSProp
 from repro.nn.parameters import ParameterSet
 from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
 
 
 def clip_by_global_norm(grads: ParameterSet,
@@ -70,6 +71,7 @@ class ParameterServer:
         with self._lock:
             self._global_step = int(value)
 
+    @hot_path
     def _timed_acquire(self, op: str) -> None:
         """Take the lock, recording the wait when observability is on."""
         if not _obs.enabled():
@@ -80,6 +82,7 @@ class ParameterServer:
         _obs.metrics().histogram("ps.lock_wait_seconds").observe(
             time.perf_counter() - waited, op=op)
 
+    @hot_path
     def snapshot_into(self, local: ParameterSet) -> None:
         """Parameter sync: copy global θ into an agent's local θ.
 
@@ -109,6 +112,7 @@ class ParameterServer:
         with self._lock:
             return self.params.copy()
 
+    @hot_path
     def apply_gradients(self, grads: ParameterSet) -> float:
         """Apply one gradient batch with the annealed learning rate.
 

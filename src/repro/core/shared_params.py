@@ -38,6 +38,7 @@ from repro.core.parameter_server import clip_by_global_norm
 from repro.nn.optim import SharedRMSProp
 from repro.nn.parameters import ParameterSet
 from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
 
 
 class SharedParameterStore:
@@ -62,6 +63,9 @@ class SharedParameterStore:
         self._step = ctx.RawValue("q", 0)
         self._updates = ctx.RawValue("q", 0)
         self.lock = ctx.Lock()
+        # Store not shared yet: no reader can exist before __init__
+        # returns, so the unlocked seed write races with nothing.
+        # repro-lint: ok[seqlock]
         np.copyto(self.theta_flat(), template.flatten())
 
     # -- per-process views -------------------------------------------------
@@ -89,10 +93,14 @@ class SharedParameterStore:
     # -- seqlock writer side (caller must hold ``self.lock``) --------------
 
     def begin_write(self) -> None:
-        self._version.value += 1          # odd: readers will retry
+        # odd: readers will retry
+        # repro-lint: ok[seqlock] protocol primitive; caller holds lock
+        self._version.value += 1
 
     def end_write(self) -> None:
-        self._version.value += 1          # even: snapshot is stable again
+        # even: snapshot is stable again
+        # repro-lint: ok[seqlock] protocol primitive; caller holds lock
+        self._version.value += 1
 
     # -- counters ----------------------------------------------------------
 
@@ -122,6 +130,7 @@ class SharedParameterStore:
             finally:
                 self.end_write()
 
+    @hot_path
     def snapshot_flat_into(self, dest: np.ndarray) -> None:
         """Seqlock read: copy shared θ into ``dest`` without locking.
 
@@ -193,6 +202,7 @@ class SharedParameterServer:
         with self.store.lock:
             self.store._step.value = int(value)
 
+    @hot_path
     def _timed_acquire(self, op: str) -> None:
         """Take the writer lock, recording the wait when obs is on."""
         if not _obs.enabled():
@@ -203,6 +213,7 @@ class SharedParameterServer:
         _obs.metrics().histogram("ps.lock_wait_seconds").observe(
             time.perf_counter() - waited, op=op)
 
+    @hot_path
     def snapshot_into(self, local: ParameterSet) -> None:
         """Parameter sync: seqlock-read global θ into an agent's local θ.
 
@@ -225,6 +236,7 @@ class SharedParameterServer:
         out.load_flat(self._scratch)
         return out
 
+    @hot_path
     def apply_gradients(self, grads: ParameterSet) -> float:
         """Apply one gradient batch with the annealed learning rate."""
         self._timed_acquire("apply")

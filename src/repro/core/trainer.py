@@ -39,6 +39,7 @@ from repro.envs.base import Env
 from repro.nn.network import A3CNetwork
 from repro.nn.parameters import ParameterSet
 from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
 
 
 @dataclasses.dataclass
@@ -117,10 +118,11 @@ class A3CTrainer:
             self.server.snapshot_into(agent.local_params)
         return metadata
 
+    @hot_path
     def _agent_loop(self, agent: A3CAgent, stop: threading.Event) -> None:
         while not stop.is_set() and \
                 self.server.global_step < self.config.max_steps:
-            started = time.perf_counter()
+            started = time.perf_counter() if _obs.enabled() else 0.0
             stats = agent.run_routine()
             if _obs.enabled():
                 self._record_routine(f"agent-{agent.agent_id}",
@@ -217,7 +219,7 @@ class A3CTrainer:
             for agent in self.agents:
                 if self.server.global_step >= self.config.max_steps:
                     break
-                started = time.perf_counter()
+                started = time.perf_counter() if _obs.enabled() else 0.0
                 stats = agent.run_routine()
                 if _obs.enabled():
                     self._record_routine(f"agent-{agent.agent_id}",
@@ -326,7 +328,7 @@ class A3CTrainer:
             for agent in agents:
                 if server.global_step >= self.config.max_steps:
                     break
-                started = time.perf_counter()
+                started = time.perf_counter() if _obs.enabled() else 0.0
                 stats = agent.run_routine()
                 if _obs.enabled():
                     self._record_routine(f"agent-{agent.agent_id}",

@@ -20,6 +20,7 @@ import typing
 import numpy as np
 
 from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
 
 #: Words per DRAM interface beat (512-bit bus / 32-bit words).
 WORDS_PER_BEAT = 16
@@ -63,6 +64,7 @@ class DRAMChannel:
         self.traffic = TrafficCounter()
         self.busy_cycles = 0
 
+    @hot_path
     def transfer_cycles(self, words: int, sequential: bool = True) -> int:
         """Interface cycles to move ``words`` in burst mode.
 
@@ -76,6 +78,7 @@ class DRAMChannel:
             cycles += self.latency_cycles
         return cycles
 
+    @hot_path
     def load(self, words: int, sequential: bool = True) -> int:
         """Account a load; returns the busy cycles it occupies."""
         cycles = self.transfer_cycles(words, sequential)
@@ -91,6 +94,7 @@ class DRAMChannel:
                 cycles, channel=self.name, dir="load")
         return cycles
 
+    @hot_path
     def store(self, words: int, sequential: bool = True) -> int:
         """Account a store; returns the busy cycles it occupies."""
         cycles = self.transfer_cycles(words, sequential)

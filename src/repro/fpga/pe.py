@@ -19,6 +19,7 @@ import typing
 import numpy as np
 
 from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
 
 
 class ProcessingElement:
@@ -46,6 +47,7 @@ class ProcessingElement:
             self._accumulator + np.float32(a) * np.float32(b))
         self.mac_count += 1
 
+    @hot_path
     def accumulate_sequence(self, a_values: typing.Sequence[float],
                             b_values: typing.Sequence[float]) -> float:
         """Run a full accumulation of ``len(a_values)`` products.
@@ -85,6 +87,7 @@ class PEArray:
             return 0.0
         return self.busy_pe_cycles / (self.total_cycles * self.n_pe)
 
+    @hot_path
     def run_reduction(self, operand_a: np.ndarray,
                       operand_b: np.ndarray) -> np.ndarray:
         """Compute ``outputs[j] = sum_r a[r, j] * b[r, j]`` PE-parallel.
@@ -113,6 +116,7 @@ class PEArray:
             acc += np.add.reduce(products, axis=0, dtype=np.float32)
         return acc
 
+    @hot_path
     def schedule_cycles(self, n_outputs: int, accumulation_frequency: int,
                         parallel_limit: typing.Optional[int] = None) -> int:
         """Cycle count of a schedule without evaluating it.

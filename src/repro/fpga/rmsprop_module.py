@@ -24,6 +24,7 @@ import typing
 import numpy as np
 
 from repro.fpga.dram import WORDS_PER_BEAT, DRAMChannel
+from repro.obs import runtime as _obs
 
 
 @dataclasses.dataclass
@@ -106,4 +107,9 @@ class RMSPropModule:
                                    memory_cycles=memory)
         self.total_cycles += stats.pipelined_cycles
         self.updates += 1
+        if _obs.enabled():
+            metrics = _obs.metrics()
+            metrics.counter("fpga.rmsprop.cycles").inc(
+                stats.pipelined_cycles)
+            metrics.counter("fpga.rmsprop.elements").inc(n)
         return stats

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.fpga.layouts import PATCH
 from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
 
 
 class TransposeLoadUnit:
@@ -59,6 +60,7 @@ class TransposeLoadUnit:
         self._fifo.append(patch_words.copy())
         self.words_loaded += patch_words.size
 
+    @hot_path
     def transpose_next(self) -> np.ndarray:
         """Transpose the oldest staged patch via row shifts.
 

@@ -18,6 +18,7 @@ import typing
 from repro.gpu.calibration import GPUCalibration
 from repro.gpu.specs import GPUSpec
 from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,6 +54,7 @@ class KernelCostModel:
                                self.cal.memory_efficiency)
         return max(compute, memory)
 
+    @hot_path
     def kernel_seconds(self, call: KernelCall,
                        include_launch: bool = True) -> float:
         """Full kernel time as the host observes it."""

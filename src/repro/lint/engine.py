@@ -1,0 +1,170 @@
+"""Walk files, run the selected rules, apply pragma suppressions."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import typing
+
+from repro.lint import astutil
+from repro.lint.config import LintConfig, path_matches_any
+from repro.lint.findings import Finding
+from repro.lint.pragmas import PragmaIndex
+from repro.lint.registry import Rule, all_rules, get_rule
+
+
+@dataclasses.dataclass
+class FileResult:
+    """Per-file outcome."""
+
+    path: str
+    findings: typing.List[Finding] = dataclasses.field(default_factory=list)
+    suppressed: int = 0
+    skipped: bool = False
+    error: typing.Optional[str] = None
+
+
+@dataclasses.dataclass
+class LintRun:
+    """Aggregate outcome of one lint invocation."""
+
+    files: typing.List[FileResult] = dataclasses.field(default_factory=list)
+
+    @property
+    def findings(self) -> typing.List[Finding]:
+        out: typing.List[Finding] = []
+        for result in self.files:
+            out.extend(result.findings)
+        return sorted(out, key=Finding.sort_key)
+
+    @property
+    def errors(self) -> typing.List[FileResult]:
+        return [r for r in self.files if r.error]
+
+    @property
+    def suppressed(self) -> int:
+        return sum(r.suppressed for r in self.files)
+
+    @property
+    def files_checked(self) -> int:
+        return sum(1 for r in self.files if not r.skipped and not r.error)
+
+    def counts_by_rule(self) -> typing.Dict[str, int]:
+        counts: typing.Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def build_rules(config: LintConfig,
+                select: typing.Optional[typing.Sequence[str]] = None
+                ) -> typing.List[Rule]:
+    """Instantiate the selected rules with their config options."""
+    names = list(select) if select else list(config.select)
+    registered = all_rules()
+    rules = []
+    for name in names:
+        if name not in registered:
+            get_rule(name)                # raises with the known-rule list
+        rules.append(registered[name](config.options(name)))
+    return rules
+
+
+def lint_source(source: str, relpath: str, config: LintConfig,
+                select: typing.Optional[typing.Sequence[str]] = None,
+                ) -> FileResult:
+    """Lint one in-memory source blob (the test/corpus entry point)."""
+    result = FileResult(path=relpath.replace(os.sep, "/"))
+    pragmas = PragmaIndex(source)
+    if pragmas.skip_file:
+        result.skipped = True
+        return result
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        result.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return result
+    hot = _hot_functions(config)
+    ctx = astutil.FileContext(tree, relpath, hot_functions=hot)
+    for rule in build_rules(config, select):
+        for finding in rule.check(ctx):
+            if pragmas.suppresses(finding.rule, finding.line,
+                                  finding.end_line):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def lint_file(path: str, config: LintConfig,
+              select: typing.Optional[typing.Sequence[str]] = None
+              ) -> FileResult:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return FileResult(path=path.replace(os.sep, "/"),
+                          error=f"cannot read: {exc.strerror}")
+    return lint_source(source, _display_path(path), config, select)
+
+
+def lint_paths(paths: typing.Sequence[str], config: LintConfig,
+               select: typing.Optional[typing.Sequence[str]] = None
+               ) -> LintRun:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    run = LintRun()
+    for path in _collect(paths, config):
+        run.files.append(lint_file(path, config, select))
+    return run
+
+
+def _collect(paths: typing.Sequence[str],
+             config: LintConfig) -> typing.List[str]:
+    # (path, explicit): a file named on the command line is linted even
+    # when config.exclude matches it (the CI self-check relies on this);
+    # excludes only prune directory walks.
+    files: typing.List[typing.Tuple[str, bool]] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append((path, True))
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if d != "__pycache__"
+                             and not d.startswith("."))
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    files.append((os.path.join(root, name), False))
+    seen: typing.Set[str] = set()
+    unique = []
+    for path, explicit in files:
+        display = _display_path(path)
+        if display in seen:
+            continue
+        seen.add(display)
+        if not explicit and config.exclude \
+                and path_matches_any(display, config.exclude):
+            continue
+        unique.append(path)
+    return unique
+
+
+def _display_path(path: str) -> str:
+    """Relative-to-cwd posix path when possible (stable in reports)."""
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:                      # different drive on Windows
+        rel = path
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def _hot_functions(config: LintConfig) -> typing.List[str]:
+    options = config.options("hot-path")
+    value = options.get("functions", [])
+    if isinstance(value, str):
+        return [value]
+    return [str(item) for item in value]

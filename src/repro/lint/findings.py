@@ -1,0 +1,33 @@
+"""The finding record every rule emits."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``line``/``end_line`` are 1-based; ``col`` is 0-based (as in
+    :mod:`ast`).  ``end_line`` lets the pragma matcher accept a
+    suppression on any line of a multi-line statement.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    end_line: typing.Optional[int] = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> typing.Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def sort_key(self) -> typing.Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)

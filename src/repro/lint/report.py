@@ -1,0 +1,51 @@
+"""Text and JSON reporters for a lint run."""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.lint.engine import LintRun
+
+JSON_VERSION = 1
+
+
+def render_text(run: LintRun, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: typing.List[str] = []
+    for finding in run.findings:
+        lines.append(f"{finding.location()}: [{finding.rule}] "
+                     f"{finding.message}")
+    for result in run.errors:
+        lines.append(f"{result.path}: error: {result.error}")
+    counts = run.counts_by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}={count}"
+                             for rule, count in sorted(counts.items()))
+        lines.append("")
+        lines.append(f"{len(run.findings)} finding(s) "
+                     f"({per_rule}) in {run.files_checked} file(s)")
+    else:
+        lines.append(f"ok: 0 findings in {run.files_checked} file(s)")
+    if run.suppressed:
+        lines.append(f"{run.suppressed} finding(s) suppressed by "
+                     "pragmas")
+    if verbose:
+        skipped = [r.path for r in run.files if r.skipped]
+        if skipped:
+            lines.append("skipped: " + ", ".join(skipped))
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    """Machine-readable report (stable schema, see JSON_VERSION)."""
+    document = {
+        "version": JSON_VERSION,
+        "files_checked": run.files_checked,
+        "suppressed": run.suppressed,
+        "counts": run.counts_by_rule(),
+        "findings": [finding.as_dict() for finding in run.findings],
+        "errors": [{"path": r.path, "error": r.error}
+                   for r in run.errors],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

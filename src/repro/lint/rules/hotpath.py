@@ -1,0 +1,183 @@
+"""Rule ``hot-path``: zero-overhead discipline in marked functions.
+
+Applies to functions carrying the :func:`repro.perf.hot_path` decorator
+or listed (dotted names) in the ``functions`` option.  Mark *leaf* inner
+functions (one PE reduction, one DRAM transfer, one parameter sync) —
+not orchestration loops, whose functional timing would false-positive.
+
+Inside a hot function, everything that exists only for telemetry or
+debugging must sit behind the ``REPRO_OBS`` gate (``if
+_obs.enabled():`` block, ``x if _obs.enabled() else y`` ternary, a
+local ``observing = _obs.enabled()`` alias, or the early-return guard
+``if not _obs.enabled(): ...; return``):
+
+* **obs calls** — ``_obs.metrics()`` / ``_obs.tracer()`` chains.
+  (``_obs.enabled()`` is the gate itself; ``_obs.span(...)`` used
+  directly as a ``with`` context is self-gating — it returns a shared
+  no-op manager while disabled — and is exempt.)
+* **wall-clock reads** — ``time.perf_counter()`` etc. exist only to
+  feed telemetry in a leaf hot function; hoist them behind the gate
+  (``started = time.perf_counter() if _obs.enabled() else 0.0``).
+* **string construction** — f-strings, ``str.format``, ``print`` /
+  ``logging`` calls.  Error paths are cold: anything inside a ``raise``
+  statement is exempt.
+* **allocation in loops** — calls that allocate per iteration inside a
+  ``for``/``while`` (``np.zeros``/``np.empty``/``np.array``/
+  ``np.concatenate``/..., ``list()``/``dict()``/``set()``, ``.copy()``/
+  ``.astype()``/``.tolist()``, and comprehensions).  Hoist the buffer
+  out of the loop and fill it in place (``np.copyto``, ``out=``).
+  Bare ``[]``/``{}`` literals are exempt — resetting a handed-off list
+  is idiomatic and cheap next to building its contents.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.lint import astutil
+from repro.lint.registry import Rule, register
+
+_ALLOC_NP = {"zeros", "ones", "empty", "full", "array", "arange",
+             "concatenate", "stack", "vstack", "hstack", "tile",
+             "repeat", "copy", "zeros_like", "ones_like", "empty_like",
+             "full_like"}
+_ALLOC_BUILTINS = {"list", "dict", "set", "tuple", "bytearray"}
+_ALLOC_METHODS = {"copy", "astype", "tolist", "flatten", "ravel"}
+_STRING_BUILDERS = {"print"}
+_WALLCLOCK = {"time", "time_ns", "monotonic", "monotonic_ns",
+              "perf_counter", "perf_counter_ns"}
+_COMPREHENSIONS = (ast.ListComp, ast.DictComp, ast.SetComp,
+                   ast.GeneratorExp)
+
+
+@register
+class HotPathRule(Rule):
+    name = "hot-path"
+    description = ("telemetry, string building, wall-clock reads, and "
+                   "per-iteration allocation in @hot_path functions "
+                   "must be behind the REPRO_OBS gate")
+
+    def check(self, ctx: astutil.FileContext):
+        for func in ctx.hot_function_nodes:
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: astutil.FileContext,
+                        func: astutil.FunctionNode):
+        label = ctx.qualname(func)
+        loops = self._loop_nodes(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, func, label, node, loops)
+            elif isinstance(node, ast.JoinedStr):
+                if not ctx.is_gated(func, node) \
+                        and not ctx.in_raise(node):
+                    yield ctx.finding(
+                        self, node,
+                        f"f-string built in hot path {label}() outside "
+                        "the REPRO_OBS gate; hoist it behind "
+                        "`if _obs.enabled():` (error paths inside "
+                        "`raise` are exempt)")
+            elif isinstance(node, _COMPREHENSIONS):
+                if id(node) in loops and not ctx.is_gated(func, node):
+                    yield ctx.finding(
+                        self, node,
+                        f"comprehension allocates per iteration inside "
+                        f"a loop of hot path {label}(); hoist it out or "
+                        "fill a preallocated buffer")
+
+    def _check_call(self, ctx: astutil.FileContext,
+                    func: astutil.FunctionNode, label: str,
+                    node: ast.Call, loops: typing.Set[int]):
+        gated = ctx.is_gated(func, node)
+        obs_name = ctx.is_obs_call(node)
+        if obs_name is not None:
+            terminal = obs_name.split(".")[-1]
+            if terminal == "enabled":
+                return
+            if terminal == "span" and self._is_with_context(ctx, node):
+                return
+            if not gated:
+                yield ctx.finding(
+                    self, node,
+                    f"obs call `{obs_name}(...)` in hot path {label}() "
+                    "is not behind the REPRO_OBS gate; wrap it in "
+                    "`if _obs.enabled():`")
+            return
+        name = astutil.dotted(node.func)
+        parts = name.split(".") if name else []
+        if parts and parts[0] in ctx.time_aliases and len(parts) == 2 \
+                and parts[1] in _WALLCLOCK:
+            if not gated:
+                yield ctx.finding(
+                    self, node,
+                    f"wall-clock read `{name}()` in hot path {label}() "
+                    "outside the REPRO_OBS gate; use `"
+                    f"{name}() if _obs.enabled() else 0.0` so the "
+                    "disabled path stays clock-free")
+            return
+        if not gated and not ctx.in_raise(node):
+            if name in _STRING_BUILDERS or \
+                    (parts and parts[0] in ("logging", "log", "logger")):
+                yield ctx.finding(
+                    self, node,
+                    f"`{name}` call in hot path {label}() outside the "
+                    "REPRO_OBS gate")
+                return
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "format" \
+                    and isinstance(node.func.value,
+                                   (ast.Constant, ast.JoinedStr)):
+                yield ctx.finding(
+                    self, node,
+                    f"str.format() in hot path {label}() outside the "
+                    "REPRO_OBS gate")
+                return
+        if id(node) in loops and not gated:
+            yield from self._check_allocation(ctx, label, node, name)
+
+    def _check_allocation(self, ctx: astutil.FileContext, label: str,
+                          node: ast.Call, name: typing.Optional[str]):
+        parts = name.split(".") if name else []
+        if len(parts) == 2 and parts[0] in ctx.numpy_aliases \
+                and parts[1] in _ALLOC_NP:
+            yield ctx.finding(
+                self, node,
+                f"`{name}` allocates per iteration inside a loop of "
+                f"hot path {label}(); hoist the buffer and fill it in "
+                "place (np.copyto / out=)")
+        elif name in _ALLOC_BUILTINS:
+            yield ctx.finding(
+                self, node,
+                f"`{name}()` allocates per iteration inside a loop of "
+                f"hot path {label}(); hoist it out of the loop")
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _ALLOC_METHODS \
+                and not (parts and parts[0] in ctx.numpy_aliases):
+            yield ctx.finding(
+                self, node,
+                f".{node.func.attr}() allocates per iteration inside a "
+                f"loop of hot path {label}(); hoist it out of the loop")
+
+    def _loop_nodes(self, func: astutil.FunctionNode) -> typing.Set[int]:
+        """ids of nodes that sit inside a for/while loop of ``func``."""
+        inside: typing.Set[int] = set()
+
+        def visit(node: ast.AST, in_loop: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    continue
+                child_in_loop = in_loop or isinstance(
+                    child, (ast.For, ast.AsyncFor, ast.While))
+                if in_loop:
+                    inside.add(id(child))
+                visit(child, child_in_loop)
+
+        visit(func, False)
+        return inside
+
+    def _is_with_context(self, ctx: astutil.FileContext,
+                         node: ast.Call) -> bool:
+        parent = ctx.parent(node)
+        return isinstance(parent, ast.withitem)

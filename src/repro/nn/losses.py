@@ -85,9 +85,11 @@ def a3c_loss_and_head_gradients(logits: np.ndarray, values: np.ndarray,
 
     step_entropy = entropy(probs)
     chosen_log_prob = log_probs[np.arange(n), actions]
-    policy_loss = float(-(chosen_log_prob * advantages).sum()
-                        - entropy_beta * step_entropy.sum())
-    value_loss = float(0.5 * (advantages ** 2).sum())
+    # axis=None: deliberate full reductions outside the bit-exact
+    # contract (loss scalars are diagnostics, not datapath values).
+    policy_loss = float(-(chosen_log_prob * advantages).sum(axis=None)
+                        - entropy_beta * step_entropy.sum(axis=None))
+    value_loss = float(0.5 * (advantages ** 2).sum(axis=None))
 
     # d f_pi / d logits = (pi - onehot) * advantage
     #                     + beta * pi * (log pi + H)      (entropy term)
@@ -98,6 +100,6 @@ def a3c_loss_and_head_gradients(logits: np.ndarray, values: np.ndarray,
     dvalues = (values - returns).astype(np.float32)
 
     return A3CLossResult(policy_loss=policy_loss, value_loss=value_loss,
-                         entropy=float(step_entropy.sum()),
+                         entropy=float(step_entropy.sum(axis=None)),
                          dlogits=dlogits.astype(np.float32),
                          dvalues=dvalues)

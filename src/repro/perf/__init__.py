@@ -19,6 +19,7 @@ lazily (PEP 562), like :mod:`repro.obs.prof` does for its heavy
 submodules.
 """
 
+from repro.perf.hotpath import hot_path
 from repro.perf.runtime import disable, disabled_scope, enable, enabled
 
 #: Names resolved from :mod:`repro.perf.stageplan` on first access.
@@ -35,6 +36,7 @@ __all__ = [
     "disabled_scope",
     "enable",
     "enabled",
+    "hot_path",
     "task_plan",
 ]
 

@@ -1,0 +1,9 @@
+# LINT-PATH: repro/fpga/fixture_attribution_bad.py
+"""Corpus: attribution true positives (cycle counters the profiler
+never sees)."""
+
+
+class Unit:
+    def step(self, cycles):
+        self.total_cycles += cycles                # EXPECT: attribution
+        self.busy_ns += 2 * cycles                 # EXPECT: attribution

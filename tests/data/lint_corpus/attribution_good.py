@@ -1,0 +1,23 @@
+# LINT-PATH: repro/fpga/fixture_attribution_good.py
+"""Corpus: attribution true negatives (mirrored or decomposed counters)."""
+from repro.obs import runtime as _obs
+from repro.obs.prof.buckets import fpga_stage_buckets
+
+
+class Unit:
+    def gated_mirror(self, cycles):
+        self.total_cycles += cycles
+        if _obs.enabled():
+            _obs.metrics().counter("fpga.fixture.cycles").inc(cycles)
+
+    def decomposed(self, stage, cycles):
+        self.stage_cycles += cycles
+        return fpga_stage_buckets(stage, cycles)
+
+    def local_accumulator(self, cycles):
+        total_cycles = 0
+        total_cycles += cycles
+        return total_cycles
+
+    def non_cycle_counter(self, n):
+        self.updates += n

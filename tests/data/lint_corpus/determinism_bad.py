@@ -1,0 +1,19 @@
+# LINT-PATH: repro/fpga/fixture_determinism_bad.py
+"""Corpus: determinism true positives (unseeded RNG, wall clock, sets)."""
+import random
+import time
+
+import numpy as np
+
+
+def noisy_simulator():
+    weights = np.random.rand(4)                    # EXPECT: determinism
+    jitter = random.random()                       # EXPECT: determinism
+    shuffled = np.random.permutation(4)            # EXPECT: determinism
+    started = time.time()                          # EXPECT: determinism
+    tick = time.perf_counter()                     # EXPECT: determinism
+    total = 0.0
+    for item in {1, 2, 3}:                         # EXPECT: determinism
+        total += item
+    ordered = [x for x in set([4, 5])]             # EXPECT: determinism
+    return weights, jitter, shuffled, started, tick, total, ordered

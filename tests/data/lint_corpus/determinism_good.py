@@ -1,0 +1,18 @@
+# LINT-PATH: repro/fpga/fixture_determinism_good.py
+"""Corpus: determinism true negatives (seeded RNG, stable iteration)."""
+import random
+
+import numpy as np
+
+
+def seeded_simulator(seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=4)
+    coin = random.Random(seed)
+    jitter = coin.random()
+    total = 0.0
+    for item in sorted({1, 2, 3}):
+        total += item
+    for item in (4, 5, 6):
+        total += item
+    return weights, jitter, total

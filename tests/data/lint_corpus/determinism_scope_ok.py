@@ -1,0 +1,11 @@
+# LINT-PATH: repro/core/fixture_clock.py
+"""Corpus: wall clock and set iteration are fine outside the scoped
+modules (trainer-layer telemetry owns the host clock)."""
+import time
+
+
+def timed_round(work):
+    started = time.perf_counter()
+    for item in {1, 2}:
+        work(item)
+    return time.perf_counter() - started

@@ -1,0 +1,13 @@
+# LINT-PATH: repro/nn/fixture_fp32_good.py
+"""Corpus: fp32-order true negatives (explicit axis/order intent)."""
+import numpy as np
+
+
+def reductions(a, b):
+    gemm = np.matmul(a, b)
+    ordered = np.add.reduce(a, axis=0, dtype=np.float32)
+    running = np.add.accumulate(a, dtype=np.float32)
+    deliberate = a.sum(axis=None)
+    rows = np.sum(a, axis=1)
+    positional = np.sum(a, 0)
+    return gemm, ordered, running, deliberate, rows, positional

@@ -1,0 +1,59 @@
+# LINT-PATH: repro/core/fixture_hot_good.py
+"""Corpus: hot-path true negatives (every gating idiom the repo uses)."""
+import time
+
+import numpy as np
+
+from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
+
+
+@hot_path
+def if_block_gate(values, out):
+    started = time.perf_counter() if _obs.enabled() else 0.0
+    total = 0.0
+    for value in values:
+        total += value
+        out[0] = total
+    if _obs.enabled():
+        _obs.metrics().counter("fixture.calls").inc()
+        _obs.metrics().histogram("fixture.seconds").observe(
+            time.perf_counter() - started)
+    return total
+
+
+@hot_path
+def early_return_gate(values):
+    total = float(np.add.reduce(np.asarray(values), axis=0))
+    if not _obs.enabled():
+        return total
+    _obs.metrics().counter("fixture.totals").inc()
+    return total
+
+
+@hot_path
+def alias_gate(values):
+    observing = _obs.enabled()
+    if observing:
+        _obs.metrics().counter("fixture.aliased").inc()
+    if not values:
+        raise ValueError(f"no values: {values!r}")
+    return len(values)
+
+
+@hot_path
+def span_gate(values):
+    with _obs.span("fixture", "work"):
+        return max(values)
+
+
+@hot_path
+def reset_handed_off_list(events):
+    for event in events:
+        event.callbacks = []
+    return events
+
+
+def cold_path(values):
+    print(f"cold code may allocate freely: {list(values)!r}")
+    return [v * v for v in values]

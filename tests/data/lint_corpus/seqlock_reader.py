@@ -1,0 +1,26 @@
+# LINT-PATH: repro/core/fixture_reader.py
+"""Corpus: seqlock reader side — only the snapshot API outside the store."""
+
+
+def bad_reader(store, my_store, dest):
+    raw = store.theta_flat()                       # EXPECT: seqlock
+    stats = store.g_flat()                         # EXPECT: seqlock
+    store.begin_write()                            # EXPECT: seqlock
+    store.end_write()                              # EXPECT: seqlock
+    version = store._version.value                 # EXPECT: seqlock
+    buffer = my_store._theta                       # EXPECT: seqlock
+    dest[:] = raw
+    return stats, version, buffer
+
+
+def good_reader(store, dest, params):
+    store.snapshot_flat_into(dest)
+    store.read_params_into(params)
+    store.publish(params)
+    return store.global_step
+
+
+def unrelated_underscores(optimizer):
+    # `_g` on a non-store base is the optimizer's own attribute.
+    optimizer._g = 0.0
+    return optimizer._g

@@ -1,0 +1,34 @@
+# LINT-PATH: repro/core/shared_params.py
+"""Corpus: seqlock writer side — store-module mutations need the lock."""
+import numpy as np
+
+
+class Store:
+    def unsafe_bump(self):
+        self._version.value += 1                   # EXPECT: seqlock
+
+    def unsafe_step(self, count):
+        self._step.value = count                   # EXPECT: seqlock
+
+    def unsafe_writes(self, data):
+        self.theta_flat()[0] = 1.0                 # EXPECT: seqlock
+        np.copyto(self.g_flat(), data)             # EXPECT: seqlock
+
+    def safe_with_lock(self, data):
+        with self.lock:
+            self._step.value += 1
+            np.copyto(self.g_flat(), data)
+
+    def safe_after_acquire(self):
+        self.lock.acquire()
+        try:
+            self._updates.value += 1
+        finally:
+            self.lock.release()
+
+    def safe_via_helper(self, data):
+        self._timed_acquire("apply")
+        try:
+            self.theta_flat()[:] = data
+        finally:
+            self.lock.release()
