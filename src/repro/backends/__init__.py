@@ -1,0 +1,63 @@
+"""Execution backends: one protocol over every platform.
+
+The layering this package pins down (see ``docs/architecture.md``)::
+
+    envs  ->  trainers  ->  backends  ->  sims
+                 |             |
+                 |             +-- fa3c-fpga / fa3c-single-cu /
+                 |                 fa3c-alt1 / fa3c-alt2
+                 |                 (repro.fpga: platform / binding /
+                 |                  simloop)
+                 |             +-- a3c-cudnn / a3c-tf-gpu / a3c-tf-cpu /
+                 |                 ga3c-tf   (repro.gpu.platform)
+                 +-- actor execution (threads / procs / serial) is
+                     orthogonal: `--actors`, not a backend
+
+Trainers and the CLI hold a :class:`Backend` handle and never import a
+platform class; platforms plug in via :func:`register`.  Every
+registered backend satisfies the conformance suite
+(``tests/test_backends_conformance.py``): registry round-trip, seeded
+determinism, analytic step latencies, attribution buckets that sum to
+the simulated total, and a drivable discrete-event sim.
+"""
+
+from repro.backends.fpga import FPGABackend, register_fpga_backends
+from repro.backends.gpu import GPUBackend, register_gpu_backends
+from repro.backends.protocol import (
+    AGENT_SEED_STRIDE,
+    Backend,
+    BackendCapabilities,
+    PlatformBackend,
+    derive_agent_seed,
+)
+from repro.backends.registry import (
+    DEFAULT_BACKEND,
+    create,
+    default_topology,
+    is_registered,
+    names,
+    register,
+    resolve,
+)
+
+register_fpga_backends()
+register_gpu_backends()
+
+__all__ = [
+    "AGENT_SEED_STRIDE",
+    "Backend",
+    "BackendCapabilities",
+    "DEFAULT_BACKEND",
+    "FPGABackend",
+    "GPUBackend",
+    "PlatformBackend",
+    "create",
+    "default_topology",
+    "derive_agent_seed",
+    "is_registered",
+    "names",
+    "register",
+    "register_fpga_backends",
+    "register_gpu_backends",
+    "resolve",
+]

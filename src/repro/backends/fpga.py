@@ -1,0 +1,99 @@
+"""FPGA backends: FA3C and its Section 5.4 configuration ablations.
+
+Thin adapters over :class:`repro.fpga.platform.FA3CPlatform` — the
+platform still owns the timing model and the discrete-event sim; the
+adapter maps it onto the :class:`~repro.backends.protocol.Backend`
+protocol and plugs it into the registry under:
+
+* ``fa3c-fpga``       — the proposed dual-CU-pair design;
+* ``fa3c-single-cu``  — one 2N-PE CU per pair;
+* ``fa3c-alt1``       — FW parameter layout everywhere;
+* ``fa3c-alt2``       — both layouts materialised in DRAM.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.backends.protocol import BackendCapabilities, PlatformBackend
+from repro.backends.registry import default_topology, register
+from repro.fpga.platform import FA3CPlatform
+from repro.perf import stageplan as _stageplan
+
+_FPGA_CAPABILITIES = BackendCapabilities(kind="fpga", needs_sync=True,
+                                         needs_bootstrap=True,
+                                         batched_inference=False,
+                                         supports_tracing=True)
+
+#: (kind, batch builder) pairs of one A3C routine's task shapes.
+_ROUTINE_TASKS = (("inference", lambda t_max: 1),
+                  ("train", lambda t_max: t_max),
+                  ("sync", lambda t_max: 0))
+
+
+class FPGABackend(PlatformBackend):
+    """:class:`FA3CPlatform` behind the backend protocol."""
+
+    def __init__(self, registry_name: str, platform: FA3CPlatform):
+        super().__init__(registry_name, platform, _FPGA_CAPABILITIES)
+
+    def _build_sim(self, engine, tracer):
+        return self.platform.build_sim(engine, tracer=tracer)
+
+    def _compile_plans(self, t_max: int) -> int:
+        # Warms the shared global plan cache — the same entries the
+        # sim's fast path binds, so a later measurement replays.
+        compiled = 0
+        for kind, batch_of in _ROUTINE_TASKS:
+            _stageplan.CACHE.task_plan(self.platform, kind,
+                                       batch_of(t_max))
+            compiled += 1
+        return compiled
+
+    def infer_step(self, batch: int = 1) -> float:
+        """Uncontended single-inference latency in seconds."""
+        return self.platform.inference_latency(batch)
+
+    def train_step(self, batch: int) -> float:
+        """Uncontended training-task latency in seconds."""
+        return self.platform.training_latency(batch)
+
+    def sync_step(self) -> float:
+        """Uncontended parameter-sync latency in seconds."""
+        return self.platform.sync_latency()
+
+    def attribution(self, task: str, batch: int = 0
+                    ) -> typing.Dict[str, float]:
+        """Analytic cause-bucket cycles of one uncontended task."""
+        timing = self.platform.timing
+        if task == "inference":
+            stages = timing.inference_task(batch or 1)
+        elif task == "train":
+            stages = timing.training_task(batch or 5)
+        elif task == "sync":
+            stages = timing.sync_task()
+        else:
+            raise ValueError(f"unknown task {task!r}; expected "
+                             f"'inference', 'train', or 'sync'")
+        return self.platform.task_attribution(stages)
+
+
+def _factory(registry_name: str, constructor: str):
+    def build(topology=None, **overrides) -> FPGABackend:
+        if topology is None:
+            topology = default_topology()
+        platform = getattr(FA3CPlatform, constructor)(topology,
+                                                      **overrides)
+        return FPGABackend(registry_name, platform)
+    build.__name__ = f"build_{registry_name.replace('-', '_')}"
+    return build
+
+
+def register_fpga_backends() -> None:
+    """Register the FA3C configurations (idempotent)."""
+    for registry_name, constructor in (("fa3c-fpga", "fa3c"),
+                                       ("fa3c-single-cu", "single_cu"),
+                                       ("fa3c-alt1", "alt1"),
+                                       ("fa3c-alt2", "alt2")):
+        register(registry_name, _factory(registry_name, constructor),
+                 replace=True)

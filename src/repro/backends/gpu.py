@@ -1,0 +1,113 @@
+"""GPU/CPU software-baseline backends (paper Section 5.1).
+
+Thin adapters over the :mod:`repro.gpu.platform` cost models, one per
+baseline the paper compares against:
+
+* ``a3c-cudnn``  — directly-invoked cuDNN/cuBLAS A3C;
+* ``a3c-tf-gpu`` — TensorFlow A3C with its kernels on the GPU;
+* ``a3c-tf-cpu`` — TensorFlow A3C computing on the host CPUs;
+* ``ga3c-tf``    — the GA3C predictor/trainer-queue architecture.
+
+The five former ``_GPUPlatformBase`` consumers (compare, bench,
+harness) now see one protocol: latencies via ``infer_step`` /
+``train_step``, attribution via ``attribution``, contention via
+``build_sim`` — identical numbers to calling the platform directly.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.backends.protocol import BackendCapabilities, PlatformBackend
+from repro.backends.registry import default_topology, register
+from repro.gpu.platform import (
+    A3CcuDNNPlatform,
+    A3CTFCPUPlatform,
+    A3CTFGPUPlatform,
+    GA3CTFPlatform,
+)
+
+
+class GPUBackend(PlatformBackend):
+    """A ``repro.gpu.platform`` cost model behind the backend protocol.
+
+    The analytic queries go through the platform's memoized
+    ``task_seconds`` / ``task_buckets`` dispatchers, wrapped in
+    :meth:`~repro.backends.protocol.PlatformBackend._quiet` so an
+    analytic question never replays per-kernel observations into the
+    metrics registry (only simulated task executions record).
+    """
+
+    def _build_sim(self, engine, tracer):
+        del tracer                       # rejected by the base class
+        return self.platform.build_sim(engine)
+
+    def _compile_plans(self, t_max: int) -> int:
+        compiled = 0
+        for task, batch in (("inference", 1), ("train", t_max),
+                            ("sync", 0)):
+            self.platform.task_seconds(task, batch)
+            self.platform.task_buckets(task, batch)
+            compiled += 1
+        return compiled
+
+    def infer_step(self, batch: int = 1) -> float:
+        """Uncontended inference latency in seconds."""
+        return self._quiet(
+            lambda: self.platform.task_seconds("inference", batch))
+
+    def train_step(self, batch: int) -> float:
+        """Uncontended training-task latency in seconds."""
+        return self._quiet(
+            lambda: self.platform.task_seconds("train", batch))
+
+    def sync_step(self) -> float:
+        """Uncontended local-model refresh latency in seconds."""
+        return self._quiet(lambda: self.platform.task_seconds("sync"))
+
+    def attribution(self, task: str, batch: int = 0
+                    ) -> typing.Dict[str, float]:
+        """Analytic cause-bucket seconds of one uncontended task."""
+        if task not in ("inference", "train", "sync"):
+            raise ValueError(f"unknown task {task!r}; expected "
+                             f"'inference', 'train', or 'sync'")
+        if task == "inference" and batch == 0:
+            batch = 1
+        if task == "train" and batch == 0:
+            batch = 5
+        return self._quiet(
+            lambda: self.platform.task_buckets(task, batch))
+
+
+#: registry name -> (platform class, capabilities).
+_GPU_BACKENDS: typing.Dict[str, tuple] = {
+    "a3c-cudnn": (A3CcuDNNPlatform,
+                  BackendCapabilities(kind="gpu")),
+    "a3c-tf-gpu": (A3CTFGPUPlatform,
+                   BackendCapabilities(kind="gpu")),
+    "a3c-tf-cpu": (A3CTFCPUPlatform,
+                   BackendCapabilities(kind="host")),
+    "ga3c-tf": (GA3CTFPlatform,
+                BackendCapabilities(kind="gpu", needs_sync=False,
+                                    needs_bootstrap=False,
+                                    batched_inference=True)),
+}
+
+
+def _factory(registry_name: str, platform_class, capabilities):
+    def build(topology=None, **overrides) -> GPUBackend:
+        if topology is None:
+            topology = default_topology()
+        return GPUBackend(registry_name,
+                          platform_class(topology, **overrides),
+                          capabilities)
+    build.__name__ = f"build_{registry_name.replace('-', '_')}"
+    return build
+
+
+def register_gpu_backends() -> None:
+    """Register the four software baselines (idempotent)."""
+    for registry_name, (platform_class, caps) in _GPU_BACKENDS.items():
+        register(registry_name,
+                 _factory(registry_name, platform_class, caps),
+                 replace=True)

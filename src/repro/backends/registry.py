@@ -1,0 +1,83 @@
+"""Named backend registry.
+
+Backends register a *factory* under a stable name (``fa3c-fpga``,
+``a3c-cudnn``, ...); :func:`create` builds a fresh backend instance from
+a name, a network topology, and optional platform config overrides.
+The CLI's ``--platform`` flag, the harness experiment table, and the
+bench scenario matrix all resolve platforms through here, so adding a
+backend is one ``register`` call — no trainer or CLI edits.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.backends.protocol import Backend
+
+#: ``factory(topology, **overrides) -> Backend``.  ``topology`` may be
+#: ``None``, in which case the factory builds the paper's default A3C
+#: topology (six actions).
+BackendFactory = typing.Callable[..., Backend]
+
+_REGISTRY: typing.Dict[str, BackendFactory] = {}
+
+#: The platform used when none is requested.
+DEFAULT_BACKEND = "fa3c-fpga"
+
+
+def register(name: str, factory: BackendFactory,
+             replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Re-registration is an error unless ``replace=True`` — shadowing a
+    platform silently would invalidate committed bench baselines.
+    """
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered; "
+                         f"pass replace=True to override")
+    _REGISTRY[name] = factory
+
+
+def names() -> typing.Tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def create(name: str, topology=None, **overrides) -> Backend:
+    """Build a fresh backend instance for ``name``.
+
+    ``topology`` defaults to the paper's A3C network (six actions);
+    ``overrides`` pass through to the platform configuration (e.g.
+    ``cu_pairs=1`` for the Figure 10 single-pair ablations).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown backend {name!r}; registered: "
+                         f"{known}") from None
+    return factory(topology, **overrides)
+
+
+def resolve(backend: typing.Union[str, Backend, None],
+            topology=None) -> Backend:
+    """A backend instance from a name, an instance, or ``None``.
+
+    ``None`` resolves to :data:`DEFAULT_BACKEND`; instances pass
+    through unchanged (the caller owns their topology).
+    """
+    if backend is None:
+        return create(DEFAULT_BACKEND, topology)
+    if isinstance(backend, str):
+        return create(backend, topology)
+    return backend
+
+
+def default_topology():
+    """The topology factories fall back to: the paper's A3C network."""
+    from repro.nn.network import A3CNetwork
+    return A3CNetwork(num_actions=6).topology()

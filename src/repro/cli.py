@@ -52,9 +52,10 @@ def _build_trainer(args) -> A3CTrainer:
     if args.lstm:
         return A3CTrainer(env_factory,
                           lambda: lstm_a3c_network(num_actions),
-                          config, agent_class=RecurrentA3CAgent)
+                          config, agent_class=RecurrentA3CAgent,
+                          platform=args.platform)
     return A3CTrainer(env_factory, lambda: A3CNetwork(num_actions),
-                      config)
+                      config, platform=args.platform)
 
 
 def cmd_train(args) -> int:
@@ -64,15 +65,21 @@ def cmd_train(args) -> int:
         obs.enable(reset=True)
     trainer = _build_trainer(args)
     variant = "A3C-LSTM" if args.lstm else "A3C"
-    backend = args.backend
-    if backend is None and args.serial:
-        backend = "serial"
+    actors = args.actors
+    if args.backend is not None:
+        print("note: --backend is deprecated, use --actors",
+              file=sys.stderr)
+        if actors is None:
+            actors = args.backend
+    if actors is None and args.serial:
+        actors = "serial"
     print(f"Training {variant} on {args.game}: {args.agents} agents, "
           f"{args.steps} steps, lr {args.learning_rate}"
-          + (f", backend {backend}" if backend else ""))
+          + (f", actors {actors}" if actors else "")
+          + (f", platform {args.platform}" if args.platform else ""))
     result = trainer.train(
         threads=not args.serial,
-        backend=backend,
+        actors=actors,
         workers=args.workers,
         progress=lambda step, tracker: print(
             f"  step {step:>8}: episodes={len(tracker)} "
@@ -97,22 +104,25 @@ def cmd_train(args) -> int:
 def _emit_observability(args) -> None:
     """Write the ``--trace`` / ``--metrics`` outputs for one run.
 
-    Alongside the trainer's wall-clock metrics this runs a short FA3C
-    shadow simulation at the same agent count / t_max, so the exported
-    trace carries the accelerator-side sim lanes (per-CU stages, DRAM
-    channels) and the metrics include per-CU busy fraction and
-    per-channel DRAM bytes next to the trainer step-rate histograms.
+    Alongside the trainer's wall-clock metrics this runs a short shadow
+    simulation of the selected ``--platform`` backend (default FA3C) at
+    the same agent count / t_max, so the exported trace carries the
+    accelerator-side sim lanes (per-CU stages, DRAM channels) and the
+    metrics include per-CU busy fraction and per-channel DRAM bytes
+    next to the trainer step-rate histograms.
     """
-    from repro import obs
-    from repro.fpga.platform import FA3CPlatform
+    from repro import backends, obs
     from repro.platforms import measure_ips
 
     num_actions = make_game(args.game).action_space.n
     topology = A3CNetwork(num_actions).topology()
-    measure_ips(FA3CPlatform.fa3c(topology), args.agents,
+    backend = backends.create(args.platform or backends.DEFAULT_BACKEND,
+                              topology)
+    measure_ips(backend, args.agents,
                 t_max=args.t_max, routines_per_agent=8)
     meta = {"game": args.game, "agents": args.agents,
-            "t_max": args.t_max, "steps": args.steps}
+            "t_max": args.t_max, "steps": args.steps,
+            "platform": backend.registry_name}
     if args.metrics:
         samples = obs.metrics().write_jsonl(args.metrics, meta=meta)
         print(f"metrics: {samples} samples -> {args.metrics}")
@@ -174,7 +184,10 @@ def cmd_bench(args) -> int:
         if names is None:
             names = sorted(base.get("scenarios") or {})
     if names is None:
-        names = bench.scenario_names()
+        names = bench.scenario_names(backend=args.platform)
+    elif args.platform:
+        allowed = set(bench.scenario_names(backend=args.platform))
+        names = [name for name in names if name in allowed]
 
     failures: typing.List[str] = []
     scenarios: typing.Dict[str, typing.Dict[str, object]] = {}
@@ -207,18 +220,18 @@ def cmd_bench(args) -> int:
         print(f"baseline: {len(scenarios)} scenarios -> {args.file}")
     if args.check:
         compare = base
-        if args.scenarios:
+        if args.scenarios or args.platform:
             # Only gate the requested subset; flag requested scenarios
             # the baseline has never recorded.
             recorded = base.get("scenarios") or {}
-            for name in args.scenarios:
+            for name in names:
                 if name not in recorded:
                     failures.append(f"{name}: not in baseline "
                                     f"{args.file}")
             compare = dict(base)
             compare["scenarios"] = {name: entry for name, entry
                                     in recorded.items()
-                                    if name in set(args.scenarios)}
+                                    if name in set(names)}
         failures.extend(bench.check_snapshot(
             compare, current, ips_rtol=args.ips_tolerance,
             share_atol=args.share_tolerance))
@@ -254,6 +267,11 @@ def _cmd_bench_wallclock(args, bench) -> int:
             return 2
         if names is None:
             names = sorted(base.get("scenarios") or {})
+    if names is None and args.platform:
+        names = bench.scenario_names(backend=args.platform)
+    elif names is not None and args.platform:
+        allowed = set(bench.scenario_names(backend=args.platform))
+        names = [name for name in names if name in allowed]
 
     failures: typing.List[str] = []
     try:
@@ -272,17 +290,17 @@ def _cmd_bench_wallclock(args, bench) -> int:
               f"{len(current['scenarios'])} scenarios -> {path}")
     if args.check:
         compare = base
-        if args.scenarios:
+        if names is not None:
             # Only gate the requested subset; flag requested scenarios
             # the baseline has never recorded.
             recorded = base.get("scenarios") or {}
-            for name in args.scenarios:
+            for name in names:
                 if name not in recorded:
                     failures.append(f"{name}: not in baseline {path}")
             compare = dict(base)
             compare["scenarios"] = {name: entry for name, entry
                                     in recorded.items()
-                                    if name in set(args.scenarios)}
+                                    if name in set(names)}
         failures.extend(bench.check_wallclock(compare, current))
         if failures:
             print(f"\nWALL-CLOCK SMOKE FAILED ({len(failures)} "
@@ -349,17 +367,14 @@ def cmd_lint(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    from repro.fpga.platform import FA3CPlatform
-    from repro.gpu.platform import (
-        A3CTFCPUPlatform, A3CTFGPUPlatform, A3CcuDNNPlatform,
-        GA3CTFPlatform)
+    from repro import backends
     from repro.platforms import measure_ips, sweep_agents
     from repro.power import PowerModel
 
     topology = A3CNetwork(num_actions=6).topology()
-    platforms = [FA3CPlatform.fa3c(topology),
-                 A3CcuDNNPlatform(topology), GA3CTFPlatform(topology),
-                 A3CTFGPUPlatform(topology), A3CTFCPUPlatform(topology)]
+    platforms = [backends.create(name, topology)
+                 for name in ("fa3c-fpga", "a3c-cudnn", "ga3c-tf",
+                              "a3c-tf-gpu", "a3c-tf-cpu")]
     agents = tuple(args.agents_sweep)
     series = {}
     for platform in platforms:
@@ -378,16 +393,17 @@ def cmd_compare(args) -> int:
 
 
 def cmd_ablate(args) -> int:
-    from repro.fpga.platform import FA3CPlatform
+    from repro import backends
     from repro.platforms import sweep_agents
 
     topology = A3CNetwork(num_actions=6).topology()
     agents = tuple(args.agents_sweep)
     variants = {
-        "FA3C": FA3CPlatform.fa3c(topology, cu_pairs=1),
-        "FA3C-Alt1": FA3CPlatform.alt1(topology, cu_pairs=1),
-        "FA3C-Alt2": FA3CPlatform.alt2(topology, cu_pairs=1),
-        "FA3C-SingleCU": FA3CPlatform.single_cu(topology, cu_pairs=1),
+        "FA3C": backends.create("fa3c-fpga", topology, cu_pairs=1),
+        "FA3C-Alt1": backends.create("fa3c-alt1", topology, cu_pairs=1),
+        "FA3C-Alt2": backends.create("fa3c-alt2", topology, cu_pairs=1),
+        "FA3C-SingleCU": backends.create("fa3c-single-cu", topology,
+                                         cu_pairs=1),
     }
     series = {}
     for name, platform in variants.items():
@@ -447,7 +463,7 @@ def cmd_sweep(args) -> int:
                                  max_episode_steps=args.episode_cap),
         lambda: A3CNetwork(num_actions), config,
         learning_rates=args.rates, seeds=tuple(range(args.seeds)),
-        threads=True)
+        threads=True, platform=args.platform)
     print(format_table(result.rows(),
                        title=f"Learning-rate sweep on {args.game} "
                              f"({args.steps} steps/run)"))
@@ -458,6 +474,9 @@ def cmd_sweep(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import backends
+
+    backend_names = list(backends.names())
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FA3C (ASPLOS 2019) reproduction toolkit")
@@ -477,12 +496,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the A3C-LSTM variant")
     train.add_argument("--serial", action="store_true",
                        help="deterministic round-robin agents")
-    train.add_argument("--backend", choices=["threads", "procs", "serial"],
+    train.add_argument("--actors", choices=["threads", "procs", "serial"],
                        default=None,
-                       help="actor execution backend (default: threads, "
+                       help="actor execution model (default: threads, "
                             "or serial when --serial is given)")
+    # Deprecated alias of --actors, kept for old scripts; hidden so the
+    # name no longer collides with the compute-backend registry.
+    train.add_argument("--backend",
+                       choices=["threads", "procs", "serial"],
+                       default=None, help=argparse.SUPPRESS)
+    train.add_argument("--platform", choices=backend_names,
+                       default=None,
+                       help="compute backend from the repro.backends "
+                            "registry (default: fa3c-fpga)")
     train.add_argument("--workers", type=int, default=None,
-                       help="worker processes for --backend procs "
+                       help="worker processes for --actors procs "
                             "(default: one per agent)")
     train.add_argument("--checkpoint", default=None,
                        help="write final parameters to this .npz")
@@ -522,6 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--rates", type=float, nargs="+",
                        default=[1e-4, 7e-4, 3e-3])
+    sweep.add_argument("--platform", choices=backend_names,
+                       default=None,
+                       help="compute backend from the repro.backends "
+                            "registry (default: fa3c-fpga)")
     sweep.set_defaults(func=cmd_sweep)
 
     obs_report = sub.add_parser(
@@ -556,6 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "with --wallclock)")
     bench.add_argument("--scenarios", nargs="+", default=None,
                        help="subset of scenario names to run")
+    bench.add_argument("--platform", choices=backend_names,
+                       default=None,
+                       help="only run scenarios of this backend "
+                            "(registry name, e.g. fa3c-fpga)")
     bench.add_argument("--ips-tolerance", type=float, default=None,
                        help="allowed relative IPS drop (overrides the "
                             "baseline's tolerance)")

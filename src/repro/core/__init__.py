@@ -20,7 +20,7 @@ from repro.core.evaluate import (
     evaluate_policy,
     evaluate_recurrent_policy,
 )
-from repro.core.evaluation import ScoreTracker, moving_average
+from repro.core.scores import ScoreTracker, moving_average
 from repro.core.ga3c import GA3CTrainer
 from repro.core.paac import PAACTrainer
 from repro.core.parameter_server import ParameterServer

@@ -20,10 +20,11 @@ import typing
 import numpy as np
 
 from repro.core.config import A3CConfig
+from repro.core.execution import apply_rollout_update
 from repro.core.parameter_server import ParameterServer
 from repro.core.rollout import Rollout
 from repro.envs.base import Env
-from repro.nn.losses import a3c_loss_and_head_gradients, softmax
+from repro.nn.losses import softmax
 from repro.nn.network import A3CNetwork
 from repro.nn.parameters import ParameterSet
 
@@ -105,16 +106,12 @@ class A3CAgent:
             bootstrap_value = float(values[0])
             bootstrap_inferences = 1
 
-        # Training task.
+        # Training task (the shared rollout-to-update path).
         states, actions, returns = self.rollout.batch(
             bootstrap_value, self.config.gamma)
-        logits, values = self.network.forward(states, self.local_params)
-        loss = a3c_loss_and_head_gradients(
-            logits, values, actions, returns,
-            entropy_beta=self.config.entropy_beta)
-        grads = self.network.backward_and_grads(loss.dlogits, loss.dvalues,
-                                                self.local_params)
-        self.server.apply_gradients(grads)
+        loss = apply_rollout_update(self.network, self.local_params,
+                                    self.server, states, actions,
+                                    returns, self.config.entropy_beta)
 
         return RoutineStats(steps=steps,
                             bootstrap_inferences=bootstrap_inferences,

@@ -22,13 +22,19 @@ import typing
 import numpy as np
 
 from repro.core.config import A3CConfig
-from repro.core.evaluation import ScoreTracker
+from repro.core.execution import (
+    apply_rollout_update,
+    derive_agent_seed,
+    record_routine,
+    resolve_backend,
+)
+from repro.core.scores import ScoreTracker
 from repro.core.parameter_server import ParameterServer
 from repro.core.rollout import Rollout
 from repro.core.trainer import TrainResult
 from repro.envs.base import Env
 from repro.obs import runtime as _obs
-from repro.nn.losses import a3c_loss_and_head_gradients, softmax
+from repro.nn.losses import softmax
 from repro.nn.network import A3CNetwork
 from repro.perf.hotpath import hot_path
 
@@ -53,18 +59,21 @@ class GA3CTrainer:
                  config: A3CConfig,
                  prediction_batch: typing.Optional[int] = None,
                  training_batch_rollouts: int = 4,
-                 tracker: typing.Optional[ScoreTracker] = None):
+                 tracker: typing.Optional[ScoreTracker] = None,
+                 platform=None):
         self.config = config
         self.tracker = tracker or ScoreTracker()
         self.prediction_batch = prediction_batch or config.num_agents
         self.training_batch_rollouts = training_batch_rollouts
+        self._platform = platform if platform is not None else "ga3c-tf"
+        self._backend = None
         rng = np.random.default_rng(config.seed)
         self.network = network_factory()
         self.server = ParameterServer(self.network.init_params(rng), config)
         self.workers: typing.List[_GA3CWorker] = []
         for agent_id in range(config.num_agents):
             env = env_factory(agent_id)
-            env.seed(config.seed * 1009 + agent_id)
+            env.seed(derive_agent_seed(config.seed, agent_id))
             self.workers.append(_GA3CWorker(
                 env=env,
                 rng=np.random.default_rng(config.seed + agent_id),
@@ -72,6 +81,14 @@ class GA3CTrainer:
                 rollout=Rollout()))
         self._train_queue: collections.deque = collections.deque()
         self._routines = 0
+
+    @property
+    def backend(self):
+        """The injected compute backend (default ``ga3c-tf``; resolved
+        lazily so numeric-only runs never build a platform model)."""
+        if self._backend is None:
+            self._backend = resolve_backend(self._platform)
+        return self._backend
 
     def _predict(self, workers: typing.Sequence[_GA3CWorker]
                  ) -> typing.Tuple[np.ndarray, np.ndarray]:
@@ -103,28 +120,16 @@ class GA3CTrainer:
         states = np.concatenate([b[0] for b in batches])
         actions = np.concatenate([b[1] for b in batches])
         returns = np.concatenate([b[2] for b in batches])
-        logits, values = self.network.forward(states, self.server.params)
-        loss = a3c_loss_and_head_gradients(
-            logits, values, actions, returns,
-            entropy_beta=self.config.entropy_beta)
-        grads = self.network.backward_and_grads(loss.dlogits, loss.dvalues,
-                                                self.server.params)
-        self.server.apply_gradients(grads)
+        # GA3C trains against the single global parameter set (the
+        # source of its policy lag) through the shared update path.
+        apply_rollout_update(self.network, self.server.params,
+                             self.server, states, actions, returns,
+                             self.config.entropy_beta)
         self._routines += 1
         if _obs.enabled():
-            elapsed = time.perf_counter() - started
-            metrics = _obs.metrics()
-            metrics.counter("trainer.routines").inc(trainer="ga3c")
-            metrics.counter("trainer.steps").inc(len(states),
-                                                 trainer="ga3c")
-            metrics.histogram("trainer.routine_seconds").observe(
-                elapsed, trainer="ga3c")
-            if elapsed > 0:
-                metrics.histogram("trainer.step_rate").observe(
-                    len(states) / elapsed, trainer="ga3c")
-            _obs.tracer().record("ga3c-trainer", "train_batch", started,
-                                 started + elapsed, clock="wall",
-                                 samples=len(states))
+            record_routine("ga3c", started, len(states),
+                           lane="ga3c-trainer", span_name="train_batch",
+                           span_labels={"samples": len(states)})
 
     def train(self, max_steps: typing.Optional[int] = None) -> TrainResult:
         """Run the predictor/trainer loop until ``max_steps``."""

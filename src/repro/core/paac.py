@@ -16,12 +16,17 @@ import typing
 import numpy as np
 
 from repro.core.config import A3CConfig
-from repro.core.evaluation import ScoreTracker
+from repro.core.execution import (
+    apply_rollout_update,
+    record_routine,
+    resolve_backend,
+)
+from repro.core.scores import ScoreTracker
 from repro.core.parameter_server import ParameterServer
 from repro.core.trainer import TrainResult
 from repro.envs.base import Env
 from repro.envs.vector import SyncVectorEnv
-from repro.nn.losses import a3c_loss_and_head_gradients, softmax
+from repro.nn.losses import softmax
 from repro.nn.network import A3CNetwork
 from repro.obs import runtime as _obs
 
@@ -32,12 +37,17 @@ class PAACTrainer:
     def __init__(self, env_factory: typing.Callable[[int], Env],
                  network_factory: typing.Callable[[], A3CNetwork],
                  config: A3CConfig,
-                 tracker: typing.Optional[ScoreTracker] = None):
+                 tracker: typing.Optional[ScoreTracker] = None,
+                 platform=None):
         self.config = config
         self.tracker = tracker or ScoreTracker()
+        self._platform = platform
+        self._backend = None
         rng = np.random.default_rng(config.seed)
         self.network = network_factory()
         self.server = ParameterServer(self.network.init_params(rng), config)
+        # SyncVectorEnv applies the repro-wide seeding contract
+        # (repro.backends.protocol.derive_agent_seed) per slot.
         self.vector_env = SyncVectorEnv(
             [lambda i=i: env_factory(i)
              for i in range(config.num_agents)],
@@ -47,6 +57,14 @@ class PAACTrainer:
         self.vector_env.reset()
         self.episodes = 0
         self._routines = 0
+
+    @property
+    def backend(self):
+        """The injected compute backend (resolved lazily, so numeric-only
+        runs never build a platform model)."""
+        if self._backend is None:
+            self._backend = resolve_backend(self._platform)
+        return self._backend
 
     def _rollout_phase(self) -> typing.Tuple[np.ndarray, np.ndarray,
                                              np.ndarray, np.ndarray,
@@ -104,31 +122,20 @@ class PAACTrainer:
                 states, actions, rewards, dones, bootstrap = \
                     self._rollout_phase()
             returns = self._returns(rewards, dones, bootstrap)
-            # One synchronous update over the combined (T*N) batch.
+            # One synchronous update over the combined (T*N) batch,
+            # through the shared rollout-to-update path.
             with _obs.span("paac", "update"):
                 flat_states = states.reshape((-1,) + states.shape[2:])
-                logits, values = self.network.forward(flat_states,
-                                                      self.server.params)
-                loss = a3c_loss_and_head_gradients(
-                    logits, values, actions.reshape(-1).astype(np.int64),
-                    returns.reshape(-1),
-                    entropy_beta=self.config.entropy_beta)
-                grads = self.network.backward_and_grads(
-                    loss.dlogits, loss.dvalues, self.server.params)
-                self.server.apply_gradients(grads)
+                apply_rollout_update(
+                    self.network, self.server.params, self.server,
+                    flat_states, actions.reshape(-1).astype(np.int64),
+                    returns.reshape(-1), self.config.entropy_beta)
             self._routines += 1
             if _obs.enabled():
-                elapsed_round = time.perf_counter() - round_started
-                steps = self.config.t_max * self.config.num_agents
-                metrics = _obs.metrics()
-                metrics.counter("trainer.routines").inc(trainer="paac")
-                metrics.counter("trainer.steps").inc(steps,
-                                                     trainer="paac")
-                metrics.histogram("trainer.routine_seconds").observe(
-                    elapsed_round, trainer="paac")
-                if elapsed_round > 0:
-                    metrics.histogram("trainer.step_rate").observe(
-                        steps / elapsed_round, trainer="paac")
+                # Rollout/update tracer spans are recorded above; the
+                # per-routine span is skipped (lane=None).
+                record_routine("paac", round_started,
+                               self.config.t_max * self.config.num_agents)
         elapsed = time.perf_counter() - start
         return TrainResult(global_steps=self.server.global_step,
                            routines=self._routines,

@@ -76,11 +76,14 @@ def sweep_learning_rates(
         seeds: typing.Sequence[int] = (0,),
         score_window: int = 100,
         threads: bool = False,
-        agent_class: typing.Optional[type] = None) -> SweepResult:
+        agent_class: typing.Optional[type] = None,
+        platform=None) -> SweepResult:
     """Train once per (learning rate, seed); returns every outcome.
 
     Each run gets an independent config (same budget, different rate and
-    seed), matching the paper's per-game tuning protocol.
+    seed), matching the paper's per-game tuning protocol.  ``platform``
+    is a compute-backend registry name (or instance) handed to every
+    trainer unchanged.
     """
     entries = []
     for learning_rate in learning_rates:
@@ -91,7 +94,7 @@ def sweep_learning_rates(
             kwargs = {} if agent_class is None \
                 else {"agent_class": agent_class}
             trainer = A3CTrainer(env_factory, network_factory, config,
-                                 **kwargs)
+                                 platform=platform, **kwargs)
             result = trainer.train(threads=threads)
             entries.append(SweepEntry(
                 learning_rate=learning_rate, seed=seed,

@@ -12,7 +12,7 @@ are provided:
 * ``threads=False`` — agents are stepped round-robin on the calling thread.
   Deterministic given the seed; used by the test-suite and the shorter
   benches.
-* ``backend="procs"`` — agents are partitioned over worker *processes*
+* ``actors="procs"`` — agents are partitioned over worker *processes*
   (``fork`` start method), sidestepping the GIL for the host-side NumPy
   work.  Global θ and the shared RMSProp statistics live in shared memory
   behind a seqlock-style versioned snapshot
@@ -28,12 +28,18 @@ import queue as queue_module
 import threading
 import time
 import typing
+import warnings
 
 import numpy as np
 
 from repro.core.agent import A3CAgent
 from repro.core.config import A3CConfig
-from repro.core.evaluation import ScoreTracker
+from repro.core.execution import (
+    derive_agent_seed,
+    record_routine,
+    resolve_backend,
+)
+from repro.core.scores import ScoreTracker
 from repro.core.parameter_server import ParameterServer
 from repro.envs.base import Env
 from repro.nn.network import A3CNetwork
@@ -67,29 +73,46 @@ class A3CTrainer:
                  network_factory: typing.Callable[[], A3CNetwork],
                  config: A3CConfig,
                  tracker: typing.Optional[ScoreTracker] = None,
-                 agent_class: type = A3CAgent):
+                 agent_class: type = A3CAgent,
+                 platform=None):
         """``env_factory(agent_id)`` must build an independent environment
         per agent; ``network_factory()`` an A3C network (topologies must
         match across agents).  ``agent_class`` selects the worker type —
         pass :class:`~repro.core.recurrent_agent.RecurrentA3CAgent` with a
-        recurrent network factory for the A3C-LSTM variant."""
+        recurrent network factory for the A3C-LSTM variant.
+
+        ``platform`` is the compute backend the run is modelled against:
+        a :mod:`repro.backends` registry name (``"fa3c-fpga"``,
+        ``"a3c-cudnn"``, ...), a backend instance, or ``None`` for the
+        default.  Resolution is lazy — see :attr:`backend`."""
         self.config = config
         self.env_factory = env_factory
         self.network_factory = network_factory
         self.agent_class = agent_class
         self.tracker = tracker or ScoreTracker()
+        self._platform = platform
+        self._backend = None
         rng = np.random.default_rng(config.seed)
         template = network_factory()
         self.server = ParameterServer(template.init_params(rng), config)
         self.agents: typing.List[A3CAgent] = []
         for agent_id in range(config.num_agents):
             env = env_factory(agent_id)
-            env.seed(config.seed * 1009 + agent_id)
+            env.seed(derive_agent_seed(config.seed, agent_id))
             network = network_factory()
             self.agents.append(agent_class(agent_id, env, network,
                                            self.server, config))
         self._routines = 0
         self._routines_lock = threading.Lock()
+
+    @property
+    def backend(self):
+        """The injected compute :class:`~repro.backends.protocol.Backend`
+        (resolved on first access, so numeric-only runs never build a
+        platform model)."""
+        if self._backend is None:
+            self._backend = resolve_backend(self._platform)
+        return self._backend
 
     def save_checkpoint(self, path: str) -> None:
         """Write global theta, shared RMSProp statistics, and the step
@@ -135,54 +158,55 @@ class A3CTrainer:
     def _record_routine(self, lane: str, started: float,
                         steps: int) -> None:
         """One finished routine into the metrics/trace sinks."""
-        ended = time.perf_counter()
-        elapsed = ended - started
-        metrics = _obs.metrics()
-        metrics.counter("trainer.routines").inc(trainer="a3c")
-        metrics.counter("trainer.steps").inc(steps, trainer="a3c")
-        metrics.histogram("trainer.routine_seconds").observe(
-            elapsed, trainer="a3c")
-        if elapsed > 0:
-            metrics.histogram("trainer.step_rate").observe(
-                steps / elapsed, trainer="a3c")
-        _obs.tracer().record(lane, "routine", started, ended,
-                             clock="wall", steps=steps)
+        record_routine("a3c", started, steps, lane=lane,
+                       span_labels={"steps": steps})
 
     def train(self, max_steps: typing.Optional[int] = None,
               threads: bool = True,
-              backend: typing.Optional[str] = None,
+              actors: typing.Optional[str] = None,
               workers: typing.Optional[int] = None,
               progress: typing.Optional[
                   typing.Callable[[int, ScoreTracker], None]] = None,
-              progress_interval: int = 10_000) -> TrainResult:
+              progress_interval: int = 10_000,
+              backend: typing.Optional[str] = None) -> TrainResult:
         """Run until ``max_steps`` global inference steps.
 
-        ``backend`` selects the execution mode: ``"threads"`` (one host
-        thread per agent), ``"procs"`` (agents partitioned over
+        ``actors`` selects the actor execution mode: ``"threads"`` (one
+        host thread per agent), ``"procs"`` (agents partitioned over
         ``workers`` forked processes, default ``num_agents``), or
-        ``"serial"`` (deterministic round-robin).  When ``backend`` is
+        ``"serial"`` (deterministic round-robin).  When ``actors`` is
         ``None`` the legacy ``threads`` flag picks between ``"threads"``
-        and ``"serial"``.
+        and ``"serial"``.  ``backend`` is a deprecated alias of
+        ``actors`` (the term now names the *compute* backend — see the
+        constructor's ``platform`` argument).
 
         ``progress(global_step, tracker)`` is invoked roughly every
         ``progress_interval`` steps (only in round-robin mode is the exact
         cadence deterministic).
         """
+        if backend is not None:
+            warnings.warn(
+                "train(backend=...) is deprecated; the execution mode "
+                "is now train(actors=...) — 'backend' names the "
+                "compute platform (A3CTrainer(platform=...))",
+                DeprecationWarning, stacklevel=2)
+            if actors is None:
+                actors = backend
         if max_steps is not None:
             self.config.max_steps = max_steps
-        if backend is None:
-            backend = "threads" if threads else "serial"
+        if actors is None:
+            actors = "threads" if threads else "serial"
         # perf_counter: monotonic, so rates survive NTP clock steps.
         start = time.perf_counter()
-        if backend == "threads":
+        if actors == "threads":
             self._train_threaded(progress, progress_interval)
-        elif backend == "procs":
+        elif actors == "procs":
             self._train_procs(workers, progress, progress_interval)
-        elif backend == "serial":
+        elif actors == "serial":
             self._train_round_robin(progress, progress_interval)
         else:
-            raise ValueError(f"unknown backend {backend!r}; expected "
-                             f"'threads', 'procs', or 'serial'")
+            raise ValueError(f"unknown actor backend {actors!r}; "
+                             f"expected 'threads', 'procs', or 'serial'")
         elapsed = time.perf_counter() - start
         episodes = sum(agent.episodes_finished for agent in self.agents)
         return TrainResult(global_steps=self.server.global_step,

@@ -17,6 +17,9 @@ Implements every hardware structure of paper Section 4:
 * :mod:`~repro.fpga.resources` — the Table 4 FPGA resource model.
 * :mod:`~repro.fpga.platform` — whole-platform configurations (FA3C,
   FA3C-SingleCU, FA3C-Alt1, FA3C-Alt2).
+* :mod:`~repro.fpga.simloop` / :mod:`~repro.fpga.binding` — the
+  discrete-event simulation loop and its fast-path bound-stage
+  scheduling.
 """
 
 from repro.fpga.buffers import BufferControlUnit, LineBuffer, OnChipBuffer

@@ -15,6 +15,11 @@ Configurations:
 * ``.single_cu()`` — one CU with 2N PEs per pair serving both task types.
 * ``.alt1()`` — FW parameter layout for all computation types.
 * ``.alt2()`` — both layouts materialised in DRAM (extra store traffic).
+
+This module is the *orchestration* layer only; the simulation loop lives
+in :mod:`repro.fpga.simloop` and the fast-path bound-stage scheduling in
+:mod:`repro.fpga.binding` (``FPGASim`` is re-exported here for
+backwards compatibility).
 """
 
 from __future__ import annotations
@@ -22,16 +27,15 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.fpga.dram import WORD_BYTES, WORDS_PER_BEAT
+from repro.fpga.dram import WORDS_PER_BEAT
 from repro.fpga.resources import VU9P, DeviceCapacity, ResourceModel
 from repro.fpga.timing import GLOBAL, LOCAL, StageTiming, TimingModel
 from repro.nn.network import NetworkTopology
-from repro.obs import runtime as _obs
 from repro.obs.prof import buckets as _prof
-from repro.perf import runtime as _fast
-from repro.perf import stageplan as _stageplan
-from repro.sim import Engine, Resource, Tracer
-from repro.sim.events import Event
+from repro.sim import Engine, Tracer
+
+if typing.TYPE_CHECKING:                     # pragma: no cover
+    from repro.fpga.simloop import FPGASim
 
 
 @dataclasses.dataclass
@@ -130,7 +134,7 @@ class FA3CPlatform:
 
         Fractional cycles summing to ``stage_seconds(stage) * clock_hz``
         (up to float rounding); the measured counterpart is recorded per
-        executed stage by :class:`FPGASim`.
+        executed stage by :class:`~repro.fpga.simloop.FPGASim`.
         """
         total = self.stage_seconds(stage) * self.config.clock_hz
         # stage_seconds round-trips compute_cycles through seconds;
@@ -177,509 +181,16 @@ class FA3CPlatform:
 
         Pass a :class:`~repro.sim.Tracer` to record a per-CU stage
         Gantt chart of the run."""
+        from repro.fpga.simloop import FPGASim
+
         return FPGASim(self, engine, tracer=tracer)
 
 
-class _BoundStage:
-    """One :class:`~repro.perf.stageplan.StagePlan` bound to a simulator
-    instance: channel resources resolved, attribution counter cells
-    pre-resolved lazily (labels sorted once, not per increment)."""
+def __getattr__(name: str):
+    # Backwards-compatible re-export: FPGASim moved to repro.fpga.simloop
+    # (imported lazily to avoid a platform <-> simloop import cycle).
+    if name == "FPGASim":
+        from repro.fpga.simloop import FPGASim
 
-    __slots__ = ("plan", "name", "compute_seconds", "double_buffering",
-                 "holds", "cu_name", "task", "clock_hz", "_local_name",
-                 "_global_names", "_cells")
-
-    def __init__(self, sim: "FPGASim", plan: _stageplan.StagePlan,
-                 pair: int, cu_name: str, task: str):
-        self.plan = plan
-        self.name = plan.name
-        self.compute_seconds = plan.compute_seconds
-        self.double_buffering = plan.double_buffering
-        holds = []
-        if plan.local_words:
-            holds.append((sim.local_channels[pair], plan.local_seconds))
-        if plan.global_share_words:
-            for channel in sim.global_channels:
-                holds.append((channel, plan.global_share_seconds))
-        self.holds = tuple(holds)
-        self.cu_name = cu_name
-        self.task = task
-        self.clock_hz = sim.platform.config.clock_hz
-        self._local_name = sim.local_channels[pair].name
-        self._global_names = tuple(channel.name
-                                   for channel in sim.global_channels)
-        self._cells = None
-
-    def _build_cells(self, metrics):
-        plan = self.plan
-        counter = metrics.counter(_prof.FPGA_CYCLES_METRIC)
-        labels = dict(cu=self.cu_name, task=self.task, stage=plan.kind,
-                      layer=plan.layer)
-        traffic = metrics.counter("fpga.dram.bytes")
-        bursts = metrics.counter("fpga.dram.bursts")
-        dma = []
-        for direction, num_bytes, num_bursts in plan.local_traffic:
-            dma.append((traffic.cell(channel=self._local_name,
-                                     dir=direction), num_bytes))
-            dma.append((bursts.cell(channel=self._local_name),
-                        num_bursts))
-        for direction, num_bytes, num_bursts in plan.global_traffic:
-            for name in self._global_names:
-                dma.append((traffic.cell(channel=name, dir=direction),
-                            num_bytes))
-                dma.append((bursts.cell(channel=name), num_bursts))
-        cells = (
-            metrics,
-            counter.cell(bucket=plan.compute_bucket, **labels),
-            counter.cell(bucket=_prof.CONTROL, **labels),
-            counter.cell(bucket=_prof.BUFFER_STALL, **labels),
-            counter.cell(bucket=_prof.TLU_LAYOUT, **labels),
-            counter.cell(bucket=_prof.DRAM_WAIT, **labels),
-            metrics.counter(_prof.FPGA_CYCLES_TOTAL_METRIC).cell(
-                cu=self.cu_name),
-            tuple(dma),
-        )
-        self._cells = cells
-        return cells
-
-    def record(self, metrics, elapsed: float) -> None:
-        """Fast-path equivalent of ``_count_dma`` + ``_record_stage``:
-        identical integer arithmetic, pre-resolved label keys."""
-        cells = self._cells
-        if cells is None or cells[0] is not metrics:
-            cells = self._build_cells(metrics)
-        (_registry, work_c, control_c, stall_c, tlu_c, dram_c,
-         total_c, dma) = cells
-        for cell, value in dma:
-            cell.inc(value)
-        plan = self.plan
-        cycles = int(round(elapsed * self.clock_hz))
-        compute = plan.compute_cycles
-        total = cycles if cycles > compute else compute
-        if plan.work_cycles:
-            work_c.inc(plan.work_cycles)
-        if plan.overhead_cycles:
-            control_c.inc(plan.overhead_cycles)
-        residual = total - compute
-        if residual > 0:
-            if not self.double_buffering and compute:
-                stall_c.inc(residual)
-            else:
-                transform = 0
-                if plan.transform_words:
-                    transform = (residual * plan.transform_words
-                                 // plan.dma_words)
-                if transform:
-                    tlu_c.inc(transform)
-                rest = residual - transform
-                if rest:
-                    dram_c.inc(rest)
-        total_c.inc(total)
-
-
-class _BoundTask:
-    """A cached :class:`~repro.perf.stageplan.TaskPlan` bound to one
-    simulator's resources for one CU pair."""
-
-    __slots__ = ("plan", "stages", "cu_name", "task", "pcie_in_seconds",
-                 "pcie_out_seconds", "double_buffering", "_cells")
-
-    def __init__(self, sim: "FPGASim", plan: _stageplan.TaskPlan,
-                 pair: int, cu_name: str, task: str):
-        self.plan = plan
-        self.stages = tuple(_BoundStage(sim, stage_plan, pair, cu_name,
-                                        task)
-                            for stage_plan in plan.stages)
-        self.cu_name = cu_name
-        self.task = task
-        self.pcie_in_seconds = plan.pcie_in_seconds
-        self.pcie_out_seconds = plan.pcie_out_seconds
-        # Uniform across a task's stages (it is a config field).
-        self.double_buffering = all(stage.double_buffering
-                                    for stage in self.stages)
-        self._cells = None
-
-    def record_task(self, metrics, elapsed: float) -> None:
-        cells = self._cells
-        if cells is None or cells[0] is not metrics:
-            cells = (metrics,
-                     metrics.counter("fpga.cu.busy_seconds").cell(
-                         cu=self.cu_name),
-                     metrics.counter("fpga.cu.tasks").cell(
-                         cu=self.cu_name, task=self.task))
-            self._cells = cells
-        cells[1].inc(elapsed)
-        cells[2].inc()
-
-
-class FPGASim:
-    """Discrete-event resources + task processes for one FA3C platform.
-
-    Per CU pair: an inference CU and a training CU (or one combined CU in
-    the SingleCU ablation) plus a *local* DRAM channel; one *global*
-    channel is shared platform-wide (the single global θ copy).  Agents
-    are assigned to pairs round-robin, as the host runtime does.
-
-    Tasks run on one of two equivalent paths: the default *fast path*
-    replays memoized :mod:`repro.perf.stageplan` plans through
-    callback-chained channel holds; with ``REPRO_FASTPATH=0`` the
-    original derivation path re-builds stages per task.  Both produce
-    bit-identical simulated times, grant orders, and attribution — the
-    perf gate and the equivalence tests assert it.
-    """
-
-    def __init__(self, platform: FA3CPlatform, engine: Engine,
-                 tracer: typing.Optional[Tracer] = None):
-        self.platform = platform
-        self.engine = engine
-        if tracer is None and _obs.enabled():
-            # With observability on, stage spans flow to the global
-            # tracer by default (and from there to the Chrome export).
-            tracer = _obs.tracer()
-        self.tracer = tracer
-        self._bound: typing.Dict[tuple, _BoundTask] = {}
-        self._bound_topology = platform.topology
-        config = platform.config
-        self.infer_cus = []
-        self.train_cus = []
-        self.local_channels = []
-        for pair in range(config.cu_pairs):
-            if config.single_cu:
-                cu = Resource(engine, name=f"cu{pair}")
-                self.infer_cus.append(cu)
-                self.train_cus.append(cu)
-            else:
-                self.infer_cus.append(Resource(engine,
-                                               name=f"icu{pair}"))
-                self.train_cus.append(Resource(engine,
-                                               name=f"tcu{pair}"))
-            self.local_channels.append(Resource(engine,
-                                                name=f"ddr-local{pair}"))
-        self.global_channels = [Resource(engine, name=f"ddr-global{i}")
-                                for i in range(config.global_channels)]
-
-    def utilisation(self) -> float:
-        """Average compute-unit occupancy (drives the power model)."""
-        cus = {id(cu): cu for cu in self.infer_cus + self.train_cus}
-        values = [cu.utilisation() for cu in cus.values()]
-        return sum(values) / len(values) if values else 0.0
-
-    def _pair(self, agent_id: int) -> int:
-        return agent_id % self.platform.config.cu_pairs
-
-    def _dma_plan(self, stage: StageTiming, pair: int):
-        """(channel resource, hold seconds, words) triples for one
-        stage's DMA."""
-        platform = self.platform
-        plan = []
-        local_words = stage.words(LOCAL)
-        if local_words:
-            plan.append((self.local_channels[pair],
-                         platform._words_seconds(local_words),
-                         local_words))
-        global_words = stage.words(GLOBAL)
-        if global_words:
-            # Striped across the global channels in parallel.
-            share = -(-global_words // len(self.global_channels))
-            duration = platform._words_seconds(share)
-            for channel in self.global_channels:
-                plan.append((channel, duration, share))
-        return plan
-
-    def _count_dma(self, stage: StageTiming, pair: int) -> None:
-        """Per-channel byte/burst counters for one stage's transfers."""
-        metrics = _obs.metrics()
-        traffic = metrics.counter("fpga.dram.bytes")
-        bursts = metrics.counter("fpga.dram.bursts")
-        stripe = len(self.global_channels)
-        for direction, words_by_channel in (("load", stage.loads),
-                                            ("store", stage.stores)):
-            local_words = words_by_channel.get(LOCAL, 0)
-            if local_words:
-                name = self.local_channels[pair].name
-                traffic.inc(local_words * WORD_BYTES, channel=name,
-                            dir=direction)
-                bursts.inc(-(-local_words // WORDS_PER_BEAT),
-                           channel=name)
-            global_words = words_by_channel.get(GLOBAL, 0)
-            if global_words:
-                share = -(-global_words // stripe)
-                for channel in self.global_channels:
-                    traffic.inc(share * WORD_BYTES, channel=channel.name,
-                                dir=direction)
-                    bursts.inc(-(-share // WORDS_PER_BEAT),
-                               channel=channel.name)
-
-    def _run_stage(self, stage: StageTiming, pair: int):
-        """Process body: one stage = compute overlapped with channel DMA
-        (or serialised after it when double buffering is disabled)."""
-        platform = self.platform
-        compute_seconds = stage.compute_cycles / platform.config.clock_hz
-        plan = self._dma_plan(stage, pair)
-        if _obs.enabled():
-            self._count_dma(stage, pair)
-        if platform.config.double_buffering:
-            events = [self.engine.timeout(compute_seconds)]
-            events.extend(self.engine.process(resource.use(duration),
-                                              name=f"dma-{stage.name}")
-                          for resource, duration, _words in plan)
-            yield self.engine.all_of(events)
-        else:
-            # No overlap: the PEs stall until every transfer finishes.
-            for resource, duration, _words in plan:
-                yield from resource.use(duration)
-            yield self.engine.timeout(compute_seconds)
-
-    def _record_stage(self, stage: StageTiming, cu_name: str, task: str,
-                      elapsed: float) -> None:
-        """Attribute one executed stage's cycles to cause buckets.
-
-        The simulated duration is snapped to integer cycles (DMA burst
-        times are fractional-cycle at the modelled efficiency, so up to
-        half a cycle per stage is rounded away) and decomposed by
-        :func:`repro.obs.prof.buckets.fpga_stage_buckets`; the total
-        counter is incremented by the bucket sum itself, making the
-        buckets-sum-to-total invariant exact by construction.
-        """
-        config = self.platform.config
-        cycles = int(round(elapsed * config.clock_hz))
-        total = max(cycles, stage.compute_cycles)
-        buckets = _prof.fpga_stage_buckets(stage, total,
-                                           config.double_buffering)
-        kind, layer = _prof.split_stage_name(stage.name)
-        metrics = _obs.metrics()
-        counter = metrics.counter(_prof.FPGA_CYCLES_METRIC)
-        recorded = 0
-        for bucket, value in buckets.items():
-            counter.inc(value, cu=cu_name, task=task, stage=kind,
-                        layer=layer, bucket=bucket)
-            recorded += value
-        metrics.counter(_prof.FPGA_CYCLES_TOTAL_METRIC).inc(recorded,
-                                                            cu=cu_name)
-
-    def _run_task(self, stages: typing.Sequence[StageTiming],
-                  cu: Resource, pair: int, task: str = "task"):
-        """Process body: acquire the CU, run all stages, release."""
-        yield cu.acquire()
-        observing = _obs.enabled()
-        task_start = self.engine.now
-        try:
-            for stage in stages:
-                start = self.engine.now
-                yield from self._run_stage(stage, pair)
-                if self.tracer is not None:
-                    self.tracer.record(cu.name, stage.name, start,
-                                       self.engine.now)
-                if observing:
-                    self._record_stage(stage, cu.name, task,
-                                       self.engine.now - start)
-        finally:
-            cu.release()
-            if observing:
-                metrics = _obs.metrics()
-                metrics.counter("fpga.cu.busy_seconds").inc(
-                    self.engine.now - task_start, cu=cu.name)
-                metrics.counter("fpga.cu.tasks").inc(cu=cu.name,
-                                                     task=task)
-
-    # -- the fast path: memoized plan replay --------------------------------
-
-    def _bound_task(self, kind: str, batch: int, pair: int) -> _BoundTask:
-        """The task's plan bound to this sim's pair resources.
-
-        The key embeds the live config's field values, so mutating the
-        config (or swapping the topology) naturally misses and rebinds.
-        """
-        if self.platform.topology is not self._bound_topology:
-            self._bound.clear()
-            self._bound_topology = self.platform.topology
-        cfg_key = _stageplan.config_key(self.platform.config)
-        key = (kind, batch, pair, cfg_key)
-        bound = self._bound.get(key)
-        if bound is None:
-            plan = _stageplan.CACHE.task_plan(self.platform, kind, batch,
-                                              cfg_key=cfg_key)
-            if kind == "inference":
-                cu_name, task = self.infer_cus[pair].name, "inference"
-            elif kind == "train":
-                cu_name, task = self.train_cus[pair].name, "train"
-            else:
-                cu_name, task = f"sync{pair}", "sync"
-            bound = _BoundTask(self, plan, pair, cu_name, task)
-            self._bound[key] = bound
-        return bound
-
-    def _hold(self, resource: Resource, duration: float,
-              finish) -> None:
-        """Callback-chained equivalent of ``process(resource.use(d))``:
-        acquire -> hold ``duration`` -> release -> ``finish``.
-
-        The release happens while the hold timeout is being processed
-        and ``finish`` runs one queue hop later (via the chain event) —
-        exactly where the derivation path's process-end event sits, so
-        same-timestamp resume ordering between agents is preserved
-        bit-for-bit."""
-        engine = self.engine
-
-        def _granted(_event):
-            def _expired(_event2):
-                resource.release()
-                chain = Event(engine)
-                chain.callbacks.append(finish)
-                chain.succeed()
-            engine.timeout(duration).callbacks.append(_expired)
-
-        resource.acquire().callbacks.append(_granted)
-
-    def _launch_stage(self, bound: _BoundStage) -> Event:
-        """Start one double-buffered stage; returns its stage-end event.
-
-        Compute overlaps every channel hold; the join counts the compute
-        timeout plus each hold's post-release chain event, mirroring the
-        derivation path's ``AllOf`` over (timeout, DMA processes)."""
-        engine = self.engine
-        holds = bound.holds
-        done = Event(engine)
-        remaining = [1 + len(holds)]
-
-        def _finish(_event):
-            remaining[0] -= 1
-            if not remaining[0]:
-                done.succeed()
-
-        engine.timeout(bound.compute_seconds).callbacks.append(_finish)
-        for resource, duration in holds:
-            self._hold(resource, duration, _finish)
-        return done
-
-    def _serial_stage(self, bound: _BoundStage):
-        """Process body for one stage without double buffering: each
-        channel hold completes before the next starts, then compute runs
-        — hop-identical to the derivation path's serial generators."""
-        for resource, duration in bound.holds:
-            yield resource.acquire()
-            try:
-                yield self.engine.timeout(duration)
-            finally:
-                resource.release()
-        yield self.engine.timeout(bound.compute_seconds)
-
-    def _replay_task(self, bound: _BoundTask, cu: Resource):
-        """Fast-path process body mirroring ``_run_task``."""
-        yield cu.acquire()
-        engine = self.engine
-        tracer = self.tracer
-        observing = _obs.enabled()
-        task_start = engine.now
-        try:
-            if tracer is None and not observing:
-                if bound.double_buffering:
-                    for stage in bound.stages:
-                        yield self._launch_stage(stage)
-                else:
-                    for stage in bound.stages:
-                        yield from self._serial_stage(stage)
-            else:
-                metrics = _obs.metrics() if observing else None
-                for stage in bound.stages:
-                    start = engine.now
-                    if stage.double_buffering:
-                        yield self._launch_stage(stage)
-                    else:
-                        yield from self._serial_stage(stage)
-                    if tracer is not None:
-                        tracer.record(cu.name, stage.name, start,
-                                      engine.now)
-                    if observing:
-                        stage.record(metrics, engine.now - start)
-        finally:
-            cu.release()
-            if observing:
-                bound.record_task(_obs.metrics(),
-                                  engine.now - task_start)
-
-    def _replay_sync(self, bound: _BoundTask, pair: int):
-        """Fast-path process body mirroring the ``sync`` stage loop."""
-        engine = self.engine
-        tracer = self.tracer
-        observing = _obs.enabled()
-        if tracer is None and not observing:
-            if bound.double_buffering:
-                for stage in bound.stages:
-                    yield self._launch_stage(stage)
-            else:
-                for stage in bound.stages:
-                    yield from self._serial_stage(stage)
-            return
-        metrics = _obs.metrics() if observing else None
-        lane = f"sync{pair}"
-        for stage in bound.stages:
-            start = engine.now
-            if stage.double_buffering:
-                yield self._launch_stage(stage)
-            else:
-                yield from self._serial_stage(stage)
-            if tracer is not None:
-                tracer.record(lane, stage.name, start, engine.now)
-            if observing:
-                stage.record(metrics, engine.now - start)
-
-    # -- the task interface used by the throughput simulation ---------------
-
-    def _pcie_seconds(self, num_bytes: float) -> float:
-        config = self.platform.config
-        return config.pcie_latency + num_bytes / config.pcie_bandwidth
-
-    def inference(self, agent_id: int, batch: int = 1):
-        """Process body for one inference task of ``agent_id``.
-
-        The request starts with the game-screen DMA into the FPGA and ends
-        with the (tiny) output DMA back to the host (Section 4.1).
-        """
-        pair = self._pair(agent_id)
-        if _fast.enabled():
-            bound = self._bound_task("inference", batch, pair)
-            yield self.engine.timeout(bound.pcie_in_seconds)
-            yield from self._replay_task(bound, self.infer_cus[pair])
-            yield self.engine.timeout(bound.pcie_out_seconds)
-            return
-        timing = self.platform.timing
-        yield self.engine.timeout(
-            self._pcie_seconds(batch * timing.input_words(1) * 4))
-        stages = timing.inference_task(batch)
-        yield from self._run_task(stages, self.infer_cus[pair], pair,
-                                  task="inference")
-        last = self.platform.topology.layers[-1]
-        yield self.engine.timeout(
-            self._pcie_seconds(batch * last.num_outputs * 4))
-
-    def train(self, agent_id: int, batch: int):
-        """Process body for one training task."""
-        pair = self._pair(agent_id)
-        if _fast.enabled():
-            bound = self._bound_task("train", batch, pair)
-            yield from self._replay_task(bound, self.train_cus[pair])
-            return
-        stages = self.platform.timing.training_task(batch)
-        yield from self._run_task(stages, self.train_cus[pair], pair,
-                                  task="train")
-
-    def sync(self, agent_id: int):
-        """Process body for one parameter-sync task (runs on the training
-        CU's DMA path; occupies channels but not PEs)."""
-        pair = self._pair(agent_id)
-        if _fast.enabled():
-            yield from self._replay_sync(self._bound_task("sync", 0,
-                                                          pair), pair)
-            return
-        stages = self.platform.timing.sync_task()
-        observing = _obs.enabled()
-        for stage in stages:
-            start = self.engine.now
-            yield from self._run_stage(stage, pair)
-            if self.tracer is not None:
-                self.tracer.record(f"sync{pair}", stage.name, start,
-                                   self.engine.now)
-            if observing:
-                self._record_stage(stage, f"sync{pair}", "sync",
-                                   self.engine.now - start)
+        return FPGASim
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

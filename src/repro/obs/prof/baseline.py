@@ -47,51 +47,44 @@ DEFAULT_WALLCLOCK_RTOL = 0.5
 
 
 class Scenario(typing.NamedTuple):
-    """One benchmarked configuration: a platform under a fixed load."""
+    """One benchmarked configuration: a backend under a fixed load."""
 
     name: str
-    build: typing.Callable[[], object]    # () -> platform
+    backend: str                          # repro.backends registry name
+    overrides: typing.Tuple[typing.Tuple[str, object], ...] = ()
     num_agents: int = 8
     t_max: int = 5
     routines: int = 25
 
-
-def _topology():
-    from repro.nn.network import A3CNetwork
-    return A3CNetwork(num_actions=6).topology()
-
-
-def _fpga(constructor: str, **overrides):
-    def build():
-        from repro.fpga.platform import FA3CPlatform
-        return getattr(FA3CPlatform, constructor)(_topology(), **overrides)
-    return build
-
-
-def _gpu(class_name: str):
-    def build():
-        import repro.gpu.platform as gpu_platform
-        return getattr(gpu_platform, class_name)(_topology())
-    return build
+    def build(self):
+        """A fresh backend instance (default topology) for one run."""
+        from repro import backends
+        return backends.create(self.backend, **dict(self.overrides))
 
 
 #: The bench matrix: the proposed design, the Section 5.4 ablations that
 #: move cycles between cause buckets (no double buffering -> buffer
-#: stalls, Alt2 -> layout traffic), and two software baselines.
+#: stalls, Alt2 -> layout traffic), and the software baselines.
 SCENARIOS: typing.Tuple[Scenario, ...] = (
-    Scenario("fa3c-n8", _fpga("fa3c")),
-    Scenario("fa3c-single-cu-n8", _fpga("single_cu")),
-    Scenario("fa3c-alt2-n8", _fpga("alt2")),
-    Scenario("fa3c-nodb-n8", _fpga("fa3c", double_buffering=False)),
-    Scenario("gpu-cudnn-n8", _gpu("A3CcuDNNPlatform")),
-    Scenario("ga3c-tf-n8", _gpu("GA3CTFPlatform")),
+    Scenario("fa3c-n8", "fa3c-fpga"),
+    Scenario("fa3c-single-cu-n8", "fa3c-single-cu"),
+    Scenario("fa3c-alt2-n8", "fa3c-alt2"),
+    Scenario("fa3c-nodb-n8", "fa3c-fpga",
+             (("double_buffering", False),)),
+    Scenario("gpu-cudnn-n8", "a3c-cudnn"),
+    Scenario("ga3c-tf-n8", "ga3c-tf"),
+    Scenario("a3c-tf-gpu-n8", "a3c-tf-gpu"),
+    Scenario("a3c-tf-cpu-n8", "a3c-tf-cpu"),
 )
 
 _BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}
 
 
-def scenario_names() -> typing.List[str]:
-    return [scenario.name for scenario in SCENARIOS]
+def scenario_names(backend: typing.Optional[str] = None
+                   ) -> typing.List[str]:
+    """Scenario names, optionally only those of one registry backend."""
+    return [scenario.name for scenario in SCENARIOS
+            if backend is None or scenario.backend == backend]
 
 
 def run_scenario(name: str) -> typing.Tuple[typing.Dict[str, object],
