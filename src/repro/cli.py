@@ -13,10 +13,15 @@ Commands:
 * ``sweep``   — the paper's per-game learning-rate tuning protocol.
 * ``obs-report`` — summarise a previous run's ``--metrics`` /
   ``--trace`` files (utilisation, DRAM traffic, step rates, cycle
-  attribution), optionally re-exporting a folded flamegraph profile.
+  attribution), optionally re-exporting a folded flamegraph profile;
+  ``--run <id>`` renders a run directory instead (merged tables,
+  per-worker breakdown, health events).
 * ``bench``   — the perf-baseline gate: ``--baseline`` snapshots IPS +
   cycle-attribution shares per scenario into ``BENCH_fa3c.json``;
   ``--check`` re-runs the scenarios and exits non-zero on regression.
+* ``runs``    — run-directory tooling (:mod:`repro.obs.runlog`):
+  ``runs list`` tabulates recorded runs, ``runs diff <a> <b>`` reports
+  metric and scenario deltas between two runs.
 * ``lint``    — invariant-aware static analysis (:mod:`repro.lint`):
   determinism, hot-path hygiene, seqlock protocol, fp32 reduction
   order, attribution coverage.  ``--strict`` exits non-zero on
@@ -28,6 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 import typing
+import warnings
 
 from repro.ale import GAME_NAMES, make_game
 from repro.core import A3CConfig, A3CTrainer, RecurrentA3CAgent
@@ -58,6 +64,23 @@ def _build_trainer(args) -> A3CTrainer:
                       config, platform=args.platform)
 
 
+def _open_runlog(args, command: str, **meta):
+    """A :class:`repro.obs.runlog.RunLog` for this invocation (or None).
+
+    Disabled by ``--no-runlog``; the root honours ``--runs-root`` and
+    the ``REPRO_RUNS_DIR`` environment override.
+    """
+    if getattr(args, "no_runlog", False):
+        return None
+    from repro.obs import runlog as runlog_mod
+
+    return runlog_mod.RunLog.open(
+        command, argv=list(sys.argv[1:]),
+        platform=getattr(args, "platform", None),
+        seed=getattr(args, "seed", None),
+        root=getattr(args, "runs_root", None), **meta)
+
+
 def cmd_train(args) -> int:
     observing = bool(args.trace or args.metrics or args.folded)
     if observing:
@@ -67,12 +90,24 @@ def cmd_train(args) -> int:
     variant = "A3C-LSTM" if args.lstm else "A3C"
     actors = args.actors
     if args.backend is not None:
+        warnings.warn("--backend is deprecated; use --actors (the "
+                      "'backend' name now means the compute platform — "
+                      "see --platform)", DeprecationWarning, stacklevel=2)
         print("note: --backend is deprecated, use --actors",
               file=sys.stderr)
         if actors is None:
             actors = args.backend
     if actors is None and args.serial:
         actors = "serial"
+    runlog = _open_runlog(
+        args, "train",
+        config={"game": args.game, "steps": args.steps,
+                "agents": args.agents, "t_max": args.t_max,
+                "learning_rate": args.learning_rate,
+                "actors": actors, "workers": args.workers,
+                "lstm": args.lstm},
+        topology={"variant": variant,
+                  "params": trainer.server.params.names()})
     print(f"Training {variant} on {args.game}: {args.agents} agents, "
           f"{args.steps} steps, lr {args.learning_rate}"
           + (f", actors {actors}" if actors else "")
@@ -84,7 +119,8 @@ def cmd_train(args) -> int:
         progress=lambda step, tracker: print(
             f"  step {step:>8}: episodes={len(tracker)} "
             f"mean={tracker.recent_mean(100):.1f}"),
-        progress_interval=max(args.steps // 10, 1))
+        progress_interval=max(args.steps // 10, 1),
+        runlog=runlog)
     steps, scores = result.tracker.curve()
     print(format_curve(steps, scores, args.game))
     print(f"{result.global_steps} steps, {result.episodes} episodes, "
@@ -98,6 +134,17 @@ def cmd_train(args) -> int:
         print(f"checkpoint written to {args.checkpoint}")
     if observing:
         _emit_observability(args)
+    if runlog is not None:
+        if observing:
+            # After _emit_observability so the parent shard carries the
+            # shadow-sim platform metrics alongside the trainer's.
+            runlog.shard("main").flush(
+                final=True, routines=result.routines,
+                global_step=result.global_steps)
+        runlog.finish(outcome="ok", global_steps=result.global_steps,
+                      episodes=result.episodes,
+                      train_wall_seconds=result.wall_seconds)
+        print(f"run log: {runlog.path}")
     return 0
 
 
@@ -141,11 +188,41 @@ def _emit_observability(args) -> None:
     print(obs.registry_report(obs.metrics()))
 
 
+def _obs_report_run(args) -> int:
+    """Render a run directory: merged tables, workers, health events."""
+    from repro import obs
+    from repro.obs import health as health_mod
+    from repro.obs import runlog as runlog_mod
+
+    try:
+        run_dir = runlog_mod.resolve_run(args.run, root=args.runs_root)
+        merged = runlog_mod.merge_run(run_dir)
+    except (OSError, ValueError) as exc:
+        print(f"obs-report: {exc}")
+        return 2
+    events = health_mod.health_events(merged)
+    runlog_mod.write_health(run_dir, events)
+    if args.folded:
+        from repro.obs.prof import AttributionReport, write_folded
+        report = AttributionReport(
+            runlog_mod.aggregate_rows(merged.rows))
+        if report.has_fpga or report.has_gpu:
+            lines = write_folded(report, args.folded)
+            print(f"folded profile: {lines} stacks -> {args.folded}")
+        else:
+            print("obs-report: no attribution metrics in the run; "
+                  "--folded skipped")
+    print(obs.run_report(merged, events))
+    return 0
+
+
 def cmd_obs_report(args) -> int:
     from repro import obs
 
+    if args.run:
+        return _obs_report_run(args)
     if not args.metrics and not args.trace:
-        print("obs-report needs --metrics and/or --trace")
+        print("obs-report needs --run, or --metrics and/or --trace")
         return 2
     try:
         rows = obs.load_jsonl(args.metrics) if args.metrics else []
@@ -169,8 +246,20 @@ def cmd_obs_report(args) -> int:
 def cmd_bench(args) -> int:
     from repro.obs.prof import baseline as bench
 
+    runlog = _open_runlog(args, "bench",
+                          wallclock=bool(args.wallclock))
     if args.wallclock:
-        return _cmd_bench_wallclock(args, bench)
+        code = _cmd_bench_wallclock(args, bench, runlog)
+    else:
+        code = _cmd_bench_modelled(args, bench, runlog)
+    if runlog is not None:
+        runlog.finish(outcome={0: "ok", 1: "regression"}.get(
+            code, "error"))
+        print(f"run log: {runlog.path}")
+    return code
+
+
+def _cmd_bench_modelled(args, bench, runlog=None) -> int:
     if args.file is None:
         args.file = bench.DEFAULT_BASELINE
     names = list(args.scenarios) if args.scenarios else None
@@ -215,6 +304,9 @@ def cmd_bench(args) -> int:
         },
         "scenarios": scenarios,
     }
+    if runlog is not None:
+        runlog.update(scenarios=scenarios,
+                      tolerances=current["tolerances"])
     if args.baseline:
         bench.write_snapshot(current, args.file)
         print(f"baseline: {len(scenarios)} scenarios -> {args.file}")
@@ -247,7 +339,7 @@ def cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_bench_wallclock(args, bench) -> int:
+def _cmd_bench_wallclock(args, bench, runlog=None) -> int:
     """Host-time bench: routines/sec per scenario, loose gate.
 
     Unlike the modelled-IPS gate this measures wall clock, so the check
@@ -283,6 +375,9 @@ def _cmd_bench_wallclock(args, bench) -> int:
         print(f"{name}: {entry['routines_per_second']:.1f} routines/s "
               f"({entry['wall_seconds']:.4f}s)")
     print(f"total: {current['total_wall_seconds']:.4f}s")
+    if runlog is not None:
+        runlog.update(scenarios=current["scenarios"],
+                      total_wall_seconds=current["total_wall_seconds"])
 
     if args.baseline:
         bench.write_snapshot(current, path)
@@ -338,6 +433,45 @@ def _write_bench_report(report_dir: str, name: str, report) -> None:
     with open(os.path.join(report_dir, f"{name}.txt"), "w",
               encoding="utf-8") as handle:
         handle.write("\n\n".join(sections) + "\n")
+
+
+def cmd_runs_list(args) -> int:
+    from repro.obs import runlog as runlog_mod
+
+    rows = runlog_mod.list_runs(args.runs_root)
+    if not rows:
+        print(f"(no runs under "
+              f"{runlog_mod.runs_root(args.runs_root)})")
+        return 0
+    for row in rows:
+        if row["wall_seconds"] is None:
+            row["wall_seconds"] = "-"
+    print(format_table(rows, title="Recorded runs"))
+    return 0
+
+
+def cmd_runs_diff(args) -> int:
+    from repro.obs import runlog as runlog_mod
+
+    try:
+        diff = runlog_mod.diff_runs(args.a, args.b,
+                                    root=args.runs_root)
+    except (OSError, ValueError) as exc:
+        print(f"runs diff: {exc}")
+        return 2
+    print(f"runs diff: a={diff['a']}  b={diff['b']}  (delta = b - a)")
+    if diff["scenarios"]:
+        print()
+        print(format_table(diff["scenarios"],
+                           title="Scenario deltas"))
+    if diff["metrics"]:
+        print()
+        print(format_table(diff["metrics"],
+                           title="Metric deltas (worker label "
+                                 "aggregated out)"))
+    if not diff["scenarios"] and not diff["metrics"]:
+        print("(no comparable scenarios or metrics between the runs)")
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -458,6 +592,11 @@ def cmd_sweep(args) -> int:
     config = A3CConfig(num_agents=args.agents, t_max=args.t_max,
                        max_steps=args.steps, anneal_steps=10 ** 9,
                        seed=args.seed)
+    runlog = _open_runlog(
+        args, "sweep",
+        config={"game": args.game, "steps": args.steps,
+                "agents": args.agents, "t_max": args.t_max,
+                "rates": list(args.rates), "seeds": args.seeds})
     result = sweep_learning_rates(
         lambda i: make_atari_env(make_game(args.game),
                                  max_episode_steps=args.episode_cap),
@@ -470,7 +609,21 @@ def cmd_sweep(args) -> int:
     best = result.best
     print(f"best: lr={best.learning_rate} (seed {best.seed}), "
           f"final score {best.final_score:.1f}")
+    if runlog is not None:
+        runlog.finish(outcome="ok", best_rate=best.learning_rate,
+                      best_seed=best.seed,
+                      best_final_score=best.final_score)
+        print(f"run log: {runlog.path}")
     return 0
+
+
+def _add_runlog_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-runlog", action="store_true",
+                        help="do not record this invocation under the "
+                             "runs directory")
+    parser.add_argument("--runs-root", default=None,
+                        help="run-directory root (default: runs/, or "
+                             "$REPRO_RUNS_DIR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write metric snapshots (JSONL) here")
     train.add_argument("--folded", default=None,
                        help="write a folded flamegraph profile here")
+    _add_runlog_arguments(train)
     train.set_defaults(func=cmd_train)
 
     compare = sub.add_parser("compare",
@@ -554,6 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="compute backend from the repro.backends "
                             "registry (default: fa3c-fpga)")
+    _add_runlog_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     obs_report = sub.add_parser(
@@ -566,6 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--folded", default=None,
                             help="re-export the metrics' cycle "
                                  "attribution as a folded profile here")
+    obs_report.add_argument("--run", default=None,
+                            help="render a run directory instead: a run "
+                                 "id (or unique fragment) under the "
+                                 "runs root, or a path")
+    obs_report.add_argument("--runs-root", default=None,
+                            help="run-directory root (default: runs/, "
+                                 "or $REPRO_RUNS_DIR)")
     obs_report.set_defaults(func=cmd_obs_report)
 
     bench = sub.add_parser(
@@ -601,7 +763,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--report-dir", default=None,
                        help="write per-scenario attribution tables and "
                             "folded profiles here")
+    _add_runlog_arguments(bench)
     bench.set_defaults(func=cmd_bench)
+
+    runs = sub.add_parser(
+        "runs", help="list and diff recorded run directories")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="tabulate every run under the runs root")
+    runs_list.add_argument("--runs-root", default=None,
+                           help="run-directory root (default: runs/, "
+                                "or $REPRO_RUNS_DIR)")
+    runs_list.set_defaults(func=cmd_runs_list)
+    runs_diff = runs_sub.add_parser(
+        "diff", help="metric/scenario deltas between two runs (b - a)")
+    runs_diff.add_argument("a", help="baseline run id or path")
+    runs_diff.add_argument("b", help="comparison run id or path")
+    runs_diff.add_argument("--runs-root", default=None,
+                           help="run-directory root (default: runs/, "
+                                "or $REPRO_RUNS_DIR)")
+    runs_diff.set_defaults(func=cmd_runs_diff)
 
     lint = sub.add_parser(
         "lint",

@@ -168,7 +168,8 @@ class A3CTrainer:
               progress: typing.Optional[
                   typing.Callable[[int, ScoreTracker], None]] = None,
               progress_interval: int = 10_000,
-              backend: typing.Optional[str] = None) -> TrainResult:
+              backend: typing.Optional[str] = None,
+              runlog=None) -> TrainResult:
         """Run until ``max_steps`` global inference steps.
 
         ``actors`` selects the actor execution mode: ``"threads"`` (one
@@ -183,6 +184,10 @@ class A3CTrainer:
         ``progress(global_step, tracker)`` is invoked roughly every
         ``progress_interval`` steps (only in round-robin mode is the exact
         cadence deterministic).
+
+        ``runlog`` is an optional :class:`repro.obs.runlog.RunLog`; with
+        ``actors="procs"`` each worker process then writes heartbeat and
+        telemetry shards into the run directory.
         """
         if backend is not None:
             warnings.warn(
@@ -201,7 +206,8 @@ class A3CTrainer:
         if actors == "threads":
             self._train_threaded(progress, progress_interval)
         elif actors == "procs":
-            self._train_procs(workers, progress, progress_interval)
+            self._train_procs(workers, progress, progress_interval,
+                              runlog=runlog)
         elif actors == "serial":
             self._train_round_robin(progress, progress_interval)
         else:
@@ -258,7 +264,8 @@ class A3CTrainer:
     # -- multiprocessing backend -------------------------------------------
 
     def _train_procs(self, workers: typing.Optional[int],
-                     progress, progress_interval: int) -> None:
+                     progress, progress_interval: int,
+                     runlog=None) -> None:
         """Partition the agents over forked worker processes.
 
         θ and the RMSProp statistics move into a shared-memory
@@ -288,7 +295,8 @@ class A3CTrainer:
                       global_step=self.server.global_step)
         results: "multiprocessing.Queue" = ctx.Queue()
         procs = [ctx.Process(target=self._proc_worker,
-                             args=(worker_id, num_workers, store, results),
+                             args=(worker_id, num_workers, store,
+                                   results, runlog),
                              name=f"a3c-worker-{worker_id}", daemon=True)
                  for worker_id in range(num_workers)]
         for proc in procs:
@@ -324,6 +332,13 @@ class A3CTrainer:
                 self.agents[agent_id].episodes_finished = episodes
             for step, score in report["scores"]:
                 self.tracker.record(step, score)
+            # Fold the worker's final metric snapshot into the parent
+            # registry so ps.* / trainer.* counters survive the process
+            # boundary, attributable via the worker label.
+            rows = report.get("metrics")
+            if rows and _obs.enabled():
+                _obs.metrics().absorb_rows(
+                    rows, worker=f"worker-{report['worker']}")
         # Fold the shared state back into the in-process server.
         store.read_params_into(self.server.params)
         if statistics is not None:
@@ -332,15 +347,27 @@ class A3CTrainer:
         self.server.updates_applied += store.updates_applied
 
     def _proc_worker(self, worker_id: int, num_workers: int,
-                     store, results) -> None:
+                     store, results, runlog=None) -> None:
         """Worker-process body: run this worker's agents to completion.
 
         Runs in a forked child, so ``self`` (agents, envs, networks) is an
         inherited copy; only the shared store is common state.  Results
-        travel back through ``results`` as plain dicts.
+        travel back through ``results`` as plain dicts — including, when
+        observability is on, the worker's final metric snapshot (the
+        parent's registry cannot see samples recorded after the fork).
+        ``runlog`` additionally gives the worker a telemetry shard in the
+        run directory, flushed at a heartbeat interval and on exit.
         """
         from repro.core.shared_params import SharedParameterServer
 
+        if _obs.enabled():
+            # The forked registry/tracer hold copies of the parent's
+            # pre-fork samples, which the parent still owns; start clean
+            # so the shipped snapshot is this worker's work only.
+            _obs.metrics().reset()
+            _obs.tracer().clear()
+        shard = (runlog.shard(f"worker-{worker_id}")
+                 if runlog is not None else None)
         server = SharedParameterServer(store, self.config)
         agents = [agent for agent in self.agents
                   if agent.agent_id % num_workers == worker_id]
@@ -360,8 +387,16 @@ class A3CTrainer:
                 routines += 1
                 for score in stats.episode_scores:
                     scores.append((server.global_step, score))
+            if shard is not None:
+                shard.maybe_heartbeat(routines=routines,
+                                      global_step=server.global_step)
+        if shard is not None:
+            shard.flush(final=True, routines=routines,
+                        global_step=server.global_step)
         results.put({"worker": worker_id,
                      "routines": routines,
                      "scores": scores,
+                     "metrics": (_obs.metrics().snapshot()
+                                 if _obs.enabled() else None),
                      "episodes": {agent.agent_id: agent.episodes_finished
                                   for agent in agents}})

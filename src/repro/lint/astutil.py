@@ -91,6 +91,8 @@ class FileContext:
         self._functions: typing.List[FunctionNode] = []
         self.obs_aliases: typing.Set[str] = set()
         self.obs_direct: typing.Set[str] = set()   # from repro.obs import X
+        self.runlog_aliases: typing.Set[str] = set()
+        self.runlog_direct: typing.Set[str] = set()
         self.numpy_aliases: typing.Set[str] = set()
         self.random_aliases: typing.Set[str] = set()
         self.time_aliases: typing.Set[str] = set()
@@ -137,6 +139,8 @@ class FileContext:
                 self.time_aliases.add(bound)
             elif alias.name == "datetime":
                 self.datetime_aliases.add(bound)
+            elif alias.name == "repro.obs.runlog":
+                self.runlog_aliases.add(alias.asname or alias.name)
             elif alias.name in ("repro.obs", "repro.obs.runtime"):
                 self.obs_aliases.add(alias.asname or alias.name)
 
@@ -148,6 +152,10 @@ class FileContext:
                 self.obs_aliases.add(bound)
             elif module == "repro.obs" and alias.name == "runtime":
                 self.obs_aliases.add(bound)
+            elif module == "repro.obs" and alias.name == "runlog":
+                self.runlog_aliases.add(bound)
+            elif module == "repro.obs.runlog":
+                self.runlog_direct.add(bound)
             elif module in ("repro.obs", "repro.obs.runtime"):
                 self.obs_direct.add(bound)
             elif module == "datetime" and alias.name == "datetime":
@@ -220,6 +228,20 @@ class FileContext:
         if root in self.obs_aliases:
             return name
         if name in self.obs_direct:
+            return name
+        return None
+
+    def is_runlog_call(self, node: ast.Call) -> typing.Optional[str]:
+        """If this call is rooted at :mod:`repro.obs.runlog`, its dotted
+        form (module alias chains and names imported from the module)."""
+        name = dotted(node.func)
+        if name is None:
+            return None
+        for alias in self.runlog_aliases:
+            if name == alias or name.startswith(alias + "."):
+                return name
+        root = name.split(".")[0]
+        if root in self.runlog_direct:
             return name
         return None
 

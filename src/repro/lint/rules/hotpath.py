@@ -28,6 +28,12 @@ local ``observing = _obs.enabled()`` alias, or the early-return guard
   out of the loop and fill it in place (``np.copyto``, ``out=``).
   Bare ``[]``/``{}`` literals are exempt — resetting a handed-off list
   is idiomatic and cheap next to building its contents.
+* **run-log shard writes** — anything rooted at
+  :mod:`repro.obs.runlog`, and ``flush`` / ``heartbeat`` /
+  ``maybe_heartbeat`` calls (the ``runlog-methods`` option) on objects
+  whose name mentions ``shard`` or ``runlog``.  Shard flushes serialise
+  a full registry snapshot to disk — strictly gated territory.  The
+  name heuristic keeps unrelated ``stream.flush()`` calls out of scope.
 """
 
 from __future__ import annotations
@@ -49,14 +55,21 @@ _WALLCLOCK = {"time", "time_ns", "monotonic", "monotonic_ns",
               "perf_counter", "perf_counter_ns"}
 _COMPREHENSIONS = (ast.ListComp, ast.DictComp, ast.SetComp,
                    ast.GeneratorExp)
+_RUNLOG_DEFAULT_METHODS = ("flush", "heartbeat", "maybe_heartbeat")
 
 
 @register
 class HotPathRule(Rule):
     name = "hot-path"
-    description = ("telemetry, string building, wall-clock reads, and "
-                   "per-iteration allocation in @hot_path functions "
-                   "must be behind the REPRO_OBS gate")
+    description = ("telemetry, string building, wall-clock reads, "
+                   "runlog shard writes, and per-iteration allocation "
+                   "in @hot_path functions must be behind the "
+                   "REPRO_OBS gate")
+
+    def __init__(self, options=None):
+        super().__init__(options)
+        self._shard_methods = set(self.list_option(
+            "runlog-methods", _RUNLOG_DEFAULT_METHODS))
 
     def check(self, ctx: astutil.FileContext):
         for func in ctx.hot_function_nodes:
@@ -90,6 +103,16 @@ class HotPathRule(Rule):
                     func: astutil.FunctionNode, label: str,
                     node: ast.Call, loops: typing.Set[int]):
         gated = ctx.is_gated(func, node)
+        shard_call = self._runlog_call_name(ctx, node)
+        if shard_call is not None:
+            if not gated:
+                yield ctx.finding(
+                    self, node,
+                    f"runlog shard write `{shard_call}(...)` in hot "
+                    f"path {label}() is not behind the REPRO_OBS gate; "
+                    "shard flushes serialise a full snapshot to disk — "
+                    "wrap them in `if _obs.enabled():`")
+            return
         obs_name = ctx.is_obs_call(node)
         if obs_name is not None:
             terminal = obs_name.split(".")[-1]
@@ -158,6 +181,29 @@ class HotPathRule(Rule):
                 self, node,
                 f".{node.func.attr}() allocates per iteration inside a "
                 f"loop of hot path {label}(); hoist it out of the loop")
+
+    def _runlog_call_name(self, ctx: astutil.FileContext,
+                          node: ast.Call) -> typing.Optional[str]:
+        """The dotted name of a run-log shard write, or ``None``.
+
+        Module-rooted runlog calls are always in scope; method calls
+        match only when the method is a configured shard method *and*
+        the dotted receiver mentions ``shard`` or ``runlog`` — so a
+        plain ``stream.flush()`` never trips the rule.
+        """
+        name = ctx.is_runlog_call(node)
+        if name is not None:
+            return name
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in self._shard_methods:
+            return None
+        name = astutil.dotted(node.func)
+        if name is None:
+            return None
+        receiver = name.lower()
+        if "shard" in receiver or "runlog" in receiver:
+            return name
+        return None
 
     def _loop_nodes(self, func: astutil.FunctionNode) -> typing.Set[int]:
         """ids of nodes that sit inside a for/while loop of ``func``."""

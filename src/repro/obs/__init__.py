@@ -16,6 +16,10 @@ measures.  It provides:
   gated on :func:`enabled` so disabled runs pay one boolean branch
   (:mod:`repro.obs.runtime`);
 * report rendering for ``repro obs-report`` (:mod:`repro.obs.report`);
+* run-scoped telemetry: run directories with manifests and per-process
+  shards, shard merging with ``worker`` labels, and the worker-health
+  monitor (:mod:`repro.obs.runlog`, :mod:`repro.obs.health` — loaded
+  lazily);
 * cycle-attribution profiling, folded-stack export and the perf-baseline
   gate (:mod:`repro.obs.prof` — loaded lazily, because the platform
   models it analyses themselves import this package).
@@ -34,7 +38,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     load_jsonl,
 )
-from repro.obs.report import obs_report, registry_report
+from repro.obs.report import obs_report, registry_report, run_report
 from repro.obs.runtime import (
     disable,
     enable,
@@ -62,11 +66,14 @@ __all__ = [
     "enable",
     "enabled",
     "enabled_scope",
+    "health",
     "load_chrome_trace",
     "load_jsonl",
     "metrics",
     "obs_report",
     "registry_report",
+    "run_report",
+    "runlog",
     "span",
     "prof",
     "traced",
@@ -74,9 +81,11 @@ __all__ = [
     "write_chrome_trace",
 ]
 
+_LAZY_SUBMODULES = ("prof", "runlog", "health")
+
 
 def __getattr__(name):
-    if name == "prof":
-        import repro.obs.prof
-        return repro.obs.prof
+    if name in _LAZY_SUBMODULES:
+        import importlib
+        return importlib.import_module(f"repro.obs.{name}")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,8 +22,24 @@ from repro.obs.tracer import SIM, WALL, ObsSpan, SpanTracer
 PID_SIM = 1
 PID_WALL = 2
 
+#: Spans merged from worker shards carry real OS pids; any that collide
+#: with the pseudo-pids above are offset by this base (real pids 1 and 2
+#: belong to init/kthreadd on Linux, so collisions are container-only
+#: oddities — but the offset makes the invariant unconditional).
+WORKER_PID_BASE = 1 << 22
+
 _PIDS = {SIM: PID_SIM, WALL: PID_WALL}
 _PROCESS_NAMES = {PID_SIM: "sim-time", PID_WALL: "wall-clock"}
+
+
+def _span_pid(span: ObsSpan) -> int:
+    """Trace process id for a span: clock pseudo-pid, or the worker pid."""
+    if span.pid is None:
+        return _PIDS.get(span.clock, PID_SIM)
+    pid = int(span.pid)
+    if pid in _PROCESS_NAMES:
+        return WORKER_PID_BASE + pid
+    return pid
 
 
 def _lane_tids(spans: typing.Sequence[ObsSpan]
@@ -31,7 +47,7 @@ def _lane_tids(spans: typing.Sequence[ObsSpan]
     """Assign one thread id per (pid, lane) in first-appearance order."""
     tids: typing.Dict[typing.Tuple[int, str], int] = {}
     for span in spans:
-        key = (_PIDS.get(span.clock, PID_SIM), span.lane)
+        key = (_span_pid(span), span.lane)
         if key not in tids:
             tids[key] = len([k for k in tids if k[0] == key[0]]) + 1
     return tids
@@ -42,21 +58,30 @@ def chrome_trace_events(spans: typing.Sequence[ObsSpan]
     """Convert spans to a trace-event list (metadata events first).
 
     Wall-clock spans are rebased to the earliest wall start so traces
-    begin near ts=0; sim spans already start near zero.
+    begin near ts=0; sim spans already start near zero.  Spans carrying
+    an OS ``pid`` (merged worker shards) become their own Perfetto
+    process groups named ``worker-<ospid>``, alongside the sim/wall
+    pseudo-processes.
     """
     tids = _lane_tids(spans)
+    names: typing.Dict[int, str] = {}
+    for span in spans:
+        pid = _span_pid(span)
+        if pid not in names:
+            names[pid] = (_PROCESS_NAMES.get(pid, str(pid))
+                          if span.pid is None else f"worker-{span.pid}")
     events: typing.List[typing.Dict[str, object]] = []
     for pid in sorted({key[0] for key in tids}):
         events.append({"ph": "M", "name": "process_name", "pid": pid,
                        "tid": 0,
-                       "args": {"name": _PROCESS_NAMES.get(pid, str(pid))}})
+                       "args": {"name": names.get(pid, str(pid))}})
     for (pid, lane), tid in tids.items():
         events.append({"ph": "M", "name": "thread_name", "pid": pid,
                        "tid": tid, "args": {"name": lane}})
     wall_starts = [s.start for s in spans if s.clock == WALL]
     wall_base = min(wall_starts) if wall_starts else 0.0
     for span in spans:
-        pid = _PIDS.get(span.clock, PID_SIM)
+        pid = _span_pid(span)
         base = wall_base if span.clock == WALL else 0.0
         event: typing.Dict[str, object] = {
             "name": span.label,

@@ -1,0 +1,147 @@
+"""Worker health over a merged run: stragglers, stalls, lock pressure.
+
+Consumes a :class:`~repro.obs.runlog.MergedRun` and emits structured
+``health`` events plus a per-worker breakdown table.  Thresholds:
+
+* a worker whose shard has **no final record** was killed or hung —
+  always a ``straggler`` event;
+* a live worker whose last heartbeat is older than ``stall_seconds``
+  relative to the run's end is a ``stall``;
+* a worker whose routines/s falls below ``straggler_ratio`` × the median
+  of cleanly-finished workers is a slow ``straggler`` (only judged when
+  at least two workers finished, so a solo worker is never its own
+  baseline).
+
+The parent process's shard is excluded — it coordinates rather than
+trains, so its rate is not comparable.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+import typing
+
+from repro.obs.runlog import MergedRun, WorkerShard
+
+#: A finished worker slower than this fraction of the median worker
+#: rate is flagged as a straggler.
+DEFAULT_STRAGGLER_RATIO = 0.5
+
+#: A worker whose last heartbeat is older than this (at run end) is
+#: flagged as stalled.
+DEFAULT_STALL_SECONDS = 10.0
+
+
+def _reference_time(merged: MergedRun) -> float:
+    end = merged.manifest.get("end_time")
+    if end is not None:
+        return float(typing.cast(float, end))
+    return time.time()
+
+
+def _worker_rate(shard: WorkerShard) -> typing.Tuple[float, float]:
+    """(routines, routines/s) from the newest heartbeat/final stats."""
+    stats = shard.stats()
+    routines = float(typing.cast(float, stats.get("routines", 0)) or 0)
+    duration = max(shard.last_heartbeat_time - shard.opened_time, 1e-9)
+    return routines, routines / duration
+
+
+def health_events(merged: MergedRun,
+                  straggler_ratio: float = DEFAULT_STRAGGLER_RATIO,
+                  stall_seconds: float = DEFAULT_STALL_SECONDS
+                  ) -> typing.List[typing.Dict[str, object]]:
+    """Structured straggler/stall events over the run's worker shards."""
+    reference = _reference_time(merged)
+    workers = merged.worker_shards()
+    events: typing.List[typing.Dict[str, object]] = []
+    finished_rates: typing.Dict[str, float] = {}
+    for shard in workers:
+        routines, rate = _worker_rate(shard)
+        age = max(0.0, reference - shard.last_heartbeat_time)
+        if shard.final is None:
+            events.append({
+                "kind": "health", "event": "straggler",
+                "worker": shard.worker, "pid": shard.pid,
+                "reason": "no final snapshot; worker killed or hung",
+                "heartbeat_age_s": round(age, 3),
+                "routines": routines,
+            })
+            continue
+        finished_rates[shard.worker] = rate
+        if age > stall_seconds:
+            events.append({
+                "kind": "health", "event": "stall",
+                "worker": shard.worker, "pid": shard.pid,
+                "reason": f"last heartbeat {age:.1f}s before run end "
+                          f"(threshold {stall_seconds:.1f}s)",
+                "heartbeat_age_s": round(age, 3),
+                "routines": routines,
+            })
+    if len(finished_rates) >= 2:
+        median = statistics.median(finished_rates.values())
+        floor = straggler_ratio * median
+        for shard in workers:
+            rate = finished_rates.get(shard.worker)
+            if rate is None or median <= 0 or rate >= floor:
+                continue
+            events.append({
+                "kind": "health", "event": "straggler",
+                "worker": shard.worker, "pid": shard.pid,
+                "reason": f"{rate:.2f} routines/s vs median "
+                          f"{median:.2f} (floor {floor:.2f})",
+                "routines_per_s": round(rate, 3),
+                "median_routines_per_s": round(median, 3),
+            })
+    return events
+
+
+def _worker_metric(merged: MergedRun, name: str, worker: str,
+                   field: str = "value") -> float:
+    total = 0.0
+    for row in merged.rows:
+        labels = typing.cast(typing.Mapping[str, str],
+                             row.get("labels") or {})
+        if row.get("name") == name and labels.get("worker") == worker:
+            total += float(typing.cast(float, row.get(field, 0.0)) or 0.0)
+    return total
+
+
+def worker_rows(merged: MergedRun,
+                events: typing.Optional[typing.Sequence[
+                    typing.Mapping[str, object]]] = None
+                ) -> typing.List[typing.Dict[str, object]]:
+    """Per-worker breakdown rows for ``repro obs-report --run``.
+
+    ``lock_wait_share`` is the seqlock wait (summed over the ``op``
+    labels of ``ps.lock_wait_seconds``) as a fraction of the worker's
+    observed lifetime — the paper-relevant contention signal.
+    """
+    flagged: typing.Dict[str, str] = {}
+    for event in events or []:
+        worker = str(event.get("worker"))
+        if worker not in flagged:
+            flagged[worker] = str(event.get("event", "?"))
+    rows = []
+    for shard in merged.worker_shards():
+        routines, rate = _worker_rate(shard)
+        lifetime = max(shard.last_heartbeat_time - shard.opened_time,
+                       1e-9)
+        lock_wait = _worker_metric(merged, "ps.lock_wait_seconds",
+                                   shard.worker, field="sum")
+        rows.append({
+            "worker": shard.worker,
+            "pid": shard.pid,
+            "routines": int(routines),
+            "routines_per_s": round(rate, 2),
+            "updates": int(_worker_metric(merged, "ps.updates",
+                                          shard.worker)),
+            "lock_wait_s": round(lock_wait, 4),
+            "lock_wait_share": round(lock_wait / lifetime, 4),
+            "heartbeats": len(shard.heartbeats),
+            "final": "yes" if shard.final is not None else "no",
+            "status": flagged.get(shard.worker, "ok"),
+        })
+    rows.sort(key=lambda row: str(row["worker"]))
+    return rows

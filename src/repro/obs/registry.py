@@ -167,6 +167,24 @@ class _HistogramSample:
         if len(self.window) > HISTOGRAM_WINDOW:
             del self.window[: len(self.window) - HISTOGRAM_WINDOW]
 
+    def merge(self, count: int, sum_: float,
+              min_: typing.Optional[float],
+              max_: typing.Optional[float]) -> None:
+        """Fold another sample's exact moments in.
+
+        Used when absorbing a snapshot from another process (see
+        :meth:`MetricsRegistry.absorb_rows`): ``count``/``sum``/``min``/
+        ``max`` stay exact, but the individual observations are not
+        known, so the percentile window describes only locally observed
+        values.
+        """
+        self.count += int(count)
+        self.sum += float(sum_)
+        if min_ is not None and float(min_) < self.min:
+            self.min = float(min_)
+        if max_ is not None and float(max_) > self.max:
+            self.max = float(max_)
+
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile over the retained window."""
         if not self.window:
@@ -216,6 +234,21 @@ class Histogram(_Metric):
             return float("nan")
         return self._samples[key].mean
 
+    def absorb(self, fields: typing.Mapping[str, object],
+               **labels: str) -> None:
+        """Merge a snapshot row's moments into this histogram.
+
+        ``fields`` is a dict shaped like one :meth:`rows` entry
+        (``count`` / ``sum`` / ``min`` / ``max``).  Percentiles are not
+        reconstructable from moments, so absorbed observations do not
+        enter the percentile window.
+        """
+        self._sample(labels).merge(
+            int(fields.get("count", 0) or 0),
+            float(fields.get("sum", 0.0) or 0.0),
+            typing.cast(typing.Optional[float], fields.get("min")),
+            typing.cast(typing.Optional[float], fields.get("max")))
+
     def _sample_fields(self, sample: _HistogramSample
                        ) -> typing.Dict[str, object]:
         return {
@@ -224,9 +257,9 @@ class Histogram(_Metric):
             "min": sample.min if sample.count else None,
             "max": sample.max if sample.count else None,
             "mean": sample.mean if sample.count else None,
-            "p50": sample.percentile(50.0) if sample.count else None,
-            "p90": sample.percentile(90.0) if sample.count else None,
-            "p99": sample.percentile(99.0) if sample.count else None,
+            "p50": sample.percentile(50.0) if sample.window else None,
+            "p90": sample.percentile(90.0) if sample.window else None,
+            "p99": sample.percentile(99.0) if sample.window else None,
         }
 
 
@@ -265,6 +298,43 @@ class MetricsRegistry:
         """Drop every sample (metric objects stay registered)."""
         for metric in self._metrics.values():
             metric.clear()
+
+    def absorb_rows(self, rows: typing.Iterable[
+            typing.Mapping[str, object]], **extra_labels: str) -> int:
+        """Merge snapshot rows from another registry into this one.
+
+        The cross-process merge API: a worker process snapshots its
+        registry (:meth:`snapshot`), ships the rows over a queue or a
+        run-log shard, and the parent folds them in here — counters sum,
+        gauges take the shipped value, histograms fold exact moments
+        (:meth:`Histogram.absorb`).  ``extra_labels`` (typically
+        ``worker="worker-0"``) are added to every absorbed sample so
+        merged metrics stay attributable per process.  Returns the
+        number of rows absorbed.
+        """
+        count = 0
+        for row in rows:
+            name = str(row.get("name", ""))
+            if not name:
+                continue
+            labels = dict(typing.cast(typing.Mapping[str, str],
+                                      row.get("labels") or {}))
+            labels.update(extra_labels)
+            kind = row.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(
+                    typing.cast(float, row.get("value", 0.0)) or 0.0),
+                    **labels)
+            elif kind == "gauge":
+                self.gauge(name).set(float(
+                    typing.cast(float, row.get("value", 0.0)) or 0.0),
+                    **labels)
+            elif kind == "histogram":
+                self.histogram(name).absorb(row, **labels)
+            else:
+                continue
+            count += 1
+        return count
 
     def snapshot(self, meta: typing.Optional[
             typing.Mapping[str, object]] = None

@@ -205,3 +205,53 @@ def registry_report(registry: MetricsRegistry,
                     ) -> str:
     """Report straight from a live registry."""
     return obs_report(registry.snapshot(), trace_doc)
+
+
+def run_report(merged,
+               events: typing.Optional[typing.Sequence[
+                   typing.Mapping[str, object]]] = None) -> str:
+    """The ``repro obs-report --run`` rendering for one merged run.
+
+    Composes the manifest summary, the whole-run metric tables (worker
+    label aggregated out), the per-worker breakdown, and the health
+    events.  ``merged`` is a :class:`repro.obs.runlog.MergedRun`;
+    ``events`` defaults to a fresh :func:`repro.obs.health.health_events`
+    pass.
+    """
+    from repro.obs import health as health_mod
+    from repro.obs import runlog as runlog_mod
+
+    if events is None:
+        events = health_mod.health_events(merged)
+    manifest = merged.manifest
+    head = [f"run {manifest.get('run_id', '?')}: "
+            f"command={manifest.get('command', '?')} "
+            f"outcome={manifest.get('outcome', '?')}"]
+    details = []
+    for key in ("platform", "seed", "start", "wall_seconds"):
+        if manifest.get(key) is not None:
+            details.append(f"{key}={_round(manifest[key])}"
+                           if key == "wall_seconds"
+                           else f"{key}={manifest[key]}")
+    if details:
+        head.append("  " + "  ".join(details))
+    head.append(f"  shards={len(merged.shards)} "
+                f"(workers={len(merged.worker_shards())})")
+    sections = ["\n".join(head)]
+    aggregate = runlog_mod.aggregate_rows(merged.rows)
+    if aggregate:
+        sections.append(obs_report(aggregate))
+    workers = health_mod.worker_rows(merged, events)
+    if workers:
+        sections.append(format_table(
+            workers, title="Per-worker breakdown (merged shards)"))
+    if events:
+        lines = [f"Health events ({len(events)}):"]
+        for event in events:
+            lines.append(f"  - [{event.get('event', '?')}] "
+                         f"{event.get('worker', '?')}: "
+                         f"{event.get('reason', '')}")
+        sections.append("\n".join(lines))
+    else:
+        sections.append("Health: all workers finished cleanly.")
+    return "\n\n".join(sections)

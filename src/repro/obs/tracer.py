@@ -40,16 +40,24 @@ class ObsSpan:
     depth: int = 0
     args: typing.Mapping[str, object] = dataclasses.field(
         default_factory=dict)
+    #: OS pid of the process that recorded the span, for spans merged in
+    #: from another process's run-log shard.  ``None`` for spans recorded
+    #: locally — the Chrome exporter then groups purely by clock.
+    pid: typing.Optional[int] = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
     def as_dict(self) -> typing.Dict[str, object]:
-        return {"lane": self.lane, "label": self.label,
-                "start": self.start, "end": self.end,
-                "clock": self.clock, "depth": self.depth,
-                "args": dict(self.args)}
+        out: typing.Dict[str, object] = {
+            "lane": self.lane, "label": self.label,
+            "start": self.start, "end": self.end,
+            "clock": self.clock, "depth": self.depth,
+            "args": dict(self.args)}
+        if self.pid is not None:
+            out["pid"] = self.pid
+        return out
 
 
 class SpanTracer:
@@ -85,6 +93,39 @@ class SpanTracer:
                                           start=span.start, end=span.end,
                                           clock=clock))
         return len(tracer.spans)
+
+    def snapshot(self) -> typing.List[typing.Dict[str, object]]:
+        """Every span as a JSON-ready dict (see :meth:`ObsSpan.as_dict`)."""
+        with self._lock:
+            return [span.as_dict() for span in self.spans]
+
+    def absorb_rows(self, rows: typing.Iterable[
+            typing.Mapping[str, object]],
+            pid: typing.Optional[int] = None) -> int:
+        """Rebuild spans from :meth:`snapshot` rows (another process's).
+
+        ``pid`` stamps every absorbed span with the recording process's
+        OS pid so the Chrome exporter can place it in its own Perfetto
+        process group; a ``pid`` already present in a row wins.  Returns
+        the number of spans absorbed.
+        """
+        count = 0
+        with self._lock:
+            for row in rows:
+                row_pid = row.get("pid", pid)
+                self.spans.append(ObsSpan(
+                    lane=str(row.get("lane", "?")),
+                    label=str(row.get("label", "?")),
+                    start=float(typing.cast(float, row.get("start", 0.0))),
+                    end=float(typing.cast(float, row.get("end", 0.0))),
+                    clock=str(row.get("clock", SIM)),
+                    depth=int(typing.cast(int, row.get("depth", 0))),
+                    args=dict(typing.cast(typing.Mapping[str, object],
+                                          row.get("args") or {})),
+                    pid=int(typing.cast(int, row_pid))
+                    if row_pid is not None else None))
+                count += 1
+        return count
 
     # -- wall-clock API ----------------------------------------------------
 

@@ -1,0 +1,14 @@
+"""Shared fixtures: keep run directories out of the repository root.
+
+``train``/``sweep``/``bench`` CLI invocations open a run directory by
+default (:mod:`repro.obs.runlog`); pointing ``REPRO_RUNS_DIR`` at a
+per-test temporary directory keeps the repo clean and the tests
+isolated from each other's runs.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _runs_dir_in_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

@@ -1,0 +1,41 @@
+# LINT-PATH: repro/core/fixture_hot_runlog.py
+"""Corpus: runlog shard writes in hot paths must be REPRO_OBS-gated."""
+from repro.obs import runlog
+from repro.obs import runtime as _obs
+from repro.perf.hotpath import hot_path
+
+
+@hot_path
+def gated_shard_flush(shard, values):
+    total = 0.0
+    for value in values:
+        total += value
+    if _obs.enabled():
+        shard.maybe_heartbeat(routines=total)
+    return total
+
+
+@hot_path
+def early_return_gated_flush(shard, values):
+    total = sum(values)
+    if not _obs.enabled():
+        return total
+    shard.flush(final=True, routines=total)
+    return total
+
+
+@hot_path
+def ungated_shard_writes(shard, run_dir, events, values):
+    total = sum(values)
+    shard.heartbeat(total)  # EXPECT: hot-path
+    shard.maybe_heartbeat(routines=total)  # EXPECT: hot-path
+    shard.flush(final=True)  # EXPECT: hot-path
+    runlog.write_health(run_dir, events)  # EXPECT: hot-path
+    return total
+
+
+@hot_path
+def stream_flush_is_not_a_shard(stream, values):
+    total = sum(values)
+    stream.flush()
+    return total

@@ -110,3 +110,79 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "FA3C-Alt1" in out and "FA3C-SingleCU" in out
+
+
+class TestRunLogCLI:
+    def test_backend_alias_warns_deprecation(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--backend"):
+            code = main(["train", "--game", "pong", "--steps", "30",
+                         "--agents", "1", "--episode-cap", "50",
+                         "--backend", "serial"])
+        assert code == 0
+
+    def test_train_opens_a_run_directory(self, capsys):
+        from repro.obs import runlog
+
+        code = main(["train", "--game", "pong", "--steps", "30",
+                     "--agents", "1", "--episode-cap", "50", "--serial"])
+        assert code == 0
+        assert "run log:" in capsys.readouterr().out
+        runs = runlog.list_runs()
+        assert len(runs) == 1
+        assert runs[0]["command"] == "train"
+        assert runs[0]["outcome"] == "ok"
+        manifest = runlog.load_manifest(
+            runlog.resolve_run(runs[0]["run_id"]))
+        assert manifest["config"]["game"] == "pong"
+        assert manifest["topology"]["variant"]
+
+    def test_no_runlog_skips_the_run_directory(self, capsys):
+        from repro.obs import runlog
+
+        code = main(["train", "--game", "pong", "--steps", "30",
+                     "--agents", "1", "--episode-cap", "50", "--serial",
+                     "--no-runlog"])
+        assert code == 0
+        assert "run log:" not in capsys.readouterr().out
+        assert runlog.list_runs() == []
+
+    def test_runs_list_and_diff_between_benches(self, capsys):
+        from repro.obs import runlog
+
+        assert main(["bench", "--scenarios", "fa3c-n8"]) == 0
+        assert main(["bench", "--scenarios", "fa3c-n8"]) == 0
+        assert main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "Recorded runs" in out
+        ids = [row["run_id"] for row in runlog.list_runs()]
+        assert len(ids) == 2
+        assert main(["runs", "diff", ids[0], ids[1]]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario deltas" in out
+        assert "fa3c-n8" in out
+
+    def test_runs_diff_unknown_run_fails(self, capsys):
+        assert main(["runs", "diff", "nope-a", "nope-b"]) == 2
+        assert "runs diff:" in capsys.readouterr().out
+
+    def test_obs_report_run_renders_merged_run(self, capsys, tmp_path):
+        from repro import obs
+        from repro.obs import runlog
+
+        metrics = os.path.join(str(tmp_path), "m.jsonl")
+        code = main(["train", "--game", "pong", "--steps", "60",
+                     "--agents", "2", "--episode-cap", "50",
+                     "--actors", "procs", "--workers", "2",
+                     "--metrics", metrics])
+        obs.disable()
+        obs.metrics().reset()
+        assert code == 0
+        run_id = runlog.list_runs()[0]["run_id"]
+        capsys.readouterr()
+        assert main(["obs-report", "--run", run_id]) == 0
+        out = capsys.readouterr().out
+        assert "Per-worker breakdown" in out
+        assert "worker-0" in out and "worker-1" in out
+        health_path = os.path.join(runlog.resolve_run(run_id),
+                                   runlog.HEALTH_NAME)
+        assert os.path.exists(health_path)

@@ -167,3 +167,44 @@ class TestProcsBackend:
         quad = self._trainer(max_steps=8000).train(backend="procs",
                                                    workers=4)
         assert quad.steps_per_second >= 2.0 * solo.steps_per_second
+
+
+class TestProcsObservability:
+    def _trainer(self, max_steps=600):
+        config = A3CConfig(num_agents=2, t_max=5, max_steps=max_steps,
+                           learning_rate=1e-2, anneal_steps=10 ** 9,
+                           entropy_beta=0.02, seed=1)
+        return A3CTrainer(lambda i: Catch(size=5), small_net, config)
+
+    def test_worker_metrics_reach_parent_registry(self):
+        """Workers ship their final metrics snapshot through the results
+        queue; the parent folds it in under a ``worker`` label."""
+        from repro import obs
+
+        with obs.enabled_scope():
+            self._trainer().train(actors="procs", workers=2)
+            updates = obs.metrics().counter("ps.updates")
+            assert updates.total() > 0
+            per_worker = [updates.value(worker=f"worker-{i}")
+                          for i in range(2)]
+            assert all(value > 0 for value in per_worker)
+            assert sum(per_worker) == updates.total()
+
+    def test_procs_run_writes_worker_shards(self, tmp_path):
+        from repro import obs
+        from repro.obs import runlog
+
+        log = runlog.RunLog.open("train", root=str(tmp_path / "runs"))
+        with obs.enabled_scope():
+            self._trainer().train(actors="procs", workers=2, runlog=log)
+        log.finish()
+        merged = runlog.merge_run(log.path)
+        workers = merged.worker_shards()
+        assert {shard.worker for shard in workers} == {"worker-0",
+                                                       "worker-1"}
+        for shard in workers:
+            assert shard.final is not None
+            assert shard.stats()["routines"] > 0
+            names = {row["name"] for row in shard.rows}
+            assert "ps.updates" in names
+            assert "ps.lock_wait_seconds" in names

@@ -1,0 +1,134 @@
+"""Tests for the worker-health monitor over merged runs."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import health, runlog
+
+
+@pytest.fixture
+def runs_root(tmp_path):
+    return str(tmp_path / "runs")
+
+
+def make_run(runs_root):
+    return runlog.RunLog.open("train", root=runs_root)
+
+
+def write_shard(run_dir, pid, worker, routines, opened, beat,
+                final=True, rows=()):
+    records = [{"kind": "open", "pid": pid, "worker": worker,
+                "time": opened, "interval": 2.0},
+               {"kind": "heartbeat", "seq": 1, "time": beat,
+                "stats": {"routines": routines}}]
+    records.extend({"kind": "metric", "seq": 1, "row": row}
+                   for row in rows)
+    if final:
+        records.append({"kind": "final", "seq": 1, "time": beat,
+                        "stats": {"routines": routines}})
+    path = os.path.join(
+        run_dir, f"{runlog.SHARD_PREFIX}{pid}{runlog.SHARD_SUFFIX}")
+    with open(path, "a", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+class TestHealthEvents:
+    def test_clean_run_has_no_events(self, runs_root):
+        log = make_run(runs_root)
+        write_shard(log.path, 9001, "worker-0", 100, 100.0, 110.0)
+        write_shard(log.path, 9002, "worker-1", 90, 100.0, 110.0)
+        log.finish()
+        log.update(end_time=111.0)
+        merged = runlog.merge_run(log.path)
+        assert health.health_events(merged) == []
+
+    def test_killed_worker_is_a_straggler(self, runs_root):
+        log = make_run(runs_root)
+        write_shard(log.path, 9001, "worker-0", 100, 100.0, 110.0)
+        write_shard(log.path, 9002, "worker-1", 10, 100.0, 101.0,
+                    final=False)
+        log.finish()
+        log.update(end_time=111.0)
+        merged = runlog.merge_run(log.path)
+        events = health.health_events(merged)
+        assert len(events) == 1
+        event = events[0]
+        assert event["kind"] == "health"
+        assert event["event"] == "straggler"
+        assert event["worker"] == "worker-1"
+        assert "killed or hung" in event["reason"]
+
+    def test_slow_worker_below_median_ratio(self, runs_root):
+        log = make_run(runs_root)
+        # 10 routines/s, 10 routines/s, and a 1 routine/s laggard.
+        write_shard(log.path, 9001, "worker-0", 100, 100.0, 110.0)
+        write_shard(log.path, 9002, "worker-1", 100, 100.0, 110.0)
+        write_shard(log.path, 9003, "worker-2", 10, 100.0, 110.0)
+        log.finish()
+        log.update(end_time=111.0)
+        merged = runlog.merge_run(log.path)
+        events = health.health_events(merged)
+        assert [e["worker"] for e in events] == ["worker-2"]
+        assert events[0]["event"] == "straggler"
+        assert events[0]["routines_per_s"] == pytest.approx(1.0)
+
+    def test_stale_heartbeat_is_a_stall(self, runs_root):
+        log = make_run(runs_root)
+        write_shard(log.path, 9001, "worker-0", 100, 100.0, 110.0)
+        log.finish()
+        # Rewrite end_time far beyond the worker's last heartbeat.
+        log.update(end_time=float(110.0 + 60.0))
+        merged = runlog.merge_run(log.path)
+        events = health.health_events(merged, stall_seconds=10.0)
+        assert [e["event"] for e in events] == ["stall"]
+
+    def test_solo_worker_is_never_its_own_baseline(self, runs_root):
+        log = make_run(runs_root)
+        write_shard(log.path, 9001, "worker-0", 1, 100.0, 110.0)
+        log.finish()
+        log.update(end_time=111.0)
+        merged = runlog.merge_run(log.path)
+        assert health.health_events(merged) == []
+
+    def test_parent_shard_is_excluded(self, runs_root):
+        log = make_run(runs_root)
+        # Parent coordinates, so it reports no routines — must not be
+        # judged against the workers.
+        write_shard(log.path, os.getpid(), "main", 0, 100.0, 110.0)
+        write_shard(log.path, 9001, "worker-0", 100, 100.0, 110.0)
+        write_shard(log.path, 9002, "worker-1", 90, 100.0, 110.0)
+        log.finish()
+        log.update(end_time=111.0)
+        merged = runlog.merge_run(log.path)
+        assert health.health_events(merged) == []
+
+
+class TestWorkerRows:
+    def test_rows_carry_counters_and_status(self, runs_root):
+        log = make_run(runs_root)
+        write_shard(
+            log.path, 9001, "worker-0", 100, 100.0, 110.0,
+            rows=[{"name": "ps.updates", "type": "counter",
+                   "labels": {}, "value": 42.0},
+                  {"name": "ps.lock_wait_seconds", "type": "histogram",
+                   "labels": {"op": "apply"}, "count": 5, "sum": 2.5,
+                   "min": 0.1, "max": 1.0}])
+        write_shard(log.path, 9002, "worker-1", 10, 100.0, 101.0,
+                    final=False)
+        log.finish()
+        log.update(end_time=111.0)
+        merged = runlog.merge_run(log.path)
+        events = health.health_events(merged)
+        rows = health.worker_rows(merged, events)
+        assert [r["worker"] for r in rows] == ["worker-0", "worker-1"]
+        first = rows[0]
+        assert first["updates"] == 42
+        assert first["lock_wait_s"] == pytest.approx(2.5)
+        assert first["lock_wait_share"] == pytest.approx(0.25)
+        assert first["final"] == "yes" and first["status"] == "ok"
+        second = rows[1]
+        assert second["final"] == "no"
+        assert second["status"] == "straggler"

@@ -1,0 +1,337 @@
+"""Tests for run directories, shard merging, and the chrome pid map."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import chrome
+from repro.obs import runlog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import SIM, WALL, ObsSpan, SpanTracer
+
+
+@pytest.fixture
+def runs_root(tmp_path):
+    return str(tmp_path / "runs")
+
+
+def open_run(runs_root, command="train", **meta):
+    return runlog.RunLog.open(command, argv=["train", "--x"],
+                              root=runs_root, **meta)
+
+
+class TestRegistryMerge:
+    def test_absorb_rows_sums_counters_with_labels(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ps.updates").inc(3.0)
+        b.absorb_rows(a.snapshot(), worker="worker-0")
+        b.absorb_rows(a.snapshot(), worker="worker-1")
+        assert b.counter("ps.updates").value(worker="worker-0") == 3.0
+        assert b.counter("ps.updates").total() == 6.0
+
+    def test_absorb_rows_folds_histogram_moments(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 3.0):
+            a.histogram("ps.lock_wait_seconds").observe(value, op="apply")
+        b.absorb_rows(a.snapshot(), worker="w0")
+        row = [r for r in b.snapshot()
+               if r["name"] == "ps.lock_wait_seconds"][0]
+        assert row["count"] == 2 and row["sum"] == 4.0
+        assert row["min"] == 1.0 and row["max"] == 3.0
+        # Percentiles are not reconstructable from moments.
+        assert row["p50"] is None
+
+    def test_absorb_rows_gauge_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("x").set(1.0)
+        b.gauge("x").set(9.0)
+        b.absorb_rows(a.snapshot())
+        assert b.gauge("x").value() == 1.0
+
+
+class TestTracerMerge:
+    def test_snapshot_roundtrip_with_pid(self):
+        a = SpanTracer()
+        a.record("lane", "work", 0.0, 1.0)
+        b = SpanTracer()
+        assert b.absorb_rows(a.snapshot(), pid=4242) == 1
+        span = b.spans[0]
+        assert span.pid == 4242 and span.lane == "lane"
+        assert span.as_dict()["pid"] == 4242
+
+    def test_local_spans_have_no_pid_key(self):
+        tracer = SpanTracer()
+        tracer.record("lane", "work", 0.0, 1.0)
+        assert "pid" not in tracer.snapshot()[0]
+
+
+class TestRunLog:
+    def test_manifest_written_and_finished(self, runs_root):
+        log = open_run(runs_root, config={"game": "pong"},
+                       platform="fa3c-fpga", seed=7)
+        manifest = runlog.load_manifest(log.path)
+        assert manifest["schema"] == runlog.SCHEMA_VERSION
+        assert manifest["command"] == "train"
+        assert manifest["outcome"] == "running"
+        assert manifest["pid"] == os.getpid()
+        assert manifest["config"] == {"game": "pong"}
+        log.finish(outcome="ok", global_steps=100)
+        manifest = runlog.load_manifest(log.path)
+        assert manifest["outcome"] == "ok"
+        assert manifest["global_steps"] == 100
+        assert manifest["wall_seconds"] >= 0.0
+
+    def test_run_ids_are_unique(self, runs_root):
+        ids = {open_run(runs_root).run_id for _ in range(3)}
+        assert len(ids) == 3
+
+    def test_shard_flush_and_load(self, runs_root):
+        log = open_run(runs_root)
+        with obs.enabled_scope():
+            obs.metrics().counter("ps.updates").inc(5.0)
+            obs.tracer().record("lane", "work", 0.0, 1.0)
+            shard = log.shard("main", interval=0.0)
+            shard.flush(routines=1)
+            obs.metrics().counter("ps.updates").inc(2.0)
+            shard.flush(final=True, routines=2)
+        obs.metrics().reset()
+        obs.tracer().clear()
+        loaded = runlog.load_shard(shard.path)
+        assert loaded.pid == os.getpid()
+        assert loaded.worker == "main"
+        assert loaded.final is not None
+        assert len(loaded.heartbeats) == 2
+        # Only the newest generation survives: the counter reads 7.
+        rows = [r for r in loaded.rows if r["name"] == "ps.updates"]
+        assert rows[0]["value"] == 7.0
+        assert loaded.spans[0]["lane"] == "lane"
+        assert loaded.stats() == {"routines": 2}
+
+    def test_maybe_heartbeat_respects_interval(self, runs_root):
+        log = open_run(runs_root)
+        shard = log.shard("main", interval=3600.0)
+        assert not shard.maybe_heartbeat(routines=1)
+        shard.interval = 0.0
+        assert shard.maybe_heartbeat(routines=2)
+
+    def test_list_and_resolve(self, runs_root):
+        log_a = open_run(runs_root)
+        log_b = open_run(runs_root, command="bench")
+        log_a.finish()
+        rows = runlog.list_runs(runs_root)
+        assert sorted(r["command"] for r in rows) == ["bench", "train"]
+        assert runlog.resolve_run(log_b.run_id, runs_root) == log_b.path
+        assert runlog.resolve_run("bench", runs_root) == log_b.path
+        with pytest.raises(ValueError):
+            runlog.resolve_run("nope", runs_root)
+
+    def test_resolve_ambiguous_fragment(self, runs_root):
+        open_run(runs_root)
+        open_run(runs_root)
+        with pytest.raises(ValueError, match="ambiguous"):
+            runlog.resolve_run("train", runs_root)
+
+
+def write_worker_shard(run_dir, pid, worker, rows=(), spans=(),
+                       final=True, routines=10, opened=100.0,
+                       beat=101.0):
+    records = [{"kind": "open", "pid": pid, "worker": worker,
+                "time": opened, "interval": 2.0},
+               {"kind": "heartbeat", "seq": 1, "time": beat,
+                "stats": {"routines": routines}}]
+    records.extend({"kind": "metric", "seq": 1, "row": row}
+                   for row in rows)
+    records.extend({"kind": "span", "seq": 1, "row": span}
+                   for span in spans)
+    if final:
+        records.append({"kind": "final", "seq": 1, "time": beat,
+                        "stats": {"routines": routines}})
+    path = os.path.join(
+        run_dir, f"{runlog.SHARD_PREFIX}{pid}{runlog.SHARD_SUFFIX}")
+    with open(path, "a", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def counter_row(name, value, **labels):
+    return {"name": name, "type": "counter", "labels": labels,
+            "value": value}
+
+
+class TestMergeRun:
+    def test_merge_labels_rows_and_spans_per_worker(self, runs_root):
+        log = open_run(runs_root)
+        write_worker_shard(
+            log.path, 9001, "worker-0",
+            rows=[counter_row("ps.updates", 3.0)],
+            spans=[{"lane": "agent-0", "label": "routine",
+                    "start": 0.0, "end": 1.0, "clock": WALL}])
+        write_worker_shard(
+            log.path, 9002, "worker-1",
+            rows=[counter_row("ps.updates", 4.0)])
+        log.finish()
+        merged = runlog.merge_run(log.path)
+        by_worker = {r["labels"]["worker"]: r["value"]
+                     for r in merged.rows if r["name"] == "ps.updates"}
+        assert by_worker == {"worker-0": 3.0, "worker-1": 4.0}
+        assert merged.spans[0]["pid"] == 9001
+        assert len(merged.worker_shards()) == 2
+
+    def test_parent_reimported_rows_are_dropped(self, runs_root):
+        """The parent absorbs worker rows back into its registry; its
+        shard must not double-count them against the worker's shard."""
+        log = open_run(runs_root)
+        write_worker_shard(
+            log.path, os.getpid(), "main",
+            rows=[counter_row("ps.updates", 3.0, worker="worker-0"),
+                  counter_row("platform.ips", 100.0)])
+        write_worker_shard(
+            log.path, 9001, "worker-0",
+            rows=[counter_row("ps.updates", 3.0)])
+        log.finish()
+        merged = runlog.merge_run(log.path)
+        aggregate = runlog.aggregate_rows(merged.rows)
+        updates = [r for r in aggregate if r["name"] == "ps.updates"]
+        assert updates[0]["value"] == 3.0
+        # Parent spans keep no pid (they stay in the sim/wall groups).
+        parent_rows = [r for r in merged.rows
+                       if r["name"] == "platform.ips"]
+        assert parent_rows[0]["labels"]["worker"] == "main"
+
+    def test_aggregate_strips_worker_and_sums(self, runs_root):
+        log = open_run(runs_root)
+        write_worker_shard(log.path, 9001, "worker-0",
+                           rows=[counter_row("ps.updates", 3.0)])
+        write_worker_shard(log.path, 9002, "worker-1",
+                           rows=[counter_row("ps.updates", 4.0)])
+        log.finish()
+        aggregate = runlog.aggregate_rows(
+            runlog.merge_run(log.path).rows)
+        row = [r for r in aggregate if r["name"] == "ps.updates"][0]
+        assert row["value"] == 7.0
+        assert "worker" not in row["labels"]
+
+
+class TestDiffRuns:
+    def _run_with(self, runs_root, updates, command="bench",
+                  scenarios=None):
+        log = open_run(runs_root, command=command)
+        write_worker_shard(log.path, 9001, "worker-0",
+                           rows=[counter_row("ps.updates", updates)])
+        if scenarios is not None:
+            log.update(scenarios=scenarios)
+        log.finish()
+        return log
+
+    def test_metric_and_scenario_deltas(self, runs_root):
+        log_a = self._run_with(
+            runs_root, 3.0,
+            scenarios={"s1": {"ips": 100.0,
+                              "buckets": {"pe_compute": 0.5}}})
+        log_b = self._run_with(
+            runs_root, 5.0,
+            scenarios={"s1": {"ips": 110.0,
+                              "buckets": {"pe_compute": 0.6}}})
+        diff = runlog.diff_runs(log_a.run_id, log_b.run_id,
+                                root=runs_root)
+        metric = [r for r in diff["metrics"]
+                  if r["metric"] == "ps.updates"][0]
+        assert metric["delta"] == 2.0
+        fields = {r["field"]: r["delta"] for r in diff["scenarios"]}
+        assert fields["ips"] == pytest.approx(10.0)
+        assert fields["bucket:pe_compute"] == pytest.approx(0.1)
+
+
+class TestChromeMultiProcess:
+    def _merged_tracer(self, runs_root):
+        """Two synthetic worker shards plus local sim/wall spans."""
+        log = open_run(runs_root)
+        write_worker_shard(
+            log.path, 9001, "worker-0",
+            spans=[{"lane": "agent-0", "label": "routine",
+                    "start": 10.0, "end": 11.0, "clock": WALL},
+                   {"lane": "agent-2", "label": "routine",
+                    "start": 11.0, "end": 12.0, "clock": WALL}])
+        write_worker_shard(
+            log.path, 9002, "worker-1",
+            spans=[{"lane": "agent-1", "label": "routine",
+                    "start": 10.5, "end": 11.5, "clock": WALL}])
+        log.finish()
+        tracer = runlog.merge_run(log.path).tracer()
+        tracer.record("cu0", "FW", 0.0, 5.0, clock=SIM)
+        tracer.record("trainer", "step", 10.0, 12.0, clock=WALL)
+        return tracer
+
+    def test_workers_get_distinct_process_groups(self, runs_root):
+        events = chrome.chrome_trace_events(
+            self._merged_tracer(runs_root).spans)
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M"
+                 and e.get("name") == "process_name"}
+        assert names[chrome.PID_SIM] == "sim-time"
+        assert names[chrome.PID_WALL] == "wall-clock"
+        assert names[9001] == "worker-9001"
+        assert names[9002] == "worker-9002"
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert {chrome.PID_SIM, chrome.PID_WALL, 9001, 9002} == pids
+
+    def test_tid_ordering_is_first_appearance_per_process(
+            self, runs_root):
+        events = chrome.chrome_trace_events(
+            self._merged_tracer(runs_root).spans)
+        threads = {(e["pid"], e["args"]["name"]): e["tid"]
+                   for e in events if e.get("ph") == "M"
+                   and e.get("name") == "thread_name"}
+        # worker-9001's lanes in shard order: agent-0 then agent-2.
+        assert threads[(9001, "agent-0")] == 1
+        assert threads[(9001, "agent-2")] == 2
+        assert threads[(9002, "agent-1")] == 1
+
+    def test_real_pids_never_collide_with_pseudo_pids(self):
+        spans = [
+            ObsSpan(lane="trainer", label="local", start=0.0, end=1.0,
+                    clock=WALL),
+            ObsSpan(lane="agent-0", label="w", start=0.0, end=1.0,
+                    clock=WALL, pid=1),
+            ObsSpan(lane="agent-1", label="w", start=0.0, end=1.0,
+                    clock=WALL, pid=2),
+        ]
+        events = chrome.chrome_trace_events(spans)
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert chrome.PID_WALL in pids
+        assert chrome.WORKER_PID_BASE + 1 in pids
+        assert chrome.WORKER_PID_BASE + 2 in pids
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M"
+                 and e.get("name") == "process_name"}
+        # The remapped groups still display the real OS pid.
+        assert names[chrome.WORKER_PID_BASE + 1] == "worker-1"
+        assert names[chrome.WORKER_PID_BASE + 2] == "worker-2"
+
+
+class TestRunReport:
+    def test_run_report_renders_workers_and_health(self, runs_root):
+        log = open_run(runs_root)
+        write_worker_shard(log.path, 9001, "worker-0",
+                           rows=[counter_row("ps.updates", 3.0)])
+        write_worker_shard(log.path, 9002, "worker-1",
+                           rows=[counter_row("ps.updates", 4.0)],
+                           final=False)
+        log.finish()
+        merged = runlog.merge_run(log.path)
+        text = obs.run_report(merged)
+        assert "Per-worker breakdown" in text
+        assert "worker-0" in text and "worker-1" in text
+        assert "straggler" in text
+
+    def test_write_health_jsonl(self, runs_root):
+        log = open_run(runs_root)
+        log.finish()
+        count = runlog.write_health(
+            log.path, [{"kind": "health", "event": "stall"}])
+        assert count == 1
+        path = os.path.join(log.path, runlog.HEALTH_NAME)
+        assert json.loads(open(path).readline())["event"] == "stall"
