@@ -19,6 +19,9 @@ Commands:
 * ``bench``   — the perf-baseline gate: ``--baseline`` snapshots IPS +
   cycle-attribution shares per scenario into ``BENCH_fa3c.json``;
   ``--check`` re-runs the scenarios and exits non-zero on regression.
+  ``--latency`` records the modelled per-request latency distribution
+  (HDR buckets + p50/p99/p999) into ``BENCH_latency.json`` with an
+  informational p99 gate.
 * ``runs``    — run-directory tooling (:mod:`repro.obs.runlog`):
   ``runs list`` tabulates recorded runs, ``runs diff <a> <b>`` reports
   metric and scenario deltas between two runs.
@@ -212,7 +215,7 @@ def _obs_report_run(args) -> int:
         else:
             print("obs-report: no attribution metrics in the run; "
                   "--folded skipped")
-    print(obs.run_report(merged, events))
+    print(obs.run_report(merged, events, latency=args.latency))
     return 0
 
 
@@ -239,17 +242,23 @@ def cmd_obs_report(args) -> int:
             return 2
         lines = write_folded(report, args.folded)
         print(f"folded profile: {lines} stacks -> {args.folded}")
-    print(obs.obs_report(rows, doc))
+    print(obs.obs_report(rows, doc, latency=args.latency))
     return 0
 
 
 def cmd_bench(args) -> int:
     from repro.obs.prof import baseline as bench
 
+    if args.wallclock and args.latency:
+        print("bench: --wallclock and --latency are mutually exclusive")
+        return 2
     runlog = _open_runlog(args, "bench",
-                          wallclock=bool(args.wallclock))
+                          wallclock=bool(args.wallclock),
+                          latency=bool(args.latency))
     if args.wallclock:
         code = _cmd_bench_wallclock(args, bench, runlog)
+    elif args.latency:
+        code = _cmd_bench_latency(args, bench, runlog)
     else:
         code = _cmd_bench_modelled(args, bench, runlog)
     if runlog is not None:
@@ -412,6 +421,78 @@ def _cmd_bench_wallclock(args, bench, runlog=None) -> int:
     return 0
 
 
+def _cmd_bench_latency(args, bench, runlog=None) -> int:
+    """Latency bench: modelled per-request distribution per scenario.
+
+    Sim-time latencies are deterministic, so the committed HDR bucket
+    counts diff bit-for-bit; the p99 check is still informational with
+    a wide tolerance (see ``DEFAULT_LATENCY_RTOL``) because a one-bucket
+    quantisation shift can move a percentile by ~12 %.
+    """
+    path = args.file or bench.DEFAULT_LATENCY_BASELINE
+    names = list(args.scenarios) if args.scenarios else None
+    base = None
+    if args.check:
+        try:
+            base = bench.load_latency(path)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot load latency baseline {path}: {exc}")
+            return 2
+        if names is None:
+            names = sorted(base.get("scenarios") or {})
+    if names is None and args.platform:
+        names = bench.scenario_names(backend=args.platform)
+    elif names is not None and args.platform:
+        allowed = set(bench.scenario_names(backend=args.platform))
+        names = [name for name in names if name in allowed]
+
+    failures: typing.List[str] = []
+    try:
+        current = bench.collect_latency(names)
+    except ValueError as exc:
+        print(f"bench: {exc}")
+        return 2
+    for name, entry in current["scenarios"].items():
+        print(f"{name}: p50={entry['p50_us']}us p99={entry['p99_us']}us "
+              f"p999={entry['p999_us']}us "
+              f"({entry['requests']} requests)")
+    if runlog is not None:
+        runlog.update(scenarios=current["scenarios"],
+                      tolerances=current["tolerances"])
+
+    if args.baseline:
+        bench.write_snapshot(current, path)
+        print(f"latency baseline: {len(current['scenarios'])} "
+              f"scenarios -> {path}")
+    if args.check:
+        compare = base
+        if names is not None:
+            # Only gate the requested subset; flag requested scenarios
+            # the baseline has never recorded.
+            recorded = base.get("scenarios") or {}
+            for name in names:
+                if name not in recorded:
+                    failures.append(f"{name}: not in baseline {path}")
+            compare = dict(base)
+            compare["scenarios"] = {name: entry for name, entry
+                                    in recorded.items()
+                                    if name in set(names)}
+        failures.extend(bench.check_latency(compare, current))
+        if failures:
+            print(f"\nLATENCY GATE (informational) FAILED "
+                  f"({len(failures)} finding(s)):")
+            for failure in failures:
+                print(f"  - {failure}")
+            print("Tail latency moved; if the change is intentional, "
+                  "refresh with `repro bench --latency --baseline` "
+                  "and review the hdr bucket diff.")
+            return 1
+        print(f"\nlatency gate OK: "
+              f"{len(current['scenarios'])} scenarios within "
+              f"tolerance of {path}")
+    return 0
+
+
 def _write_bench_report(report_dir: str, name: str, report) -> None:
     """Per-scenario attribution artifacts for the CI perf-gate upload."""
     import os
@@ -469,6 +550,10 @@ def cmd_runs_diff(args) -> int:
         print(format_table(diff["metrics"],
                            title="Metric deltas (worker label "
                                  "aggregated out)"))
+    if diff.get("latency"):
+        print()
+        print(format_table(diff["latency"],
+                           title="Latency deltas (per segment, ms)"))
     if not diff["scenarios"] and not diff["metrics"]:
         print("(no comparable scenarios or metrics between the runs)")
     return 0
@@ -728,6 +813,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--runs-root", default=None,
                             help="run-directory root (default: runs/, "
                                  "or $REPRO_RUNS_DIR)")
+    obs_report.add_argument("--latency", action="store_true",
+                            help="include the latency tables: per-"
+                                 "segment percentiles (queue vs "
+                                 "compute) and end-to-end routine "
+                                 "latency")
     obs_report.set_defaults(func=cmd_obs_report)
 
     bench = sub.add_parser(
@@ -741,13 +831,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--wallclock", action="store_true",
                        help="measure host-side wall clock instead of "
                             "modelled IPS (loose, informational gate)")
+    bench.add_argument("--latency", action="store_true",
+                       help="record the modelled per-request latency "
+                            "distribution instead of IPS "
+                            "(informational p99 gate)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="wall-clock repeats per scenario; best-of "
                             "is recorded (default: 3)")
     bench.add_argument("--file", default=None,
                        help="baseline snapshot path (default: "
-                            "BENCH_fa3c.json, or BENCH_wallclock.json "
-                            "with --wallclock)")
+                            "BENCH_fa3c.json; BENCH_wallclock.json "
+                            "with --wallclock; BENCH_latency.json "
+                            "with --latency)")
     bench.add_argument("--scenarios", nargs="+", default=None,
                        help="subset of scenario names to run")
     bench.add_argument("--platform", choices=backend_names,

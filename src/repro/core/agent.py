@@ -15,6 +15,7 @@ Figure 2 and Table 2) is:
 from __future__ import annotations
 
 import dataclasses
+import time
 import typing
 
 import numpy as np
@@ -68,15 +69,31 @@ class A3CAgent:
         action = int(self.rng.choice(len(probs), p=probs))
         return action, float(values[0]), state
 
-    def run_routine(self) -> RoutineStats:
-        """Execute one full sync / rollout / train routine."""
+    def run_routine(self, lat=None) -> RoutineStats:
+        """Execute one full sync / rollout / train routine.
+
+        ``lat`` is an optional :class:`repro.obs.lat.RoutineLatency`;
+        when present the routine's phases are attributed to its
+        ``param_sync`` / ``infer`` / ``batch_form`` / ``train``
+        segments (environment stepping lands in ``other``).
+        """
+        timed = lat is not None
+        phase_started = time.perf_counter_ns() if timed else 0
         self.server.snapshot_into(self.local_params)
+        if timed:
+            lat.add_ns("param_sync",
+                       time.perf_counter_ns() - phase_started)
         self.rollout.clear()
         scores: typing.List[float] = []
 
         terminal = False
         for _ in range(self.config.t_max):
+            if timed:
+                phase_started = time.perf_counter_ns()
             action, value, state = self._policy_step()
+            if timed:
+                lat.add_ns("infer",
+                           time.perf_counter_ns() - phase_started)
             obs, reward, done, info = self.env.step(action)
             self._episode_score += info.get("raw_reward", reward)
             self.rollout.add(state, action, reward, value)
@@ -101,17 +118,28 @@ class A3CAgent:
         bootstrap_inferences = 0
         bootstrap_value = 0.0
         if not terminal:
+            if timed:
+                phase_started = time.perf_counter_ns()
             _, values = self.network.forward(self._state[None],
                                              self.local_params)
+            if timed:
+                lat.add_ns("infer",
+                           time.perf_counter_ns() - phase_started)
             bootstrap_value = float(values[0])
             bootstrap_inferences = 1
 
         # Training task (the shared rollout-to-update path).
+        if timed:
+            phase_started = time.perf_counter_ns()
         states, actions, returns = self.rollout.batch(
             bootstrap_value, self.config.gamma)
+        if timed:
+            lat.add_ns("batch_form",
+                       time.perf_counter_ns() - phase_started)
         loss = apply_rollout_update(self.network, self.local_params,
                                     self.server, states, actions,
-                                    returns, self.config.entropy_beta)
+                                    returns, self.config.entropy_beta,
+                                    lat=lat)
 
         return RoutineStats(steps=steps,
                             bootstrap_inferences=bootstrap_inferences,

@@ -31,7 +31,8 @@ __all__ = ["apply_rollout_update", "derive_agent_seed",
 def apply_rollout_update(network, params, server,
                          states: np.ndarray, actions: np.ndarray,
                          returns: np.ndarray,
-                         entropy_beta: float) -> A3CLossResult:
+                         entropy_beta: float,
+                         lat=None) -> A3CLossResult:
     """One training task: the batched rollout through to the global θ.
 
     Runs the forward pass over ``params`` (the caller decides whether
@@ -40,13 +41,19 @@ def apply_rollout_update(network, params, server,
     backpropagates, and applies the gradients through ``server``'s
     shared RMSProp.  The operation order is fixed — it is the fp32
     accumulation order all three trainers were verified against.
+
+    ``lat`` is an optional :class:`repro.obs.lat.RoutineLatency`; when
+    present the whole update is attributed to its ``train`` segment.
     """
+    train_started = time.perf_counter_ns() if lat is not None else 0
     logits, values = network.forward(states, params)
     loss = a3c_loss_and_head_gradients(
         logits, values, actions, returns, entropy_beta=entropy_beta)
     grads = network.backward_and_grads(loss.dlogits, loss.dvalues,
                                        params)
     server.apply_gradients(grads)
+    if lat is not None:
+        lat.add_ns("train", time.perf_counter_ns() - train_started)
     return loss
 
 
@@ -54,13 +61,18 @@ def record_routine(trainer: str, started: float, steps: int,
                    lane: typing.Optional[str] = None,
                    span_name: str = "routine",
                    span_labels: typing.Optional[
-                       typing.Dict[str, typing.Any]] = None) -> None:
+                       typing.Dict[str, typing.Any]] = None,
+                   lat=None) -> None:
     """One finished routine into the metrics/trace sinks.
 
     Callers gate on :func:`repro.obs.runtime.enabled` (and capture
     ``started`` from ``time.perf_counter`` only then), so this never
     runs on the hot path with collection off.  ``lane=None`` skips the
     tracer span (PAAC records rollout/update spans separately).
+    ``lat``, when present, is the routine's
+    :class:`repro.obs.lat.RoutineLatency`, finished here so the
+    end-to-end latency closes at the same boundary the routine metrics
+    do.
     """
     ended = time.perf_counter()
     elapsed = ended - started
@@ -75,6 +87,8 @@ def record_routine(trainer: str, started: float, steps: int,
     if lane is not None:
         _obs.tracer().record(lane, span_name, started, ended,
                              clock="wall", **(span_labels or {}))
+    if lat is not None:
+        lat.finish()
 
 
 def resolve_backend(platform, topology=None):

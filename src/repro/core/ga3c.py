@@ -33,6 +33,7 @@ from repro.core.parameter_server import ParameterServer
 from repro.core.rollout import Rollout
 from repro.core.trainer import TrainResult
 from repro.envs.base import Env
+from repro.obs import lat as _lat
 from repro.obs import runtime as _obs
 from repro.nn.losses import softmax
 from repro.nn.network import A3CNetwork
@@ -66,6 +67,8 @@ class GA3CTrainer:
         self.prediction_batch = prediction_batch or config.num_agents
         self.training_batch_rollouts = training_batch_rollouts
         self._platform = platform if platform is not None else "ga3c-tf"
+        self._lat_platform = (self._platform
+                              if isinstance(self._platform, str) else None)
         self._backend = None
         rng = np.random.default_rng(config.seed)
         self.network = network_factory()
@@ -90,15 +93,33 @@ class GA3CTrainer:
             self._backend = resolve_backend(self._platform)
         return self._backend
 
-    def _predict(self, workers: typing.Sequence[_GA3CWorker]
+    def _predict(self, workers: typing.Sequence[_GA3CWorker], lat=None
                  ) -> typing.Tuple[np.ndarray, np.ndarray]:
-        """One batched inference over the *global* model."""
+        """One batched inference over the *global* model.
+
+        ``lat``, when present, receives the request-gathering time as
+        ``batch_form`` and the forward pass as ``infer`` — the
+        batching-vs-turnaround decomposition FA3C's latency argument
+        hinges on.
+        """
+        phase_started = time.perf_counter_ns() if lat is not None else 0
         states = np.stack([w.state for w in workers]).astype(np.float32)
+        if lat is not None:
+            lat.add_ns("batch_form",
+                       time.perf_counter_ns() - phase_started)
+            phase_started = time.perf_counter_ns()
         logits, values = self.network.forward(states, self.server.params)
+        if lat is not None:
+            lat.add_ns("infer", time.perf_counter_ns() - phase_started)
         return logits, values
 
     def _finish_rollout(self, worker: _GA3CWorker, terminal: bool) -> None:
-        """Queue a finished rollout with its bootstrap value."""
+        """Queue a finished rollout with its bootstrap value.
+
+        The queue entry carries its enqueue timestamp (``perf_counter_ns``
+        when observability is on, else 0) so the trainer side can
+        attribute queue-wait latency.
+        """
         bootstrap = 0.0
         if not terminal:
             _, values = self.network.forward(worker.state[None],
@@ -106,7 +127,8 @@ class GA3CTrainer:
             bootstrap = float(values[0])
         states, actions, returns = worker.rollout.batch(
             bootstrap, self.config.gamma)
-        self._train_queue.append((states, actions, returns))
+        enqueued = time.perf_counter_ns() if _obs.enabled() else 0
+        self._train_queue.append((states, actions, returns, enqueued))
         worker.rollout = Rollout()
 
     @hot_path
@@ -114,22 +136,39 @@ class GA3CTrainer:
         """Drain queued rollouts into one combined training batch."""
         if len(self._train_queue) < self.training_batch_rollouts:
             return
-        started = time.perf_counter() if _obs.enabled() else 0.0
+        observing = _obs.enabled()
+        started = time.perf_counter() if observing else 0.0
         batches = [self._train_queue.popleft()
                    for _ in range(self.training_batch_rollouts)]
+        lat = None
+        if observing:
+            now = time.perf_counter_ns()
+            # Rollouts enqueued before obs was enabled carry stamp 0;
+            # queue wait is measured from the oldest stamped entry.
+            stamps = [b[3] for b in batches if b[3]]
+            start_ns = min(stamps) if stamps else now
+            lat = _lat.RoutineLatency("ga3c",
+                                      platform=self._lat_platform,
+                                      start_ns=start_ns)
+            if stamps:
+                lat.add_ns("queue_wait", now - start_ns)
+        phase_started = time.perf_counter_ns() if observing else 0
         states = np.concatenate([b[0] for b in batches])
         actions = np.concatenate([b[1] for b in batches])
         returns = np.concatenate([b[2] for b in batches])
+        if lat is not None:
+            lat.add_ns("batch_form",
+                       time.perf_counter_ns() - phase_started)
         # GA3C trains against the single global parameter set (the
         # source of its policy lag) through the shared update path.
         apply_rollout_update(self.network, self.server.params,
                              self.server, states, actions, returns,
-                             self.config.entropy_beta)
+                             self.config.entropy_beta, lat=lat)
         self._routines += 1
-        if _obs.enabled():
+        if observing:
             record_routine("ga3c", started, len(states),
                            lane="ga3c-trainer", span_name="train_batch",
-                           span_labels={"samples": len(states)})
+                           span_labels={"samples": len(states)}, lat=lat)
 
     def train(self, max_steps: typing.Optional[int] = None) -> TrainResult:
         """Run the predictor/trainer loop until ``max_steps``."""
@@ -139,9 +178,14 @@ class GA3CTrainer:
         start = time.perf_counter()
         while self.server.global_step < self.config.max_steps:
             # Predictor: one batched inference for every waiting agent.
+            plat = (_lat.RoutineLatency("ga3c-predict",
+                                        platform=self._lat_platform)
+                    if _obs.enabled() else None)
             with _obs.span("ga3c-predictor", "predict_batch",
                            batch=len(self.workers)):
-                logits, values = self._predict(self.workers)
+                logits, values = self._predict(self.workers, lat=plat)
+            if plat is not None:
+                plat.finish()
             for index, worker in enumerate(self.workers):
                 probs = softmax(logits[index])
                 action = int(worker.rng.choice(len(probs), p=probs))

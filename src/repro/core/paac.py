@@ -28,6 +28,7 @@ from repro.envs.base import Env
 from repro.envs.vector import SyncVectorEnv
 from repro.nn.losses import softmax
 from repro.nn.network import A3CNetwork
+from repro.obs import lat as _lat
 from repro.obs import runtime as _obs
 
 
@@ -42,6 +43,7 @@ class PAACTrainer:
         self.config = config
         self.tracker = tracker or ScoreTracker()
         self._platform = platform
+        self._lat_platform = platform if isinstance(platform, str) else None
         self._backend = None
         rng = np.random.default_rng(config.seed)
         self.network = network_factory()
@@ -66,20 +68,27 @@ class PAACTrainer:
             self._backend = resolve_backend(self._platform)
         return self._backend
 
-    def _rollout_phase(self) -> typing.Tuple[np.ndarray, np.ndarray,
-                                             np.ndarray, np.ndarray,
-                                             np.ndarray]:
+    def _rollout_phase(self, lat=None
+                       ) -> typing.Tuple[np.ndarray, np.ndarray,
+                                         np.ndarray, np.ndarray,
+                                         np.ndarray]:
         """Step all agents t_max times in lockstep.
 
         Shapes: states ``(T, N, ...)``, actions/rewards/dones ``(T, N)``,
-        final bootstrap values ``(N,)``.
+        final bootstrap values ``(N,)``.  ``lat``, when present,
+        receives every batched forward pass as ``infer``.
         """
+        timed = lat is not None
         n = self.config.num_agents
         all_states, all_actions, all_rewards, all_dones = [], [], [], []
         for _ in range(self.config.t_max):
             states = self.vector_env.observations
+            phase_started = time.perf_counter_ns() if timed else 0
             logits, _values = self.network.forward(states,
                                                    self.server.params)
+            if timed:
+                lat.add_ns("infer",
+                           time.perf_counter_ns() - phase_started)
             probs = softmax(logits)
             actions = np.array([
                 self.rngs[i].choice(probs.shape[1], p=probs[i])
@@ -93,8 +102,11 @@ class PAACTrainer:
             all_rewards.append(step.rewards)
             all_dones.append(step.dones)
             self.server.add_steps(n)
+        phase_started = time.perf_counter_ns() if timed else 0
         _, bootstrap = self.network.forward(self.vector_env.observations,
                                             self.server.params)
+        if timed:
+            lat.add_ns("infer", time.perf_counter_ns() - phase_started)
         return (np.stack(all_states), np.stack(all_actions),
                 np.stack(all_rewards), np.stack(all_dones), bootstrap)
 
@@ -118,10 +130,18 @@ class PAACTrainer:
         start = time.perf_counter()
         while self.server.global_step < self.config.max_steps:
             round_started = time.perf_counter() if _obs.enabled() else 0.0
+            lat = (_lat.RoutineLatency("paac",
+                                       platform=self._lat_platform)
+                   if _obs.enabled() else None)
             with _obs.span("paac", "rollout_phase"):
                 states, actions, rewards, dones, bootstrap = \
-                    self._rollout_phase()
+                    self._rollout_phase(lat=lat)
+            phase_started = (time.perf_counter_ns()
+                             if lat is not None else 0)
             returns = self._returns(rewards, dones, bootstrap)
+            if lat is not None:
+                lat.add_ns("batch_form",
+                           time.perf_counter_ns() - phase_started)
             # One synchronous update over the combined (T*N) batch,
             # through the shared rollout-to-update path.
             with _obs.span("paac", "update"):
@@ -129,13 +149,15 @@ class PAACTrainer:
                 apply_rollout_update(
                     self.network, self.server.params, self.server,
                     flat_states, actions.reshape(-1).astype(np.int64),
-                    returns.reshape(-1), self.config.entropy_beta)
+                    returns.reshape(-1), self.config.entropy_beta,
+                    lat=lat)
             self._routines += 1
             if _obs.enabled():
                 # Rollout/update tracer spans are recorded above; the
                 # per-routine span is skipped (lane=None).
                 record_routine("paac", round_started,
-                               self.config.t_max * self.config.num_agents)
+                               self.config.t_max * self.config.num_agents,
+                               lat=lat)
         elapsed = time.perf_counter() - start
         return TrainResult(global_steps=self.server.global_step,
                            routines=self._routines,

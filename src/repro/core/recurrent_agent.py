@@ -11,6 +11,7 @@ bookkeeping the LSTM variant needs:
 
 from __future__ import annotations
 
+import time
 import typing
 
 import numpy as np
@@ -45,17 +46,31 @@ class RecurrentA3CAgent:
         self._episode_score = 0.0
         self.episodes_finished = 0
 
-    def run_routine(self) -> RoutineStats:
-        """One sync / rollout / BPTT-train routine."""
+    def run_routine(self, lat=None) -> RoutineStats:
+        """One sync / rollout / BPTT-train routine.
+
+        ``lat`` is an optional :class:`repro.obs.lat.RoutineLatency`,
+        fed the same segment decomposition as the feed-forward agent.
+        """
+        timed = lat is not None
+        phase_started = time.perf_counter_ns() if timed else 0
         self.server.snapshot_into(self.local_params)
+        if timed:
+            lat.add_ns("param_sync",
+                       time.perf_counter_ns() - phase_started)
         self.rollout.clear()
         rollout_carry = self._carry.copy()   # BPTT starting point
         scores: typing.List[float] = []
 
         terminal = False
         for _ in range(self.config.t_max):
+            if timed:
+                phase_started = time.perf_counter_ns()
             logits, values, self._carry = self.network.forward_step(
                 self._state[None], self.local_params, self._carry)
+            if timed:
+                lat.add_ns("infer",
+                           time.perf_counter_ns() - phase_started)
             probs = softmax(logits[0])
             action = int(self.rng.choice(len(probs), p=probs))
             obs, reward, done, info = self.env.step(action)
@@ -79,13 +94,24 @@ class RecurrentA3CAgent:
         bootstrap_inferences = 0
         bootstrap_value = 0.0
         if not terminal:
+            if timed:
+                phase_started = time.perf_counter_ns()
             _, values, _ = self.network.forward_step(
                 self._state[None], self.local_params, self._carry)
+            if timed:
+                lat.add_ns("infer",
+                           time.perf_counter_ns() - phase_started)
             bootstrap_value = float(values[0])
             bootstrap_inferences = 1
 
+        if timed:
+            phase_started = time.perf_counter_ns()
         states, actions, returns = self.rollout.batch(
             bootstrap_value, self.config.gamma)
+        if timed:
+            lat.add_ns("batch_form",
+                       time.perf_counter_ns() - phase_started)
+            phase_started = time.perf_counter_ns()
         logits, values, _ = self.network.forward_rollout(
             states, self.local_params, rollout_carry)
         loss = a3c_loss_and_head_gradients(
@@ -94,6 +120,9 @@ class RecurrentA3CAgent:
         grads = self.network.backward_and_grads(
             loss.dlogits, loss.dvalues, self.local_params)
         self.server.apply_gradients(grads)
+        if timed:
+            lat.add_ns("train",
+                       time.perf_counter_ns() - phase_started)
 
         return RoutineStats(steps=steps,
                             bootstrap_inferences=bootstrap_inferences,

@@ -24,6 +24,7 @@ are provided:
 from __future__ import annotations
 
 import dataclasses
+import os
 import queue as queue_module
 import threading
 import time
@@ -44,6 +45,7 @@ from repro.core.parameter_server import ParameterServer
 from repro.envs.base import Env
 from repro.nn.network import A3CNetwork
 from repro.nn.parameters import ParameterSet
+from repro.obs import lat as _lat
 from repro.obs import runtime as _obs
 from repro.perf.hotpath import hot_path
 
@@ -91,6 +93,7 @@ class A3CTrainer:
         self.agent_class = agent_class
         self.tracker = tracker or ScoreTracker()
         self._platform = platform
+        self._lat_platform = platform if isinstance(platform, str) else None
         self._backend = None
         rng = np.random.default_rng(config.seed)
         template = network_factory()
@@ -146,20 +149,23 @@ class A3CTrainer:
         while not stop.is_set() and \
                 self.server.global_step < self.config.max_steps:
             started = time.perf_counter() if _obs.enabled() else 0.0
-            stats = agent.run_routine()
+            lat = (_lat.RoutineLatency("a3c",
+                                       platform=self._lat_platform)
+                   if _obs.enabled() else None)
+            stats = agent.run_routine(lat=lat)
             if _obs.enabled():
                 self._record_routine(f"agent-{agent.agent_id}",
-                                     started, stats.steps)
+                                     started, stats.steps, lat=lat)
             with self._routines_lock:
                 self._routines += 1
             for score in stats.episode_scores:
                 self.tracker.record(self.server.global_step, score)
 
     def _record_routine(self, lane: str, started: float,
-                        steps: int) -> None:
+                        steps: int, lat=None) -> None:
         """One finished routine into the metrics/trace sinks."""
         record_routine("a3c", started, steps, lane=lane,
-                       span_labels={"steps": steps})
+                       span_labels={"steps": steps}, lat=lat)
 
     def train(self, max_steps: typing.Optional[int] = None,
               threads: bool = True,
@@ -250,10 +256,13 @@ class A3CTrainer:
                 if self.server.global_step >= self.config.max_steps:
                     break
                 started = time.perf_counter() if _obs.enabled() else 0.0
-                stats = agent.run_routine()
+                lat = (_lat.RoutineLatency("a3c",
+                                           platform=self._lat_platform)
+                       if _obs.enabled() else None)
+                stats = agent.run_routine(lat=lat)
                 if _obs.enabled():
                     self._record_routine(f"agent-{agent.agent_id}",
-                                         started, stats.steps)
+                                         started, stats.steps, lat=lat)
                 self._routines += 1
                 for score in stats.episode_scores:
                     self.tracker.record(self.server.global_step, score)
@@ -337,8 +346,13 @@ class A3CTrainer:
             # boundary, attributable via the worker label.
             rows = report.get("metrics")
             if rows and _obs.enabled():
+                # Priority (generation, pid) makes gauge folding
+                # deterministic under worker queue-arrival order.
                 _obs.metrics().absorb_rows(
-                    rows, worker=f"worker-{report['worker']}")
+                    rows,
+                    priority=(float(report.get("generation", 0) or 0),
+                              float(report.get("pid", 0) or 0)),
+                    worker=f"worker-{report['worker']}")
         # Fold the shared state back into the in-process server.
         store.read_params_into(self.server.params)
         if statistics is not None:
@@ -380,10 +394,13 @@ class A3CTrainer:
                 if server.global_step >= self.config.max_steps:
                     break
                 started = time.perf_counter() if _obs.enabled() else 0.0
-                stats = agent.run_routine()
+                lat = (_lat.RoutineLatency("a3c",
+                                           platform=self._lat_platform)
+                       if _obs.enabled() else None)
+                stats = agent.run_routine(lat=lat)
                 if _obs.enabled():
                     self._record_routine(f"agent-{agent.agent_id}",
-                                         started, stats.steps)
+                                         started, stats.steps, lat=lat)
                 routines += 1
                 for score in stats.episode_scores:
                     scores.append((server.global_step, score))
@@ -396,6 +413,8 @@ class A3CTrainer:
         results.put({"worker": worker_id,
                      "routines": routines,
                      "scores": scores,
+                     "pid": os.getpid(),
+                     "generation": shard.seq if shard is not None else 0,
                      "metrics": (_obs.metrics().snapshot()
                                  if _obs.enabled() else None),
                      "episodes": {agent.agent_id: agent.episodes_finished

@@ -10,8 +10,11 @@ rule.  It provides:
 * obs-gate analysis: which nodes execute only when ``obs.enabled()`` (or
   a local alias of it) is true — covering ``if _obs.enabled():`` blocks,
   ``x if _obs.enabled() else y`` ternaries, ``observing =
-  _obs.enabled()`` aliases, and the early-return guard
-  ``if not _obs.enabled(): ...; return``,
+  _obs.enabled()`` aliases, the early-return guard
+  ``if not _obs.enabled(): ...; return``, and latency-recorder
+  sentinels (``lat = _lat.RoutineLatency(...) if _obs.enabled() else
+  None`` followed by ``if lat is not None:`` / ``timed = lat is not
+  None``),
 * the set of hot-path functions (``@hot_path`` decorator or configured
   dotted names).
 """
@@ -93,6 +96,8 @@ class FileContext:
         self.obs_direct: typing.Set[str] = set()   # from repro.obs import X
         self.runlog_aliases: typing.Set[str] = set()
         self.runlog_direct: typing.Set[str] = set()
+        self.lat_aliases: typing.Set[str] = set()
+        self.lat_direct: typing.Set[str] = set()   # from repro.obs.lat import X
         self.numpy_aliases: typing.Set[str] = set()
         self.random_aliases: typing.Set[str] = set()
         self.time_aliases: typing.Set[str] = set()
@@ -141,6 +146,8 @@ class FileContext:
                 self.datetime_aliases.add(bound)
             elif alias.name == "repro.obs.runlog":
                 self.runlog_aliases.add(alias.asname or alias.name)
+            elif alias.name == "repro.obs.lat":
+                self.lat_aliases.add(alias.asname or alias.name)
             elif alias.name in ("repro.obs", "repro.obs.runtime"):
                 self.obs_aliases.add(alias.asname or alias.name)
 
@@ -154,8 +161,12 @@ class FileContext:
                 self.obs_aliases.add(bound)
             elif module == "repro.obs" and alias.name == "runlog":
                 self.runlog_aliases.add(bound)
+            elif module == "repro.obs" and alias.name == "lat":
+                self.lat_aliases.add(bound)
             elif module == "repro.obs.runlog":
                 self.runlog_direct.add(bound)
+            elif module == "repro.obs.lat":
+                self.lat_direct.add(bound)
             elif module in ("repro.obs", "repro.obs.runtime"):
                 self.obs_direct.add(bound)
             elif module == "datetime" and alias.name == "datetime":
@@ -245,6 +256,20 @@ class FileContext:
             return name
         return None
 
+    def is_lat_call(self, node: ast.Call) -> typing.Optional[str]:
+        """If this call is rooted at :mod:`repro.obs.lat`, its dotted
+        form (module alias chains and names imported from the module)."""
+        name = dotted(node.func)
+        if name is None:
+            return None
+        for alias in self.lat_aliases:
+            if name == alias or name.startswith(alias + "."):
+                return name
+        root = name.split(".")[0]
+        if root in self.lat_direct:
+            return name
+        return None
+
     def _is_gate_call(self, node: ast.AST) -> bool:
         if not isinstance(node, ast.Call):
             return False
@@ -254,15 +279,33 @@ class FileContext:
         return root in self.obs_aliases or "enabled" in self.obs_direct \
             or root == "enabled"
 
-    def _gate_test_kind(self, test: ast.AST,
-                        aliases: typing.Set[str]) -> typing.Optional[str]:
-        """``"pos"`` if the test is true only while obs is enabled."""
+    def _gate_test_kind(self, test: ast.AST, aliases: typing.Set[str],
+                        recorders: typing.FrozenSet[str] = frozenset()
+                        ) -> typing.Optional[str]:
+        """``"pos"`` if the test is true only while obs is enabled.
+
+        ``recorders`` are latency-recorder sentinels (``lat`` in
+        ``lat = ... if _obs.enabled() else None``): their truthiness
+        and ``is not None`` / ``is None`` comparisons gate like
+        ``enabled()`` itself.
+        """
         if self._is_gate_call(test):
             return "pos"
-        if isinstance(test, ast.Name) and test.id in aliases:
+        if isinstance(test, ast.Name) and \
+                (test.id in aliases or test.id in recorders):
             return "pos"
+        if isinstance(test, ast.Compare) and \
+                isinstance(test.left, ast.Name) and \
+                test.left.id in recorders and len(test.ops) == 1 and \
+                isinstance(test.comparators[0], ast.Constant) and \
+                test.comparators[0].value is None:
+            if isinstance(test.ops[0], ast.IsNot):
+                return "pos"
+            if isinstance(test.ops[0], ast.Is):
+                return "neg"
+            return None
         if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
-            inner = self._gate_test_kind(test.operand, aliases)
+            inner = self._gate_test_kind(test.operand, aliases, recorders)
             if inner == "pos":
                 return "neg"
             if inner == "neg":
@@ -270,7 +313,8 @@ class FileContext:
             return None
         if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
             for value in test.values:
-                if self._gate_test_kind(value, aliases) == "pos":
+                if self._gate_test_kind(value, aliases,
+                                        recorders) == "pos":
                     return "pos"
         return None
 
@@ -285,12 +329,47 @@ class FileContext:
                         aliases.add(target.id)
         return aliases
 
+    def _recorder_aliases(self, func: FunctionNode,
+                          aliases: typing.Set[str]
+                          ) -> typing.FrozenSet[str]:
+        """Names bound to a latency recorder (or None while disabled).
+
+        Covers ``lat = _lat.RoutineLatency(...)`` and the gated ternary
+        ``lat = _lat.RoutineLatency(...) if _obs.enabled() else None``;
+        such names become gate sentinels — see :meth:`_gate_test_kind`.
+        """
+        recorders: typing.Set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if isinstance(value, ast.IfExp) and \
+                    self._gate_test_kind(value.test, aliases) == "pos" \
+                    and isinstance(value.orelse, ast.Constant) \
+                    and value.orelse.value is None:
+                value = value.body
+            if isinstance(value, ast.Call) and \
+                    self.is_lat_call(value) is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        recorders.add(target.id)
+        # `timed = lat is not None` makes `timed` a plain gate alias.
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and \
+                    self._gate_test_kind(node.value, aliases,
+                                         frozenset(recorders)) == "pos":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        return frozenset(recorders)
+
     def gated_nodes(self, func: FunctionNode) -> typing.Set[int]:
         """ids of nodes in ``func`` that only run while obs is enabled."""
         cached = self._gate_cache.get(id(func))
         if cached is not None:
             return cached
         aliases = self._gate_aliases(func)
+        recorders = self._recorder_aliases(func, aliases)
         gated: typing.Set[int] = set()
 
         def mark(node: ast.AST) -> None:
@@ -305,7 +384,8 @@ class FileContext:
                     mark(stmt)
                     continue
                 if isinstance(stmt, ast.If):
-                    kind = self._gate_test_kind(stmt.test, aliases)
+                    kind = self._gate_test_kind(stmt.test, aliases,
+                                                recorders)
                     if kind == "pos":
                         for body_stmt in stmt.body:
                             mark(body_stmt)
@@ -339,7 +419,8 @@ class FileContext:
         # Ternaries: `x if _obs.enabled() else y` gates the body branch.
         for node in ast.walk(func):
             if isinstance(node, ast.IfExp):
-                kind = self._gate_test_kind(node.test, aliases)
+                kind = self._gate_test_kind(node.test, aliases,
+                                            recorders)
                 if kind == "pos":
                     mark(node.body)
                 elif kind == "neg":

@@ -34,6 +34,12 @@ local ``observing = _obs.enabled()`` alias, or the early-return guard
   whose name mentions ``shard`` or ``runlog``.  Shard flushes serialise
   a full registry snapshot to disk — strictly gated territory.  The
   name heuristic keeps unrelated ``stream.flush()`` calls out of scope.
+* **latency recorders** — anything rooted at :mod:`repro.obs.lat`,
+  and ``add_ns`` / ``finish`` calls (the ``latency-methods`` option)
+  on objects whose name mentions ``lat``.  The sanctioned idiom is the
+  sentinel: ``lat = _lat.RoutineLatency(...) if _obs.enabled() else
+  None`` then ``if lat is not None: lat.add_ns(...)`` — the gate
+  analysis treats the ``is not None`` check as REPRO_OBS-gated.
 """
 
 from __future__ import annotations
@@ -56,6 +62,10 @@ _WALLCLOCK = {"time", "time_ns", "monotonic", "monotonic_ns",
 _COMPREHENSIONS = (ast.ListComp, ast.DictComp, ast.SetComp,
                    ast.GeneratorExp)
 _RUNLOG_DEFAULT_METHODS = ("flush", "heartbeat", "maybe_heartbeat")
+# "measure" is deliberately absent: the receiver-mentions-"lat"
+# heuristic would catch `platform.measure(...)` ("platform" contains
+# "lat"), which is a throughput run, not a latency recorder.
+_LATENCY_DEFAULT_METHODS = ("add_ns", "finish")
 
 
 @register
@@ -70,6 +80,8 @@ class HotPathRule(Rule):
         super().__init__(options)
         self._shard_methods = set(self.list_option(
             "runlog-methods", _RUNLOG_DEFAULT_METHODS))
+        self._latency_methods = set(self.list_option(
+            "latency-methods", _LATENCY_DEFAULT_METHODS))
 
     def check(self, ctx: astutil.FileContext):
         for func in ctx.hot_function_nodes:
@@ -103,6 +115,17 @@ class HotPathRule(Rule):
                     func: astutil.FunctionNode, label: str,
                     node: ast.Call, loops: typing.Set[int]):
         gated = ctx.is_gated(func, node)
+        lat_call = self._latency_call_name(ctx, node)
+        if lat_call is not None:
+            if not gated:
+                yield ctx.finding(
+                    self, node,
+                    f"latency-recorder call `{lat_call}(...)` in hot "
+                    f"path {label}() is not behind the REPRO_OBS gate; "
+                    "use the sentinel idiom `lat = ... if "
+                    "_obs.enabled() else None` and `if lat is not "
+                    "None:`")
+            return
         shard_call = self._runlog_call_name(ctx, node)
         if shard_call is not None:
             if not gated:
@@ -181,6 +204,29 @@ class HotPathRule(Rule):
                 self, node,
                 f".{node.func.attr}() allocates per iteration inside a "
                 f"loop of hot path {label}(); hoist it out of the loop")
+
+    def _latency_call_name(self, ctx: astutil.FileContext,
+                           node: ast.Call) -> typing.Optional[str]:
+        """The dotted name of a latency-recorder call, or ``None``.
+
+        Module-rooted :mod:`repro.obs.lat` calls are always in scope;
+        method calls match only when the method is a configured latency
+        method *and* the dotted receiver mentions ``lat`` — so an
+        unrelated ``writer.finish()`` never trips the rule.
+        """
+        name = ctx.is_lat_call(node)
+        if name is not None:
+            return name
+        if not isinstance(node.func, ast.Attribute) \
+                or node.func.attr not in self._latency_methods:
+            return None
+        name = astutil.dotted(node.func)
+        if name is None:
+            return None
+        receiver = name.rsplit(".", 1)[0].lower()
+        if "lat" in receiver:
+            return name
+        return None
 
     def _runlog_call_name(self, ctx: astutil.FileContext,
                           node: ast.Call) -> typing.Optional[str]:

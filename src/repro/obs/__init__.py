@@ -20,6 +20,10 @@ measures.  It provides:
   shards, shard merging with ``worker`` labels, and the worker-health
   monitor (:mod:`repro.obs.runlog`, :mod:`repro.obs.health` — loaded
   lazily);
+* per-routine latency decomposition (``queue_wait`` / ``batch_form`` /
+  ``infer`` / ``train`` / ``param_sync``) with a sum-to-total invariant
+  and a critical-path extractor over recorded spans
+  (:mod:`repro.obs.lat` — loaded lazily);
 * cycle-attribution profiling, folded-stack export and the perf-baseline
   gate (:mod:`repro.obs.prof` — loaded lazily, because the platform
   models it analyses themselves import this package).
@@ -67,6 +71,7 @@ __all__ = [
     "enabled",
     "enabled_scope",
     "health",
+    "lat",
     "load_chrome_trace",
     "load_jsonl",
     "metrics",
@@ -81,7 +86,7 @@ __all__ = [
     "write_chrome_trace",
 ]
 
-_LAZY_SUBMODULES = ("prof", "runlog", "health")
+_LAZY_SUBMODULES = ("prof", "runlog", "health", "lat")
 
 
 def __getattr__(name):

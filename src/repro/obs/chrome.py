@@ -33,11 +33,19 @@ _PROCESS_NAMES = {PID_SIM: "sim-time", PID_WALL: "wall-clock"}
 
 
 def _span_pid(span: ObsSpan) -> int:
-    """Trace process id for a span: clock pseudo-pid, or the worker pid."""
+    """Trace process id for a span: clock pseudo-pid, or the worker pid.
+
+    The remap must be injective: a worker whose real OS pid happens to
+    equal an already-remapped value (``WORKER_PID_BASE + 1``/``+ 2``)
+    must not merge into the Perfetto group of the worker remapped onto
+    it, so every real pid at or above the base shifts by the base too —
+    low pids land in ``[BASE+1, BASE+2]``, high pids in ``[2*BASE, …)``,
+    and untouched pids stay below the base.
+    """
     if span.pid is None:
         return _PIDS.get(span.clock, PID_SIM)
     pid = int(span.pid)
-    if pid in _PROCESS_NAMES:
+    if pid in _PROCESS_NAMES or pid >= WORKER_PID_BASE:
         return WORKER_PID_BASE + pid
     return pid
 

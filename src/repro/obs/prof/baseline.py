@@ -45,6 +45,17 @@ WALLCLOCK_VERSION = 1
 #: stays strict.
 DEFAULT_WALLCLOCK_RTOL = 0.5
 
+#: The committed per-scenario latency-distribution snapshot.
+DEFAULT_LATENCY_BASELINE = "BENCH_latency.json"
+LATENCY_VERSION = 1
+
+#: The p99 gate is informational (like the wall-clock gate): sim-time
+#: latencies are deterministic, but HDR quantisation means a one-bucket
+#: shift can move a percentile by ~12 %, so the tolerance is wider than
+#: the IPS gate's.  Exact distribution changes still show up in the
+#: committed ``hdr`` counts, which diff bit-for-bit.
+DEFAULT_LATENCY_RTOL = 0.25
+
 
 class Scenario(typing.NamedTuple):
     """One benchmarked configuration: a backend under a fixed load."""
@@ -207,6 +218,117 @@ def check_wallclock(baseline: typing.Mapping[str, object],
                 f"{name}: routines/s regressed {base_rps:.1f} -> "
                 f"{cur_rps:.1f} ({100.0 * (cur_rps / base_rps - 1.0):+.1f}%"
                 f", tolerance -{100.0 * rtol:.0f}%)")
+    return failures
+
+
+def run_latency_scenario(name: str) -> typing.Dict[str, object]:
+    """One scenario's modelled inference-latency distribution.
+
+    Folds the deterministic sim-time per-request latencies
+    (:attr:`repro.platforms.throughput.ThroughputResult
+    .inference_latencies`) through the HDR bucketing, so the committed
+    entry carries exact bucket counts alongside rounded microsecond
+    percentiles — the queueing-vs-turnaround story FA3C's Figure 5
+    argument rests on, per backend.
+    """
+    try:
+        scenario = _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: "
+            f"{', '.join(scenario_names())}") from None
+    from repro.obs.registry import hdr_bucket_index, hdr_percentile
+    from repro.platforms import ThroughputSetup
+    setup = ThroughputSetup(scenario.build())
+    result = setup.measure(scenario.num_agents, t_max=scenario.t_max,
+                           routines_per_agent=scenario.routines)
+    latencies = result.inference_latencies
+    buckets: typing.Dict[int, int] = {}
+    for value in latencies:
+        index = hdr_bucket_index(value)
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def us(q: float) -> float:
+        return round(hdr_percentile(buckets, q) * 1e6, 3)
+
+    return {
+        "requests": len(latencies),
+        "p50_us": us(50.0) if latencies else None,
+        "p90_us": us(90.0) if latencies else None,
+        "p99_us": us(99.0) if latencies else None,
+        "p999_us": us(99.9) if latencies else None,
+        "max_us": (round(max(latencies) * 1e6, 3)
+                   if latencies else None),
+        "hdr": {str(index): buckets[index]
+                for index in sorted(buckets)},
+    }
+
+
+def collect_latency(names: typing.Optional[
+                        typing.Sequence[str]] = None,
+                    rtol: float = DEFAULT_LATENCY_RTOL
+                    ) -> typing.Dict[str, object]:
+    """Run the latency matrix and assemble a snapshot document."""
+    scenarios = {}
+    for name in names or scenario_names():
+        scenarios[name] = run_latency_scenario(name)
+    return {
+        "version": LATENCY_VERSION,
+        "tolerances": {"latency_rtol": rtol},
+        "scenarios": scenarios,
+    }
+
+
+def load_latency(path) -> typing.Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    version = snapshot.get("version")
+    if version != LATENCY_VERSION:
+        raise ValueError(f"unsupported latency baseline version "
+                         f"{version!r} in {path}")
+    return snapshot
+
+
+def check_latency(baseline: typing.Mapping[str, object],
+                  current: typing.Mapping[str, object],
+                  rtol: typing.Optional[float] = None
+                  ) -> typing.List[str]:
+    """Informational p99 comparison; returns failure messages.
+
+    Fails on tail-latency growth beyond ``rtol`` (lower latency
+    passes), on a request-count mismatch (the workload itself changed),
+    and on missing scenarios.
+    """
+    if rtol is None:
+        tolerances = baseline.get("tolerances") or {}
+        rtol = float(tolerances.get("latency_rtol",
+                                    DEFAULT_LATENCY_RTOL))
+    failures = []
+    base_scenarios = baseline.get("scenarios") or {}
+    cur_scenarios = current.get("scenarios") or {}
+    for name in sorted(base_scenarios):
+        base = base_scenarios[name]
+        cur = cur_scenarios.get(name)
+        if cur is None:
+            failures.append(f"{name}: scenario missing from current run")
+            continue
+        base_requests = int(base.get("requests", 0) or 0)
+        cur_requests = int(cur.get("requests", 0) or 0)
+        if base_requests != cur_requests:
+            failures.append(
+                f"{name}: request count changed {base_requests} -> "
+                f"{cur_requests} (workload drift)")
+        base_p99 = base.get("p99_us")
+        cur_p99 = cur.get("p99_us")
+        if base_p99 is None or cur_p99 is None:
+            continue
+        ceiling = float(base_p99) * (1.0 + rtol)
+        if float(cur_p99) > ceiling:
+            failures.append(
+                f"{name}: p99 latency grew {float(base_p99):.1f}us -> "
+                f"{float(cur_p99):.1f}us "
+                f"({100.0 * (float(cur_p99) / float(base_p99) - 1.0):+.1f}%"
+                f", tolerance +{100.0 * rtol:.0f}%)")
     return failures
 
 

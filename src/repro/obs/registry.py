@@ -21,6 +21,70 @@ LabelKey = typing.Tuple[typing.Tuple[str, str], ...]
 #: count / sum / min / max stay exact over the full stream).
 HISTOGRAM_WINDOW = 8192
 
+#: HDR bucket geometry: each power of two above :data:`HDR_MIN` is split
+#: into this many linear sub-buckets, so the worst-case relative error
+#: of a bucket-derived percentile is ~1/(2*HDR_SUBBUCKETS) ≈ 6%.
+HDR_SUBBUCKETS = 8
+#: Values at or below this land in bucket 0 (1 ns when observations are
+#: seconds — far below anything the trainers measure).
+HDR_MIN = 1e-9
+
+
+def hdr_bucket_index(value: float) -> int:
+    """Deterministic log-spaced bucket index for a value.
+
+    The mapping is pure IEEE-754 arithmetic (``math.frexp``), so every
+    process assigns every observation to the same bucket — which is what
+    makes cross-process folds exact: merging bucket *counts* loses
+    nothing that a single-process run would have kept.
+    """
+    scaled = value / HDR_MIN
+    if scaled <= 1.0:
+        return 0
+    mantissa, exponent = math.frexp(scaled)
+    return (exponent - 1) * HDR_SUBBUCKETS + int(
+        (mantissa - 0.5) * 2.0 * HDR_SUBBUCKETS)
+
+
+def hdr_bucket_bounds(index: int) -> typing.Tuple[float, float]:
+    """The ``[lo, hi)`` value range of one bucket."""
+    octave, sub = divmod(int(index), HDR_SUBBUCKETS)
+    base = HDR_MIN * (2.0 ** octave)
+    return (base * (1.0 + sub / HDR_SUBBUCKETS),
+            base * (1.0 + (sub + 1) / HDR_SUBBUCKETS))
+
+
+def hdr_percentile(buckets: typing.Mapping[object, object],
+                   q: float) -> float:
+    """Percentile from folded bucket counts (bucket-midpoint estimate).
+
+    ``buckets`` maps bucket index (int, or str after a JSON round trip)
+    to observation count.  Quantised to the bucket resolution but
+    deterministic and mergeable — unlike window percentiles, the answer
+    is identical whether the counts came from one process or were
+    folded from many shards.
+    """
+    counts = []
+    total = 0
+    for index, count in buckets.items():
+        count = int(typing.cast(int, count))
+        if count > 0:
+            counts.append((int(typing.cast(int, index)), count))
+            total += count
+    if not total:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100]: {q}")
+    counts.sort()
+    rank = max(1, math.ceil((q / 100.0) * total))
+    seen = 0
+    for index, count in counts:
+        seen += count
+        if seen >= rank:
+            break
+    lo, hi = hdr_bucket_bounds(index)
+    return (lo + hi) / 2.0
+
 
 def _label_key(labels: typing.Mapping[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -123,15 +187,40 @@ class Counter(_Metric):
 
 
 class Gauge(_Metric):
-    """A last-write-wins value per label combination."""
+    """A last-write-wins value per label combination.
+
+    Merges (:meth:`set_merged`) are deterministic instead: the value
+    with the highest ``priority`` tuple wins regardless of arrival
+    order, so folding worker snapshots from a queue yields the same
+    gauge no matter which worker's report lands first.
+    """
 
     kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._priorities: typing.Dict[
+            LabelKey, typing.Tuple[float, ...]] = {}
 
     def _new_sample(self) -> float:
         return 0.0
 
     def set(self, value: float, **labels: str) -> None:
-        self._samples[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        self._samples[key] = float(value)
+        # A live set supersedes merged history: last-write-wins resumes.
+        self._priorities.pop(key, None)
+
+    def set_merged(self, value: float,
+                   priority: typing.Tuple[float, ...],
+                   **labels: str) -> None:
+        """Set only if ``priority`` is >= the last merged priority."""
+        key = _label_key(labels)
+        recorded = self._priorities.get(key)
+        if recorded is not None and priority < recorded:
+            return
+        self._samples[key] = float(value)
+        self._priorities[key] = priority
 
     def add(self, delta: float, **labels: str) -> None:
         key = _label_key(labels)
@@ -140,14 +229,23 @@ class Gauge(_Metric):
     def value(self, **labels: str) -> float:
         return self._samples.get(_label_key(labels), 0.0)
 
+    def clear(self) -> None:
+        super().clear()
+        self._priorities.clear()
+
     def _sample_fields(self, sample: float) -> typing.Dict[str, object]:
         return {"value": sample}
 
 
 class _HistogramSample:
-    """Running count/sum/min/max plus a sliding window for percentiles."""
+    """Running count/sum/min/max, a sliding window, and HDR buckets.
 
-    __slots__ = ("count", "sum", "min", "max", "window")
+    The window gives high-resolution local percentiles; the sparse HDR
+    bucket counts survive :meth:`merge`, so percentiles stay available
+    (at bucket resolution) after a cross-process fold.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "window", "buckets")
 
     def __init__(self):
         self.count = 0
@@ -155,6 +253,7 @@ class _HistogramSample:
         self.min = math.inf
         self.max = -math.inf
         self.window: typing.List[float] = []
+        self.buckets: typing.Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -163,20 +262,26 @@ class _HistogramSample:
             self.min = value
         if value > self.max:
             self.max = value
+        index = hdr_bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
         self.window.append(value)
         if len(self.window) > HISTOGRAM_WINDOW:
             del self.window[: len(self.window) - HISTOGRAM_WINDOW]
 
     def merge(self, count: int, sum_: float,
               min_: typing.Optional[float],
-              max_: typing.Optional[float]) -> None:
-        """Fold another sample's exact moments in.
+              max_: typing.Optional[float],
+              buckets: typing.Optional[
+                  typing.Mapping[object, object]] = None) -> None:
+        """Fold another sample's exact moments and bucket counts in.
 
         Used when absorbing a snapshot from another process (see
         :meth:`MetricsRegistry.absorb_rows`): ``count``/``sum``/``min``/
-        ``max`` stay exact, but the individual observations are not
-        known, so the percentile window describes only locally observed
-        values.
+        ``max`` stay exact, and ``buckets`` (an ``hdr`` snapshot field)
+        folds elementwise, so merged percentiles are identical to a
+        single-process run at bucket resolution.  The individual
+        observations are not known, so the high-resolution window
+        describes only locally observed values.
         """
         self.count += int(count)
         self.sum += float(sum_)
@@ -184,10 +289,19 @@ class _HistogramSample:
             self.min = float(min_)
         if max_ is not None and float(max_) > self.max:
             self.max = float(max_)
+        if buckets:
+            for index, bucket_count in buckets.items():
+                index = int(typing.cast(int, index))
+                self.buckets[index] = (self.buckets.get(index, 0)
+                                       + int(typing.cast(int, bucket_count)))
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile over the retained window."""
+        """Window percentile (linear-interpolated) when local
+        observations exist, else the HDR bucket estimate for merged-in
+        samples, else NaN."""
         if not self.window:
+            if self.buckets:
+                return hdr_percentile(self.buckets, q)
             return float("nan")
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100]: {q}")
@@ -239,28 +353,43 @@ class Histogram(_Metric):
         """Merge a snapshot row's moments into this histogram.
 
         ``fields`` is a dict shaped like one :meth:`rows` entry
-        (``count`` / ``sum`` / ``min`` / ``max``).  Percentiles are not
-        reconstructable from moments, so absorbed observations do not
-        enter the percentile window.
+        (``count`` / ``sum`` / ``min`` / ``max`` / ``hdr``).  The
+        ``hdr`` bucket counts fold elementwise, so percentiles survive
+        the merge exactly at bucket resolution; absorbed observations do
+        not enter the high-resolution local window.
         """
         self._sample(labels).merge(
             int(fields.get("count", 0) or 0),
             float(fields.get("sum", 0.0) or 0.0),
             typing.cast(typing.Optional[float], fields.get("min")),
-            typing.cast(typing.Optional[float], fields.get("max")))
+            typing.cast(typing.Optional[float], fields.get("max")),
+            typing.cast(typing.Optional[typing.Mapping[object, object]],
+                        fields.get("hdr")))
+
+    @staticmethod
+    def _percentile_field(sample: _HistogramSample, q: float
+                          ) -> typing.Optional[float]:
+        if sample.window or sample.buckets:
+            return sample.percentile(q)
+        return None
 
     def _sample_fields(self, sample: _HistogramSample
                        ) -> typing.Dict[str, object]:
-        return {
+        fields: typing.Dict[str, object] = {
             "count": sample.count,
             "sum": sample.sum,
             "min": sample.min if sample.count else None,
             "max": sample.max if sample.count else None,
             "mean": sample.mean if sample.count else None,
-            "p50": sample.percentile(50.0) if sample.window else None,
-            "p90": sample.percentile(90.0) if sample.window else None,
-            "p99": sample.percentile(99.0) if sample.window else None,
+            "p50": self._percentile_field(sample, 50.0),
+            "p90": self._percentile_field(sample, 90.0),
+            "p99": self._percentile_field(sample, 99.0),
+            "p999": self._percentile_field(sample, 99.9),
         }
+        if sample.buckets:
+            fields["hdr"] = {str(index): sample.buckets[index]
+                             for index in sorted(sample.buckets)}
+        return fields
 
 
 class MetricsRegistry:
@@ -300,17 +429,24 @@ class MetricsRegistry:
             metric.clear()
 
     def absorb_rows(self, rows: typing.Iterable[
-            typing.Mapping[str, object]], **extra_labels: str) -> int:
+            typing.Mapping[str, object]],
+            priority: typing.Optional[typing.Tuple[float, ...]] = None,
+            **extra_labels: str) -> int:
         """Merge snapshot rows from another registry into this one.
 
         The cross-process merge API: a worker process snapshots its
         registry (:meth:`snapshot`), ships the rows over a queue or a
         run-log shard, and the parent folds them in here — counters sum,
-        gauges take the shipped value, histograms fold exact moments
-        (:meth:`Histogram.absorb`).  ``extra_labels`` (typically
-        ``worker="worker-0"``) are added to every absorbed sample so
-        merged metrics stay attributable per process.  Returns the
-        number of rows absorbed.
+        histograms fold exact moments plus HDR bucket counts
+        (:meth:`Histogram.absorb`), and gauges resolve deterministically
+        by ``priority``: the caller passes a per-source tuple (by
+        convention ``(generation, pid)``), or rows carrying ``gen`` /
+        ``pid`` fields supply their own, so the same gauge wins no
+        matter which worker's report arrives first.  Without either,
+        gauges fall back to last-write-wins.  ``extra_labels``
+        (typically ``worker="worker-0"``) are added to every absorbed
+        sample so merged metrics stay attributable per process.
+        Returns the number of rows absorbed.
         """
         count = 0
         for row in rows:
@@ -326,9 +462,19 @@ class MetricsRegistry:
                     typing.cast(float, row.get("value", 0.0)) or 0.0),
                     **labels)
             elif kind == "gauge":
-                self.gauge(name).set(float(
-                    typing.cast(float, row.get("value", 0.0)) or 0.0),
-                    **labels)
+                value = float(
+                    typing.cast(float, row.get("value", 0.0)) or 0.0)
+                row_priority = priority
+                if row_priority is None and (
+                        "gen" in row or "pid" in row):
+                    row_priority = (
+                        float(typing.cast(float, row.get("gen") or 0)),
+                        float(typing.cast(float, row.get("pid") or 0)))
+                if row_priority is not None:
+                    self.gauge(name).set_merged(
+                        value, row_priority, **labels)
+                else:
+                    self.gauge(name).set(value, **labels)
             elif kind == "histogram":
                 self.histogram(name).absorb(row, **labels)
             else:

@@ -108,6 +108,80 @@ def ips_rows(rows: Rows) -> typing.List[typing.Dict[str, object]]:
     return sorted(out, key=lambda r: (r["platform"], r["agents"]))
 
 
+def _ms(value) -> object:
+    """Seconds → milliseconds for the latency tables (``-`` when absent)."""
+    if value is None:
+        return "-"
+    try:
+        return round(float(value) * 1e3, 4)
+    except (TypeError, ValueError):
+        return value
+
+
+def latency_rows(rows: Rows) -> typing.List[typing.Dict[str, object]]:
+    """Per-segment latency percentiles (ms) with share of total time.
+
+    Reads the ``lat.segment_seconds`` histograms — HDR-folded, so the
+    percentiles are real values even when the rows were merged from
+    worker shards — and the ``lat.segment_ns`` / ``lat.total_ns``
+    counters for each segment's exact share of end-to-end time.
+    """
+    def group_key(row):
+        labels = row.get("labels") or {}
+        return tuple(sorted((k, v) for k, v in labels.items()
+                            if k != "segment"))
+
+    seg_ns = {(_metric_labels(r)): float(r.get("value", 0.0) or 0.0)
+              for r in _select(rows, "lat.segment_ns")}
+    total_ns = {(_metric_labels(r)): float(r.get("value", 0.0) or 0.0)
+                for r in _select(rows, "lat.total_ns")}
+    out = []
+    for row in _select(rows, "lat.segment_seconds"):
+        full = _metric_labels(row)
+        group = tuple(item for item in full if item[0] != "segment")
+        total = total_ns.get(group, 0.0)
+        ns = seg_ns.get(full, 0.0)
+        out.append({
+            "trainer": _label(row, "trainer"),
+            "platform": _label(row, "platform"),
+            "worker": _label(row, "worker"),
+            "segment": _label(row, "segment"),
+            "count": int(typing.cast(int, row.get("count", 0)) or 0),
+            "p50_ms": _ms(row.get("p50")),
+            "p90_ms": _ms(row.get("p90")),
+            "p99_ms": _ms(row.get("p99")),
+            "p999_ms": _ms(row.get("p999")),
+            "share": round(ns / total, 4) if total > 0 else "-",
+        })
+    return sorted(out, key=lambda r: (r["trainer"], r["platform"],
+                                      r["worker"], r["segment"]))
+
+
+def latency_routine_rows(rows: Rows
+                         ) -> typing.List[typing.Dict[str, object]]:
+    """End-to-end routine latency percentiles (ms) per trainer."""
+    out = []
+    for row in _select(rows, "lat.routine_seconds"):
+        out.append({
+            "trainer": _label(row, "trainer"),
+            "platform": _label(row, "platform"),
+            "worker": _label(row, "worker"),
+            "count": int(typing.cast(int, row.get("count", 0)) or 0),
+            "p50_ms": _ms(row.get("p50")),
+            "p90_ms": _ms(row.get("p90")),
+            "p99_ms": _ms(row.get("p99")),
+            "p999_ms": _ms(row.get("p999")),
+            "max_ms": _ms(row.get("max")),
+        })
+    return sorted(out, key=lambda r: (r["trainer"], r["platform"],
+                                      r["worker"]))
+
+
+def _metric_labels(row: typing.Mapping) -> typing.Tuple:
+    labels = row.get("labels") or {}
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
 def _round(value, digits: int = 3):
     if value is None:
         return "-"
@@ -156,8 +230,13 @@ def trace_lane_rows(doc: typing.Mapping[str, object]
 
 
 def obs_report(rows: Rows,
-               trace_doc: typing.Optional[typing.Mapping] = None) -> str:
-    """The full plain-text report ``repro obs-report`` prints."""
+               trace_doc: typing.Optional[typing.Mapping] = None,
+               latency: bool = False) -> str:
+    """The full plain-text report ``repro obs-report`` prints.
+
+    ``latency=True`` (the ``--latency`` flag) appends the per-segment
+    and end-to-end latency percentile tables.
+    """
     sections = []
     cu = cu_utilisation_rows(rows)
     if cu:
@@ -189,6 +268,16 @@ def obs_report(rows: Rows,
         sections.append(format_table(
             attribution.gpu_rows(),
             title="GPU time attribution by task (bucket % of the row)"))
+    if latency:
+        segments = latency_rows(rows)
+        if segments:
+            sections.append(format_table(
+                segments, title="Latency by segment (queue vs compute; "
+                                "share of lat.total_ns)"))
+        routines = latency_routine_rows(rows)
+        if routines:
+            sections.append(format_table(
+                routines, title="End-to-end routine latency"))
     if trace_doc is not None:
         lanes = trace_lane_rows(trace_doc)
         if lanes:
@@ -201,24 +290,27 @@ def obs_report(rows: Rows,
 
 
 def registry_report(registry: MetricsRegistry,
-                    trace_doc: typing.Optional[typing.Mapping] = None
-                    ) -> str:
+                    trace_doc: typing.Optional[typing.Mapping] = None,
+                    latency: bool = False) -> str:
     """Report straight from a live registry."""
-    return obs_report(registry.snapshot(), trace_doc)
+    return obs_report(registry.snapshot(), trace_doc, latency=latency)
 
 
 def run_report(merged,
                events: typing.Optional[typing.Sequence[
-                   typing.Mapping[str, object]]] = None) -> str:
+                   typing.Mapping[str, object]]] = None,
+               latency: bool = False) -> str:
     """The ``repro obs-report --run`` rendering for one merged run.
 
     Composes the manifest summary, the whole-run metric tables (worker
     label aggregated out), the per-worker breakdown, and the health
     events.  ``merged`` is a :class:`repro.obs.runlog.MergedRun`;
     ``events`` defaults to a fresh :func:`repro.obs.health.health_events`
-    pass.
+    pass.  ``latency=True`` additionally renders the per-worker latency
+    tables and the critical path through each lane's recorded spans.
     """
     from repro.obs import health as health_mod
+    from repro.obs import lat as lat_mod
     from repro.obs import runlog as runlog_mod
 
     if events is None:
@@ -240,7 +332,21 @@ def run_report(merged,
     sections = ["\n".join(head)]
     aggregate = runlog_mod.aggregate_rows(merged.rows)
     if aggregate:
-        sections.append(obs_report(aggregate))
+        sections.append(obs_report(aggregate, latency=latency))
+    if latency:
+        per_worker = latency_rows(merged.rows)
+        if per_worker:
+            sections.append(format_table(
+                per_worker,
+                title="Latency by segment, per worker (unaggregated)"))
+        chains = lat_mod.critical_path_rows(merged.spans)
+        if chains:
+            for chain in chains:
+                chain["duration"] = _round(chain["duration"], 6)
+            sections.append(format_table(
+                chains, title="Critical path per lane (longest nested "
+                              "span chain; duration in the lane's "
+                              "clock units)"))
     workers = health_mod.worker_rows(merged, events)
     if workers:
         sections.append(format_table(

@@ -99,6 +99,11 @@ class ShardWriter:
         self._append([{"kind": "open", "pid": self.pid, "worker": worker,
                        "time": time.time(), "interval": interval}])
 
+    @property
+    def seq(self) -> int:
+        """The newest flushed generation (0 before the first flush)."""
+        return self._seq
+
     def _append(self, records: typing.Sequence[
             typing.Mapping[str, object]]) -> None:
         with open(self.path, "a", encoding="utf-8") as fh:
@@ -229,6 +234,9 @@ class WorkerShard:
     final: typing.Optional[typing.Dict[str, object]]
     rows: typing.List[typing.Dict[str, object]]
     spans: typing.List[typing.Dict[str, object]]
+    #: The ``seq`` of the retained telemetry generation — with ``pid``
+    #: the deterministic gauge-merge priority (newest flush wins).
+    generation: int = 0
 
     @property
     def last_heartbeat_time(self) -> float:
@@ -289,7 +297,8 @@ def load_shard(path: str) -> WorkerShard:
     return WorkerShard(path=path, pid=pid, worker=worker,
                        opened_time=opened, heartbeats=heartbeats,
                        final=final, rows=by_seq_rows.get(latest, []),
-                       spans=by_seq_spans.get(latest_spans, []))
+                       spans=by_seq_spans.get(latest_spans, []),
+                       generation=latest)
 
 
 def load_manifest(run_dir: str) -> typing.Dict[str, object]:
@@ -298,9 +307,29 @@ def load_manifest(run_dir: str) -> typing.Dict[str, object]:
         return json.load(fh)
 
 
+def _manifest_outcome(manifest: typing.Mapping[str, object]) -> str:
+    """A run's outcome, rendering interrupted runs as ``crashed``.
+
+    A manifest is only stamped with an ``end`` by :meth:`RunLog.finish`;
+    one carrying neither an ``end`` nor a terminal ``outcome`` belongs
+    to a process that died (or is still running — indistinguishable
+    from the manifest alone, and ``crashed`` is the honest default for
+    the historical listing).
+    """
+    outcome = manifest.get("outcome")
+    if outcome in (None, "", "running") and manifest.get("end") is None:
+        return "crashed"
+    return str(outcome) if outcome not in (None, "") else "crashed"
+
+
 def list_runs(root: typing.Optional[str] = None
               ) -> typing.List[typing.Dict[str, object]]:
-    """Summary rows for every run directory under the root, oldest first."""
+    """Summary rows for every run directory under the root, oldest first.
+
+    Crashed runs stay visible: a torn or unreadable manifest (the
+    process died mid-write) renders as a ``crashed`` row rather than
+    being skipped, as does a manifest never stamped with an end.
+    """
     base = runs_root(root)
     if not os.path.isdir(base):
         return []
@@ -312,7 +341,7 @@ def list_runs(root: typing.Optional[str] = None
         try:
             manifest = load_manifest(run_dir)
         except (OSError, ValueError):
-            continue
+            manifest = {"run_id": name, "outcome": "crashed"}
         shards = [f for f in os.listdir(run_dir)
                   if f.startswith(SHARD_PREFIX)
                   and f.endswith(SHARD_SUFFIX)]
@@ -323,7 +352,7 @@ def list_runs(root: typing.Optional[str] = None
             "start": manifest.get("start", "-"),
             "wall_seconds": manifest.get("wall_seconds"),
             "shards": len(shards),
-            "outcome": manifest.get("outcome", "?"),
+            "outcome": _manifest_outcome(manifest),
         })
     out.sort(key=lambda row: str(row["start"]))
     return out
@@ -392,8 +421,16 @@ def merge_run(run_dir: str) -> MergedRun:
     (they already carry a ``worker`` label); those are dropped here so
     each sample is counted exactly once — the worker's own shard is the
     authoritative copy.
+
+    A torn manifest (crashed parent) degrades to a stub with outcome
+    ``crashed`` — the shards are still merged, so ``obs-report --run``
+    and ``runs diff`` keep working on interrupted runs.
     """
-    manifest = load_manifest(run_dir)
+    try:
+        manifest = load_manifest(run_dir)
+    except (OSError, ValueError):
+        manifest = {"run_id": os.path.basename(run_dir.rstrip(os.sep)),
+                    "outcome": "crashed"}
     parent_pid = manifest.get("pid")
     shards = []
     for name in sorted(os.listdir(run_dir)):
@@ -413,6 +450,10 @@ def merge_run(run_dir: str) -> MergedRun:
                 labels["worker"] = shard.worker
             merged = dict(row)
             merged["labels"] = labels
+            # Gauge-merge priority: newest generation, then pid, wins
+            # deterministically regardless of shard file order.
+            merged["gen"] = shard.generation
+            merged["pid"] = shard.pid
             rows.append(merged)
         for span in shard.spans:
             merged_span = dict(span)
@@ -427,9 +468,10 @@ def aggregate_rows(rows: typing.Sequence[typing.Mapping[str, object]]
                    ) -> typing.List[typing.Dict[str, object]]:
     """Collapse the ``worker`` label back out: whole-run totals.
 
-    Counters sum across workers, gauges keep the last write, histograms
-    fold exact moments (percentiles become ``None`` — they are not
-    reconstructable across processes).
+    Counters sum across workers, gauges keep the highest-priority write
+    (``(gen, pid)`` when the rows carry them), histograms fold exact
+    moments plus HDR bucket counts — so merged percentiles are real
+    values, identical to a single-process run at bucket resolution.
     """
     registry = MetricsRegistry()
     stripped = []
@@ -486,6 +528,50 @@ def diff_metric_rows(rows_a: typing.Sequence[typing.Mapping[str, object]],
     return out
 
 
+def diff_latency_rows(rows_a: typing.Sequence[typing.Mapping[str, object]],
+                      rows_b: typing.Sequence[typing.Mapping[str, object]]
+                      ) -> typing.List[typing.Dict[str, object]]:
+    """Per-segment latency percentile deltas (b minus a), in ms.
+
+    Reads the aggregated ``lat.segment_seconds`` histograms — the HDR
+    fold keeps p50/p99 real across workers, so the diff works on
+    multi-process runs too.
+    """
+    def percentiles(rows):
+        out = {}
+        for row in aggregate_rows(rows):
+            if row.get("name") != "lat.segment_seconds":
+                continue
+            labels = typing.cast(typing.Mapping[str, str],
+                                 row.get("labels") or {})
+            out[tuple(sorted(labels.items()))] = row
+        return out
+
+    agg_a = percentiles(rows_a)
+    agg_b = percentiles(rows_b)
+    out = []
+    for key in sorted(set(agg_a) | set(agg_b)):
+        row_a = agg_a.get(key) or {}
+        row_b = agg_b.get(key) or {}
+        for field in ("p50", "p99"):
+            value_a = typing.cast(typing.Optional[float],
+                                  row_a.get(field))
+            value_b = typing.cast(typing.Optional[float],
+                                  row_b.get(field))
+            if value_a is None and value_b is None:
+                continue
+            ms_a = value_a * 1e3 if value_a is not None else None
+            ms_b = value_b * 1e3 if value_b is not None else None
+            out.append({
+                "segment": ",".join(f"{k}={v}" for k, v in key) or "-",
+                "field": f"{field}_ms",
+                "a": ms_a if ms_a is not None else "-",
+                "b": ms_b if ms_b is not None else "-",
+                "delta": (ms_b or 0.0) - (ms_a or 0.0),
+            })
+    return out
+
+
 def _scenario_diff(man_a: typing.Mapping[str, object],
                    man_b: typing.Mapping[str, object]
                    ) -> typing.List[typing.Dict[str, object]]:
@@ -533,6 +619,7 @@ def diff_runs(ref_a: str, ref_b: str,
         "scenarios": _scenario_diff(merged_a.manifest,
                                     merged_b.manifest),
         "metrics": diff_metric_rows(merged_a.rows, merged_b.rows),
+        "latency": diff_latency_rows(merged_a.rows, merged_b.rows),
     }
 
 

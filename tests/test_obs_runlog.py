@@ -40,8 +40,11 @@ class TestRegistryMerge:
                if r["name"] == "ps.lock_wait_seconds"][0]
         assert row["count"] == 2 and row["sum"] == 4.0
         assert row["min"] == 1.0 and row["max"] == 3.0
-        # Percentiles are not reconstructable from moments.
-        assert row["p50"] is None
+        # HDR buckets fold across shards, so percentiles stay real
+        # (bucket midpoints: within the ~6% bucket resolution).
+        assert row["p50"] == pytest.approx(1.0, rel=0.07)
+        assert row["p99"] == pytest.approx(3.0, rel=0.07)
+        assert row["hdr"]
 
     def test_absorb_rows_gauge_last_write_wins(self):
         a, b = MetricsRegistry(), MetricsRegistry()
@@ -49,6 +52,38 @@ class TestRegistryMerge:
         b.gauge("x").set(9.0)
         b.absorb_rows(a.snapshot())
         assert b.gauge("x").value() == 1.0
+
+    def test_gauge_fold_is_arrival_order_independent(self):
+        """(gen, pid) priority makes the merged gauge deterministic."""
+        def gauge_row(value, gen, pid):
+            return {"name": "x", "type": "gauge", "labels": {},
+                    "value": value, "gen": gen, "pid": pid}
+
+        rows = [gauge_row(1.0, 1, 50), gauge_row(2.0, 2, 40)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.absorb_rows(rows)
+        backward.absorb_rows(list(reversed(rows)))
+        assert forward.gauge("x").value() == 2.0
+        assert backward.gauge("x").value() == 2.0
+
+    def test_gauge_pid_breaks_generation_ties(self):
+        def gauge_row(value, gen, pid):
+            return {"name": "x", "type": "gauge", "labels": {},
+                    "value": value, "gen": gen, "pid": pid}
+
+        for ordering in ([(3.0, 2, 9001), (4.0, 2, 9002)],
+                         [(4.0, 2, 9002), (3.0, 2, 9001)]):
+            registry = MetricsRegistry()
+            registry.absorb_rows([gauge_row(*row) for row in ordering])
+            assert registry.gauge("x").value() == 4.0
+
+    def test_gauge_live_set_resumes_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.absorb_rows([{"name": "x", "type": "gauge",
+                               "labels": {}, "value": 5.0,
+                               "gen": 9, "pid": 9}])
+        registry.gauge("x").set(1.0)
+        assert registry.gauge("x").value() == 1.0
 
 
 class TestTracerMerge:
@@ -244,6 +279,72 @@ class TestDiffRuns:
         assert fields["ips"] == pytest.approx(10.0)
         assert fields["bucket:pe_compute"] == pytest.approx(0.1)
 
+    def test_latency_deltas_between_runs(self, runs_root):
+        def lat_rows(seconds):
+            registry = MetricsRegistry()
+            registry.histogram("lat.segment_seconds").observe(
+                seconds, trainer="a3c", segment="infer")
+            return registry.snapshot()
+
+        logs = []
+        for seconds in (0.001, 0.002):
+            log = open_run(runs_root)
+            write_worker_shard(log.path, 9001, "worker-0",
+                               rows=lat_rows(seconds))
+            log.finish()
+            logs.append(log)
+        diff = runlog.diff_runs(logs[0].run_id, logs[1].run_id,
+                                root=runs_root)
+        rows = {(r["segment"], r["field"]): r for r in diff["latency"]}
+        row = rows[("segment=infer,trainer=a3c", "p50_ms")]
+        # HDR midpoints: 1ms -> 2ms is a +1ms delta at ~6% resolution.
+        assert row["delta"] == pytest.approx(1.0, rel=0.15)
+        assert row["a"] == pytest.approx(1.0, rel=0.07)
+        assert row["b"] == pytest.approx(2.0, rel=0.07)
+
+
+class TestCrashedRuns:
+    def test_unfinished_run_lists_as_crashed(self, runs_root):
+        open_run(runs_root)  # never finished: no end stamp
+        rows = runlog.list_runs(runs_root)
+        assert rows[0]["outcome"] == "crashed"
+        assert rows[0]["wall_seconds"] is None
+
+    def test_torn_manifest_lists_as_crashed_stub(self, runs_root):
+        log = open_run(runs_root)
+        with open(os.path.join(log.path, runlog.MANIFEST_NAME), "w",
+                  encoding="utf-8") as fh:
+            fh.write('{"run_id": "torn", ')  # killed mid-write
+        rows = runlog.list_runs(runs_root)
+        assert len(rows) == 1
+        assert rows[0]["outcome"] == "crashed"
+        assert rows[0]["run_id"] == os.path.basename(log.path)
+
+    def test_diff_tolerates_crashed_run(self, runs_root):
+        log_a = open_run(runs_root)
+        write_worker_shard(log_a.path, 9001, "worker-0",
+                           rows=[counter_row("ps.updates", 3.0)])
+        with open(os.path.join(log_a.path, runlog.MANIFEST_NAME), "w",
+                  encoding="utf-8") as fh:
+            fh.write("{not json")
+        log_b = open_run(runs_root)
+        write_worker_shard(log_b.path, 9002, "worker-0",
+                           rows=[counter_row("ps.updates", 5.0)])
+        log_b.finish()
+        diff = runlog.diff_runs(log_a.path, log_b.path, root=runs_root)
+        assert diff["a"] == os.path.basename(log_a.path)
+        metric = [r for r in diff["metrics"]
+                  if r["metric"] == "ps.updates"][0]
+        assert metric["delta"] == 2.0
+
+    def test_merge_run_stub_manifest_outcome(self, runs_root):
+        log = open_run(runs_root)
+        with open(os.path.join(log.path, runlog.MANIFEST_NAME), "w",
+                  encoding="utf-8") as fh:
+            fh.write("")
+        merged = runlog.merge_run(log.path)
+        assert merged.manifest["outcome"] == "crashed"
+
 
 class TestChromeMultiProcess:
     def _merged_tracer(self, runs_root):
@@ -310,6 +411,26 @@ class TestChromeMultiProcess:
         # The remapped groups still display the real OS pid.
         assert names[chrome.WORKER_PID_BASE + 1] == "worker-1"
         assert names[chrome.WORKER_PID_BASE + 2] == "worker-2"
+
+    def test_remap_is_injective_for_colliding_high_pids(self):
+        """A real OS pid equal to an already-remapped value must not
+        merge into the remapped worker's Perfetto process group."""
+        spans = [
+            ObsSpan(lane="agent-0", label="w", start=0.0, end=1.0,
+                    clock=WALL, pid=1),
+            ObsSpan(lane="agent-1", label="w", start=0.0, end=1.0,
+                    clock=WALL, pid=chrome.WORKER_PID_BASE + 1),
+        ]
+        events = chrome.chrome_trace_events(spans)
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert pids == {chrome.WORKER_PID_BASE + 1,
+                        2 * chrome.WORKER_PID_BASE + 1}
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e.get("ph") == "M"
+                 and e.get("name") == "process_name"}
+        assert names[chrome.WORKER_PID_BASE + 1] == "worker-1"
+        assert names[2 * chrome.WORKER_PID_BASE + 1] == \
+            f"worker-{chrome.WORKER_PID_BASE + 1}"
 
 
 class TestRunReport:
