@@ -1,0 +1,168 @@
+"""Batched Beam Rider: SoA lane/sector state, per-slot dynamics.
+
+Enemy sets are ragged and spawn timing feeds the RNG, so frame dynamics
+run per slot with the scalar game's exact expression sequence over
+``(B,)``-array fields; rendering shares the batched frame buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ale.games.beam_rider import (
+    _BEAM,
+    _BEAM_BOTTOM,
+    _BEAM_TOP,
+    _BG,
+    _ENEMY,
+    _ENEMY_SIZE,
+    _N_BEAMS,
+    _PLAYER,
+    _PLAYER_H,
+    _PLAYER_W,
+    _PLAYER_Y,
+    _SHOT,
+    _SHOT_SPEED,
+    _beam_x,
+    BeamRider,
+)
+from repro.ale.vec.base import VecAtariGame
+from repro.perf.hotpath import hot_path
+
+
+class VecBeamRider(VecAtariGame):
+    """Structure-of-arrays Beam Rider."""
+
+    SCALAR_GAME = BeamRider
+
+    def _alloc(self, batch: int) -> None:
+        self.player_beam = np.zeros(batch, dtype=np.int64)
+        self.enemies = [[] for _ in range(batch)]
+        self.shot = [None] * batch
+        self.spawn_timer = np.zeros(batch, dtype=np.int64)
+        self.move_cooldown = np.zeros(batch, dtype=np.int64)
+        self.sector = np.zeros(batch, dtype=np.int64)
+        self.sector_remaining = np.zeros(batch, dtype=np.int64)
+        self.sector_to_spawn = np.zeros(batch, dtype=np.int64)
+        self.respawn = np.zeros(batch, dtype=np.int64)
+
+    def _reset_slots(self, slots: np.ndarray) -> None:
+        for k in slots:
+            k = int(k)
+            self.player_beam[k] = _N_BEAMS // 2
+            self.sector[k] = 0
+            self.respawn[k] = 0
+            self._start_sector_slot(k)
+
+    def _start_sector_slot(self, k: int) -> None:
+        self.enemies[k] = []
+        self.shot[k] = None
+        self.spawn_timer[k] = BeamRider.SPAWN_PERIOD
+        self.move_cooldown[k] = 0
+        self.sector_remaining[k] = BeamRider.SECTOR_SIZE
+        self.sector_to_spawn[k] = BeamRider.SECTOR_SIZE
+
+    def _spawn_enemy_slot(self, k: int) -> None:
+        self.spawn_timer[k] -= 1
+        if self.spawn_timer[k] > 0 or self.sector_to_spawn[k] == 0:
+            return
+        self.spawn_timer[k] = max(
+            BeamRider.SPAWN_PERIOD - 4 * int(self.sector[k]), 25)
+        beam = int(self.rngs[k].integers(_N_BEAMS))
+        self.enemies[k].append(np.array([float(beam), _BEAM_TOP]))
+        self.sector_to_spawn[k] -= 1
+
+    def _step_slot(self, k: int, action: int) -> float:
+        if self.respawn[k] > 0:
+            self.respawn[k] -= 1
+            return 0.0
+
+        dx = int(self._act_dx[action])
+        fire = bool(self._act_fire[action])
+        if self.move_cooldown[k] > 0:
+            self.move_cooldown[k] -= 1
+        elif dx != 0:
+            new_beam = int(np.clip(self.player_beam[k] + dx, 0,
+                                   _N_BEAMS - 1))
+            if new_beam != self.player_beam[k]:
+                self.player_beam[k] = new_beam
+                self.move_cooldown[k] = BeamRider.MOVE_COOLDOWN
+        if fire and self.shot[k] is None:
+            self.shot[k] = np.array([float(self.player_beam[k]),
+                                     _PLAYER_Y - 2])
+
+        reward = 0.0
+        self._spawn_enemy_slot(k)
+
+        # Enemies descend along their beams.
+        enemy_speed = BeamRider.ENEMY_SPEED * \
+            (1.0 + 0.15 * int(self.sector[k]))
+        remaining = []
+        for enemy in self.enemies[k]:
+            enemy[1] += enemy_speed
+            if enemy[1] >= _BEAM_BOTTOM:
+                if int(enemy[0]) == self.player_beam[k]:
+                    self.lives[k] -= 1
+                    self.respawn[k] = 30
+                    self._start_sector_slot(k)
+                    return reward
+                # Escaped off the bottom; it re-enters at the top.
+                enemy[1] = _BEAM_TOP
+            remaining.append(enemy)
+        self.enemies[k] = remaining
+
+        # Shot flight.
+        shot = self.shot[k]
+        if shot is not None:
+            shot[1] -= _SHOT_SPEED
+            if shot[1] < _BEAM_TOP:
+                self.shot[k] = None
+            else:
+                for index, enemy in enumerate(self.enemies[k]):
+                    if int(enemy[0]) == int(shot[0]) and \
+                            abs(enemy[1] - shot[1]) < _ENEMY_SIZE:
+                        del self.enemies[k][index]
+                        self.shot[k] = None
+                        reward += BeamRider.ENEMY_SCORE
+                        self.sector_remaining[k] -= 1
+                        break
+
+        if self.sector_remaining[k] == 0:
+            reward += BeamRider.SECTOR_BONUS
+            self.sector[k] += 1
+            self._start_sector_slot(k)
+        return reward
+
+    @hot_path
+    def _step_slots(self, slots: np.ndarray,
+                    actions: np.ndarray) -> np.ndarray:
+        rewards = np.zeros(slots.size)
+        for kc in range(slots.size):
+            rewards[kc] = self._step_slot(int(slots[kc]),
+                                          int(actions[kc]))
+        return rewards
+
+    @hot_path
+    def _render_slots(self, slots: np.ndarray) -> None:
+        scr = self.screen
+        scr.clear_slots(slots, _BG)
+        for beam in range(_N_BEAMS):
+            x = _beam_x(beam)
+            scr.fill_rect_slots(slots, _BEAM_TOP, x - 1,
+                                _BEAM_BOTTOM - _BEAM_TOP + 10, 2, _BEAM)
+        for k in slots:
+            k = int(k)
+            for i in range(self.lives[k]):
+                scr.fill_rect(k, 8, 8 + 10 * i, 6, 6, _PLAYER)
+            for enemy in self.enemies[k]:
+                x = _beam_x(int(enemy[0]))
+                scr.fill_rect(k, enemy[1], x - _ENEMY_SIZE / 2,
+                              _ENEMY_SIZE, _ENEMY_SIZE, _ENEMY)
+            shot = self.shot[k]
+            if shot is not None:
+                x = _beam_x(int(shot[0]))
+                scr.fill_rect(k, shot[1], x - 1, 6, 2, _SHOT)
+            if self.respawn[k] == 0:
+                x = _beam_x(int(self.player_beam[k]))
+                scr.fill_rect(k, _PLAYER_Y, x - _PLAYER_W / 2, _PLAYER_H,
+                              _PLAYER_W, _PLAYER)

@@ -44,7 +44,7 @@ from repro.perf.hotpath import hot_path
 class _GA3CWorker:
     """Host-side state of one GA3C agent (no local parameters)."""
 
-    env: Env
+    env: typing.Optional[Env]
     rng: np.random.Generator
     state: np.ndarray
     rollout: Rollout
@@ -61,7 +61,8 @@ class GA3CTrainer:
                  prediction_batch: typing.Optional[int] = None,
                  training_batch_rollouts: int = 4,
                  tracker: typing.Optional[ScoreTracker] = None,
-                 platform=None):
+                 platform=None,
+                 batched_env=None):
         self.config = config
         self.tracker = tracker or ScoreTracker()
         self.prediction_batch = prediction_batch or config.num_agents
@@ -73,15 +74,32 @@ class GA3CTrainer:
         rng = np.random.default_rng(config.seed)
         self.network = network_factory()
         self.server = ParameterServer(self.network.init_params(rng), config)
+        self.batched_env = batched_env
         self.workers: typing.List[_GA3CWorker] = []
-        for agent_id in range(config.num_agents):
-            env = env_factory(agent_id)
-            env.seed(derive_agent_seed(config.seed, agent_id))
-            self.workers.append(_GA3CWorker(
-                env=env,
-                rng=np.random.default_rng(config.seed + agent_id),
-                state=env.reset(),
-                rollout=Rollout()))
+        if batched_env is not None:
+            # All agents share one repro.envs.BatchedVectorEnv stepped as
+            # a single batch; the caller seeds it with config.seed so the
+            # per-slot contract (derive_agent_seed) holds.
+            if batched_env.num_envs != config.num_agents:
+                raise ValueError(
+                    f"batched_env has {batched_env.num_envs} slots; "
+                    f"config.num_agents is {config.num_agents}")
+            observations = batched_env.reset()
+            for agent_id in range(config.num_agents):
+                self.workers.append(_GA3CWorker(
+                    env=None,
+                    rng=np.random.default_rng(config.seed + agent_id),
+                    state=observations[agent_id],
+                    rollout=Rollout()))
+        else:
+            for agent_id in range(config.num_agents):
+                env = env_factory(agent_id)
+                env.seed(derive_agent_seed(config.seed, agent_id))
+                self.workers.append(_GA3CWorker(
+                    env=env,
+                    rng=np.random.default_rng(config.seed + agent_id),
+                    state=env.reset(),
+                    rollout=Rollout()))
         self._train_queue: collections.deque = collections.deque()
         self._routines = 0
 
@@ -103,7 +121,11 @@ class GA3CTrainer:
         hinges on.
         """
         phase_started = time.perf_counter_ns() if lat is not None else 0
-        states = np.stack([w.state for w in workers]).astype(np.float32)
+        if self.batched_env is not None:
+            # Already one (N, ...) float32 batch — no gather/copy needed.
+            states = self.batched_env.observations
+        else:
+            states = np.stack([w.state for w in workers]).astype(np.float32)
         if lat is not None:
             lat.add_ns("batch_form",
                        time.perf_counter_ns() - phase_started)
@@ -170,6 +192,57 @@ class GA3CTrainer:
                            lane="ga3c-trainer", span_name="train_batch",
                            span_labels={"samples": len(states)}, lat=lat)
 
+    def _advance_scalar(self, logits: np.ndarray,
+                        values: np.ndarray) -> None:
+        """Sample and apply one action per worker on its own env."""
+        for index, worker in enumerate(self.workers):
+            probs = softmax(logits[index])
+            action = int(worker.rng.choice(len(probs), p=probs))
+            obs, reward, done, info = worker.env.step(action)
+            worker.episode_score += info.get("raw_reward", reward)
+            worker.rollout.add(worker.state, action, reward,
+                               float(values[index]))
+            worker.state = obs
+            if done:
+                if not info.get("life_lost"):
+                    self.tracker.record(self.server.global_step,
+                                        worker.episode_score)
+                    worker.episode_score = 0.0
+                    worker.episodes += 1
+                worker.state = worker.env.reset()
+                self._finish_rollout(worker, terminal=True)
+            elif len(worker.rollout) >= self.config.t_max:
+                self._finish_rollout(worker, terminal=False)
+
+    @hot_path
+    def _advance_batched(self, logits: np.ndarray,
+                         values: np.ndarray) -> None:
+        """Sample every worker's action, then advance all slots in one
+        batched env step (finished slots auto-reset inside it)."""
+        probs = softmax(logits)
+        actions = np.array([
+            int(worker.rng.choice(probs.shape[1], p=probs[index]))
+            for index, worker in enumerate(self.workers)])
+        step = self.batched_env.step(actions)
+        for index, worker in enumerate(self.workers):
+            info = step.infos[index]
+            reward = float(step.rewards[index])
+            worker.episode_score += info.get("raw_reward", reward)
+            worker.rollout.add(worker.state, int(actions[index]), reward,
+                               float(values[index]))
+            # For finished slots this row is already the reset
+            # observation, matching the scalar path's env.reset().
+            worker.state = step.observations[index]
+            if step.dones[index]:
+                if not info.get("life_lost"):
+                    self.tracker.record(self.server.global_step,
+                                        worker.episode_score)
+                    worker.episode_score = 0.0
+                    worker.episodes += 1
+                self._finish_rollout(worker, terminal=True)
+            elif len(worker.rollout) >= self.config.t_max:
+                self._finish_rollout(worker, terminal=False)
+
     def train(self, max_steps: typing.Optional[int] = None) -> TrainResult:
         """Run the predictor/trainer loop until ``max_steps``."""
         if max_steps is not None:
@@ -186,24 +259,10 @@ class GA3CTrainer:
                 logits, values = self._predict(self.workers, lat=plat)
             if plat is not None:
                 plat.finish()
-            for index, worker in enumerate(self.workers):
-                probs = softmax(logits[index])
-                action = int(worker.rng.choice(len(probs), p=probs))
-                obs, reward, done, info = worker.env.step(action)
-                worker.episode_score += info.get("raw_reward", reward)
-                worker.rollout.add(worker.state, action, reward,
-                                   float(values[index]))
-                worker.state = obs
-                if done:
-                    if not info.get("life_lost"):
-                        self.tracker.record(self.server.global_step,
-                                            worker.episode_score)
-                        worker.episode_score = 0.0
-                        worker.episodes += 1
-                    worker.state = worker.env.reset()
-                    self._finish_rollout(worker, terminal=True)
-                elif len(worker.rollout) >= self.config.t_max:
-                    self._finish_rollout(worker, terminal=False)
+            if self.batched_env is not None:
+                self._advance_batched(logits, values)
+            else:
+                self._advance_scalar(logits, values)
             self.server.add_steps(len(self.workers))
             # Trainer: combine queued rollouts into large batches.
             self._train_from_queue()

@@ -39,7 +39,8 @@ class PAACTrainer:
                  network_factory: typing.Callable[[], A3CNetwork],
                  config: A3CConfig,
                  tracker: typing.Optional[ScoreTracker] = None,
-                 platform=None):
+                 platform=None,
+                 vector_env=None):
         self.config = config
         self.tracker = tracker or ScoreTracker()
         self._platform = platform
@@ -48,12 +49,24 @@ class PAACTrainer:
         rng = np.random.default_rng(config.seed)
         self.network = network_factory()
         self.server = ParameterServer(self.network.init_params(rng), config)
-        # SyncVectorEnv applies the repro-wide seeding contract
-        # (repro.backends.protocol.derive_agent_seed) per slot.
-        self.vector_env = SyncVectorEnv(
-            [lambda i=i: env_factory(i)
-             for i in range(config.num_agents)],
-            seed=config.seed)
+        if vector_env is not None:
+            # A prebuilt vectorised substrate — e.g. a
+            # repro.envs.BatchedVectorEnv stepping all slots through the
+            # structure-of-arrays engine in one call.  The caller is
+            # responsible for seeding it with config.seed so the per-slot
+            # contract (derive_agent_seed) holds.
+            if vector_env.num_envs != config.num_agents:
+                raise ValueError(
+                    f"vector_env has {vector_env.num_envs} slots; "
+                    f"config.num_agents is {config.num_agents}")
+            self.vector_env = vector_env
+        else:
+            # SyncVectorEnv applies the repro-wide seeding contract
+            # (repro.backends.protocol.derive_agent_seed) per slot.
+            self.vector_env = SyncVectorEnv(
+                [lambda i=i: env_factory(i)
+                 for i in range(config.num_agents)],
+                seed=config.seed)
         self.rngs = [np.random.default_rng(config.seed + agent_id)
                      for agent_id in range(config.num_agents)]
         self.vector_env.reset()

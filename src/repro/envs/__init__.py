@@ -8,6 +8,7 @@ simulated in :mod:`repro.ale`.
 """
 
 from repro.envs.base import Env, TimeLimit
+from repro.envs.batched import BatchedVectorEnv, BatchPreprocessor
 from repro.envs.classic import CartPole, Catch, GridWorld, MemoryCue
 from repro.envs.preprocessing import bilinear_resize, rgb_to_grayscale
 from repro.envs.spaces import Box, Discrete
@@ -23,6 +24,8 @@ from repro.envs.wrappers import (
 
 __all__ = [
     "AtariPreprocessing",
+    "BatchPreprocessor",
+    "BatchedVectorEnv",
     "Box",
     "CartPole",
     "Catch",

@@ -40,8 +40,16 @@ class SyncVectorEnv:
                                        for factory in env_factories]
         if not self.envs:
             raise ValueError("need at least one environment")
-        spaces = {id(type(env.action_space)) for env in self.envs}
-        del spaces  # heterogeneous spaces are allowed; actions are ints
+        # Slot 0's spaces stand in for the whole batch (the policy head
+        # sizes itself from them), so every slot must agree on the
+        # action count.
+        sizes = {getattr(env.action_space, "n", None)
+                 for env in self.envs}
+        if len(sizes) > 1:
+            raise ValueError(
+                "heterogeneous action spaces across slots: "
+                f"{sorted(str(s) for s in sizes)}; all environments in "
+                "a vector must expose the same action count")
         self.num_envs = len(self.envs)
         if seed is not None:
             for index, env in enumerate(self.envs):

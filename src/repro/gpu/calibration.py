@@ -88,3 +88,11 @@ class GPUCalibration:
 
     #: Host-side objective/gradient computation before a training task.
     host_train_prep_time: float = 0.15e-3
+
+    #: Aggregate de-flickered frame rate of the structure-of-arrays
+    #: batched environment engine (``repro.ale.vec``) at rollout widths,
+    #: frames/second across the whole batch.  Rounded from the B = 64
+    #: sweep point of ``benchmarks/bench_env_step.py`` on the reference
+    #: container; refresh it deliberately from the bench, never measure
+    #: it live, so the modelled occupancy curves stay deterministic.
+    batched_env_fps: float = 5000.0

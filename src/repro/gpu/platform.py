@@ -17,6 +17,7 @@ identically.
 
 from __future__ import annotations
 
+import heapq
 import typing
 
 from repro.gpu.calibration import GPUCalibration
@@ -27,7 +28,9 @@ from repro.nn.network import NetworkTopology
 from repro.obs import runtime as _obs
 from repro.obs.prof import buckets as _prof
 from repro.perf import runtime as _fast
+from repro.perf.hotpath import hot_path
 from repro.sim import Engine, Resource, Store
+from repro.sim.events import Event
 
 
 def _record_task_profile(platform_name: str, task: str,
@@ -324,6 +327,420 @@ class A3CTFCPUPlatform(_GPUPlatformBase):
                       executors=self.cal.cpu_executors)
 
 
+class _AgentChainBase:
+    """Callback-compiled agent routine (the fused DES fast path).
+
+    Replays ``repro.platforms.throughput._agent_process`` event-for-event
+    without the generator machinery: every ``Event``/``Timeout`` is
+    created at the same execution point, in the same order, as the
+    generator path would create it, so heap sequence numbers, resource
+    grant order and therefore every modelled time are bit-identical.
+    Only the per-event ``generator.send`` resume (the simulator's
+    dominant host cost at large agent counts) is bypassed — each event
+    fires a bound-method continuation instead.
+
+    Subclasses compile the routine into a flat micro-op program in
+    ``self.ops``; :meth:`_advance` interprets it, returning whenever an
+    op must wait on an event and resuming from the same point when the
+    event fires.  ``completion`` succeeds after the last routine,
+    standing in for the ``Process`` end event.
+    """
+
+    __slots__ = ("sim", "engine", "t_max", "routines", "meter",
+                 "latencies", "warmup", "routine_index", "op_index",
+                 "ops", "completion", "_observing", "_dur", "_started")
+
+    def __init__(self, sim, engine: Engine, t_max: int, routines: int,
+                 host, meter, needs_sync: bool, needs_bootstrap: bool,
+                 latencies: typing.Optional[list] = None):
+        self.sim = sim
+        self.engine = engine
+        self.t_max = t_max
+        self.routines = routines
+        self.meter = meter
+        self.latencies = latencies
+        self.warmup = routines // 4
+        self.routine_index = 0
+        self.op_index = 0
+        # Observability cannot toggle inside engine.run (scenario scopes
+        # wrap whole measurements), so one check covers the run.
+        self._observing = _obs.enabled()
+        self._dur = 0.0
+        self._started = 0.0
+        self.ops = self._compile(t_max, host, needs_sync, needs_bootstrap)
+        self.completion = Event(engine)
+        # Bootstrap exactly like Process.__init__: an immediate heap
+        # entry resumes the chain at time zero (the engine dispatches
+        # bound methods directly — see Engine.run).
+        heapq.heappush(engine._queue,
+                       (engine._now, engine._sequence, self._advance))
+        engine._sequence += 1
+
+    def _compile(self, t_max: int, host, needs_sync: bool,
+                 needs_bootstrap: bool) -> list:
+        raise NotImplementedError
+
+    def _advance(self, _event: Event) -> None:
+        raise NotImplementedError
+
+
+class _GPUAgentChain(_AgentChainBase):
+    """Fused agent routine against :class:`GPUSim`'s shared device."""
+
+    __slots__ = ()
+
+    def _compile(self, t_max: int, host, needs_sync: bool,
+                 needs_bootstrap: bool) -> list:
+        # A device task is flattened into its three wait points —
+        # ("acq", name, batch, tracked, dur?) / ("hold",) /
+        # ("rel", tracked) — mirroring Resource.use; ("sleep", s) is a
+        # host-side timeout.  The op order matches _agent_process exactly.
+        # The acq slot caches the task latency once computed (the value is
+        # a pure function of the frozen platform): with observability off
+        # there is nothing to record per call, so skipping the memoized
+        # task_seconds dispatch is value-preserving.
+        tracked = self.latencies is not None
+
+        def task(name, batch, track):
+            return [["acq", name, batch, track, None], ("hold",),
+                    ("rel", track)]
+
+        ops: list = []
+        if needs_sync:
+            ops += task("sync", 0, False)
+        for _ in range(t_max):
+            if host.step_time > 0:
+                ops.append(("sleep", host.step_time))
+            ops += task("inference", 1, tracked)
+        if needs_bootstrap:
+            ops += task("inference", 1, False)
+        if host.train_prep_time > 0:
+            ops.append(("sleep", host.train_prep_time))
+        ops += task("train", t_max, False)
+        return ops
+
+    @hot_path
+    def _advance(self, _event) -> None:
+        engine = self.engine
+        sim = self.sim
+        device = sim.device
+        platform = sim.platform
+        ops = self.ops
+        advance = self._advance
+        queue = engine._queue
+        heappush = heapq.heappush
+        count = len(ops)
+        index = self.op_index
+        while True:
+            if index == count:
+                self.meter.record_routine(engine._now, self.t_max)
+                self.routine_index += 1
+                if self.routine_index >= self.routines:
+                    self.completion.succeed()
+                    return
+                index = 0
+                continue
+            op = ops[index]
+            code = op[0]
+            if code == "acq":
+                if op[3]:
+                    self._started = engine._now
+                if self._observing:
+                    _record_task_profile(
+                        platform.name, op[1],
+                        platform.task_buckets(op[1], op[2]))
+                    self._dur = platform.task_seconds(op[1], op[2])
+                else:
+                    dur = op[4]
+                    if dur is None:
+                        dur = platform.task_seconds(op[1], op[2])
+                        op[4] = dur
+                    self._dur = dur
+                # Resource.acquire inlined.  On an immediate grant the
+                # device state is already updated, so the zero-delay
+                # grant notification is private to this chain and fuses
+                # with the hold timer into one heap entry (the hold op
+                # is skipped); the timer lands at the same strictly-later
+                # time either way.  A contended acquire keeps the wake
+                # event and runs the hold op when the server transfers.
+                device.total_requests += 1
+                if device._in_use < device.capacity \
+                        and not device._waiters:
+                    now = engine._now
+                    device._busy_time += \
+                        device._in_use * (now - device._last_change)
+                    device._last_change = now
+                    device._in_use += 1
+                    self.op_index = index + 2
+                    heappush(queue, (engine._now + self._dur,
+                                     engine._sequence, advance))
+                    engine._sequence += 1
+                else:
+                    event = Event(engine)
+                    device._waiters.append((event, engine._now))
+                    self.op_index = index + 1
+                    event.callbacks.append(advance)
+                return
+            if code == "hold":
+                self.op_index = index + 1
+                heappush(queue, (engine._now + self._dur,
+                                 engine._sequence, advance))
+                engine._sequence += 1
+                return
+            if code == "rel":
+                # Resource.release inlined.
+                if device._waiters:
+                    event, enqueued_at = device._waiters.popleft()
+                    device.total_wait_time += engine._now - enqueued_at
+                    event.succeed()
+                else:
+                    now = engine._now
+                    device._busy_time += \
+                        device._in_use * (now - device._last_change)
+                    device._last_change = now
+                    device._in_use -= 1
+                if op[1] and self.routine_index >= self.warmup:
+                    self.latencies.append(engine._now - self._started)
+                index += 1
+                continue
+            # ("sleep", delay)
+            self.op_index = index + 1
+            heappush(queue, (engine._now + op[1], engine._sequence,
+                             advance))
+            engine._sequence += 1
+            return
+
+
+class _GA3CAgentChain(_AgentChainBase):
+    """Fused agent routine against :class:`GA3CSim`'s request queues."""
+
+    __slots__ = ()
+
+    def _compile(self, t_max: int, host, needs_sync: bool,
+                 needs_bootstrap: bool) -> list:
+        # GA3CSim.sync is a zero-length timeout; ("predict", tracked) /
+        # ("lat", tracked) bracket the reply-event round trip through the
+        # predictor queue; ("train",) enqueues a rollout and waits out the
+        # non-blocking zero timeout.
+        tracked = self.latencies is not None
+
+        def predict(track):
+            return [("predict", track), ("lat", track)]
+
+        ops: list = []
+        if needs_sync:
+            ops.append(("sleep", 0.0))
+        for _ in range(t_max):
+            if host.step_time > 0:
+                ops.append(("sleep", host.step_time))
+            ops += predict(tracked)
+        if needs_bootstrap:
+            ops += predict(False)
+        if host.train_prep_time > 0:
+            ops.append(("sleep", host.train_prep_time))
+        ops.append(("train",))
+        return ops
+
+    @hot_path
+    def _advance(self, _event) -> None:
+        engine = self.engine
+        sim = self.sim
+        ops = self.ops
+        advance = self._advance
+        queue = engine._queue
+        heappush = heapq.heappush
+        count = len(ops)
+        index = self.op_index
+        while True:
+            if index == count:
+                self.meter.record_routine(engine._now, self.t_max)
+                self.routine_index += 1
+                if self.routine_index >= self.routines:
+                    self.completion.succeed()
+                    return
+                index = 0
+                continue
+            op = ops[index]
+            code = op[0]
+            if code == "sleep":
+                self.op_index = index + 1
+                heappush(queue, (engine._now + op[1], engine._sequence,
+                                 advance))
+                engine._sequence += 1
+                return
+            if code == "predict":
+                if op[1]:
+                    self._started = engine._now
+                self.op_index = index + 1
+                reply = Event(engine)
+                sim.predict_queue.put(reply)
+                reply.callbacks.append(advance)
+                return
+            if code == "lat":
+                if op[1] and self.routine_index >= self.warmup:
+                    self.latencies.append(engine._now - self._started)
+                index += 1
+                continue
+            # ("train",)
+            self.op_index = index + 1
+            sim.train_queue.put(self.t_max)
+            heappush(queue, (engine._now, engine._sequence, advance))
+            engine._sequence += 1
+            return
+
+
+class _GA3CPredictorChain:
+    """Callback-compiled predictor server (fast-path GA3CSim only).
+
+    State-for-state replica of :meth:`GA3CSim._predictor`: same events,
+    created at the same execution points, so batching behaviour and
+    modelled times are bit-identical to the generator.
+    """
+
+    __slots__ = ("sim", "engine", "_state", "_batch", "_dur")
+
+    def __init__(self, sim: "GA3CSim", engine: Engine):
+        self.sim = sim
+        self.engine = engine
+        self._state = 0
+        self._batch: list = []
+        self._dur = 0.0
+        heapq.heappush(engine._queue,
+                       (engine._now, engine._sequence, self._advance))
+        engine._sequence += 1
+
+    @hot_path
+    def _advance(self, event) -> None:
+        sim = self.sim
+        platform = sim.platform
+        state = self._state
+        if state == 1:
+            # first = yield predict_queue.get() has fired.
+            batch = [event._value] + sim.predict_queue.get_batch(
+                platform.max_prediction_batch - 1)
+            self._batch = batch
+            if _obs.enabled():
+                buckets = platform.task_buckets("inference", len(batch))
+                buckets[_prof.GPU_FRAMEWORK] = (
+                    buckets.get(_prof.GPU_FRAMEWORK, 0.0)
+                    + len(batch) * platform.cal.ga3c_request_overhead)
+                _record_task_profile(platform.name, "predict", buckets)
+            self._state = 2
+            engine = self.engine
+            delay = len(batch) * platform.cal.ga3c_request_overhead
+            heapq.heappush(engine._queue,
+                           (engine._now + delay, engine._sequence,
+                            self._advance))
+            engine._sequence += 1
+            return
+        if state == 2:
+            dur = platform.task_seconds("inference", len(self._batch))
+            device = sim.device
+            engine = self.engine
+            # Inlined acquire with grant+hold fusion (see the agent
+            # chain's acq op for the argument).
+            device.total_requests += 1
+            if device._in_use < device.capacity and not device._waiters:
+                now = engine._now
+                device._busy_time += \
+                    device._in_use * (now - device._last_change)
+                device._last_change = now
+                device._in_use += 1
+                self._state = 4
+                heapq.heappush(engine._queue,
+                               (engine._now + dur, engine._sequence,
+                                self._advance))
+                engine._sequence += 1
+            else:
+                self._dur = dur
+                event = Event(engine)
+                device._waiters.append((event, engine._now))
+                self._state = 3
+                event.callbacks.append(self._advance)
+            return
+        if state == 3:
+            self._state = 4
+            engine = self.engine
+            heapq.heappush(engine._queue,
+                           (engine._now + self._dur, engine._sequence,
+                            self._advance))
+            engine._sequence += 1
+            return
+        if state == 4:
+            sim.device.release()
+            for reply in self._batch:
+                reply.succeed()
+        # state 0 (process start) falls through here too: block on the
+        # next request.
+        self._state = 1
+        sim.predict_queue.get().callbacks.append(self._advance)
+
+
+class _GA3CTrainerChain:
+    """Callback-compiled trainer server (fast-path GA3CSim only);
+    replicates :meth:`GA3CSim._trainer` event-for-event."""
+
+    __slots__ = ("sim", "engine", "_state", "_dur")
+
+    def __init__(self, sim: "GA3CSim", engine: Engine):
+        self.sim = sim
+        self.engine = engine
+        self._state = 0
+        self._dur = 0.0
+        heapq.heappush(engine._queue,
+                       (engine._now, engine._sequence, self._advance))
+        engine._sequence += 1
+
+    @hot_path
+    def _advance(self, event) -> None:
+        sim = self.sim
+        platform = sim.platform
+        state = self._state
+        if state == 1:
+            extra = sim.train_queue.get_batch(
+                platform.training_batch_rollouts - 1)
+            total = int(event._value) + sum(int(b) for b in extra)
+            if _obs.enabled():
+                _record_task_profile(platform.name, "train",
+                                     platform.task_buckets("train", total))
+            dur = platform.task_seconds("train", total)
+            device = sim.device
+            engine = self.engine
+            # Inlined acquire with grant+hold fusion (see the agent
+            # chain's acq op for the argument).
+            device.total_requests += 1
+            if device._in_use < device.capacity and not device._waiters:
+                now = engine._now
+                device._busy_time += \
+                    device._in_use * (now - device._last_change)
+                device._last_change = now
+                device._in_use += 1
+                self._state = 3
+                heapq.heappush(engine._queue,
+                               (engine._now + dur, engine._sequence,
+                                self._advance))
+                engine._sequence += 1
+            else:
+                self._dur = dur
+                event = Event(engine)
+                device._waiters.append((event, engine._now))
+                self._state = 2
+                event.callbacks.append(self._advance)
+            return
+        if state == 2:
+            self._state = 3
+            engine = self.engine
+            heapq.heappush(engine._queue,
+                           (engine._now + self._dur, engine._sequence,
+                            self._advance))
+            engine._sequence += 1
+            return
+        if state == 3:
+            sim.device.release()
+        self._state = 1
+        sim.train_queue.get().callbacks.append(self._advance)
+
+
 class GPUSim:
     """Discrete-event instance: one shared device serialises tasks."""
 
@@ -362,6 +779,16 @@ class GPUSim:
                                  self.platform.task_buckets("sync"))
         yield from self.device.use(self.platform.task_seconds("sync"))
 
+    def agent_chain(self, agent_id: int, t_max: int, routines: int,
+                    host, meter, needs_sync: bool, needs_bootstrap: bool,
+                    latencies: typing.Optional[list] = None) -> Event:
+        """Fused equivalent of ``throughput._agent_process``: returns an
+        event that succeeds once ``routines`` routines have run."""
+        del agent_id
+        return _GPUAgentChain(self, self.engine, t_max, routines, host,
+                              meter, needs_sync, needs_bootstrap,
+                              latencies).completion
+
 
 class GA3CTFPlatform(_GPUPlatformBase):
     """The GA3C architecture on TensorFlow.
@@ -399,8 +826,12 @@ class GA3CSim:
         self.device = Resource(engine, capacity=1, name="gpu")
         self.predict_queue = Store(engine, name="predict")
         self.train_queue = Store(engine, name="train")
-        engine.process(self._predictor(), name="ga3c-predictor")
-        engine.process(self._trainer(), name="ga3c-trainer")
+        if _fast.enabled():
+            _GA3CPredictorChain(self, engine)
+            _GA3CTrainerChain(self, engine)
+        else:
+            engine.process(self._predictor(), name="ga3c-predictor")
+            engine.process(self._trainer(), name="ga3c-trainer")
 
     def utilisation(self) -> float:
         """Device occupancy (drives the power model)."""
@@ -459,3 +890,15 @@ class GA3CSim:
         """GA3C has no local models, hence no parameter sync."""
         del agent_id
         yield self.engine.timeout(0.0)
+
+    def agent_chain(self, agent_id: int, t_max: int, routines: int,
+                    host, meter, needs_sync: bool, needs_bootstrap: bool,
+                    latencies: typing.Optional[list] = None) -> Event:
+        """Fused equivalent of ``throughput._agent_process``: returns an
+        event that succeeds once ``routines`` routines have run.  The
+        predictor and trainer stay generator processes — they run once
+        per *batch*, so their resume overhead is already amortised."""
+        del agent_id
+        return _GA3CAgentChain(self, self.engine, t_max, routines, host,
+                               meter, needs_sync, needs_bootstrap,
+                               latencies).completion

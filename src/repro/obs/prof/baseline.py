@@ -66,11 +66,23 @@ class Scenario(typing.NamedTuple):
     num_agents: int = 8
     t_max: int = 5
     routines: int = 25
+    host: str = ""                        # "" = default HostModel
 
     def build(self):
         """A fresh backend instance (default topology) for one run."""
         from repro import backends
         return backends.create(self.backend, **dict(self.overrides))
+
+    def build_host(self):
+        """The HostModel for this scenario (None = platform default)."""
+        if not self.host:
+            return None
+        from repro.platforms.throughput import HostModel
+        factory = getattr(HostModel, self.host, None)
+        if factory is None:
+            raise ValueError(f"unknown host model {self.host!r} in "
+                             f"scenario {self.name!r}")
+        return factory()
 
 
 #: The bench matrix: the proposed design, the Section 5.4 ablations that
@@ -84,6 +96,10 @@ SCENARIOS: typing.Tuple[Scenario, ...] = (
              (("double_buffering", False),)),
     Scenario("gpu-cudnn-n8", "a3c-cudnn"),
     Scenario("ga3c-tf-n8", "ga3c-tf"),
+    # GA3C fed by the SoA batched engine: the amortised host step
+    # (HostModel.batched, a frozen calibration figure) shifts the
+    # occupancy curve toward the contention-limited region.
+    Scenario("ga3c-tf-batched-n8", "ga3c-tf", host="batched"),
     Scenario("a3c-tf-gpu-n8", "a3c-tf-gpu"),
     Scenario("a3c-tf-cpu-n8", "a3c-tf-cpu"),
 )
@@ -116,7 +132,8 @@ def run_scenario(name: str) -> typing.Tuple[typing.Dict[str, object],
     with obs.enabled_scope(reset=True):
         result = measure_ips(platform, scenario.num_agents,
                              t_max=scenario.t_max,
-                             routines_per_agent=scenario.routines)
+                             routines_per_agent=scenario.routines,
+                             host=scenario.build_host())
         report = AttributionReport.from_registry(obs.metrics()).validate()
     shares = report.bucket_shares()
     entry = {
@@ -144,7 +161,7 @@ def run_wallclock_scenario(name: str, repeats: int = 3
             f"unknown scenario {name!r}; known: "
             f"{', '.join(scenario_names())}") from None
     from repro.platforms import ThroughputSetup
-    setup = ThroughputSetup(scenario.build())
+    setup = ThroughputSetup(scenario.build(), scenario.build_host())
     best = float("inf")
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
@@ -239,7 +256,7 @@ def run_latency_scenario(name: str) -> typing.Dict[str, object]:
             f"{', '.join(scenario_names())}") from None
     from repro.obs.registry import hdr_bucket_index, hdr_percentile
     from repro.platforms import ThroughputSetup
-    setup = ThroughputSetup(scenario.build())
+    setup = ThroughputSetup(scenario.build(), scenario.build_host())
     result = setup.measure(scenario.num_agents, t_max=scenario.t_max,
                            routines_per_agent=scenario.routines)
     latencies = result.inference_latencies

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.gpu.calibration import GPUCalibration
 from repro.obs import runtime as _obs
+from repro.perf import runtime as _fast
 from repro.platforms.metrics import IPSMeter
 from repro.sim import Engine
 
@@ -34,6 +35,29 @@ class HostModel:
     def dummy(cls) -> "HostModel":
         """The Section 5.3 dummy platform: environment only, no DNN."""
         return cls(train_prep_time=0.0)
+
+    @classmethod
+    def batched(cls, frames_per_second: typing.Optional[float] = None,
+                frame_skip: int = 4) -> "HostModel":
+        """Host model when a SoA batched engine feeds the agents.
+
+        With ``repro.ale.vec`` one vector step advances every slot
+        ``frame_skip`` frames at the engine's aggregate frame rate, so
+        the per-agent host time between inference requests amortises to
+        ``frame_skip / frames_per_second``.  This is the occupancy-curve
+        input to the GPU cost model: a cheaper host step pushes the
+        accelerator into its contention-limited region at lower agent
+        counts.  ``frames_per_second`` must be a fixed calibration
+        figure (default :attr:`GPUCalibration.batched_env_fps`), never a
+        live measurement — modelled numbers stay deterministic.
+        """
+        if frames_per_second is None:
+            frames_per_second = GPUCalibration.batched_env_fps
+        if frames_per_second <= 0 or frame_skip <= 0:
+            raise ValueError(
+                "frames_per_second and frame_skip must be positive, "
+                f"got {frames_per_second!r} / {frame_skip!r}")
+        return cls(step_time=frame_skip / frames_per_second)
 
 
 @dataclasses.dataclass
@@ -115,16 +139,29 @@ class ThroughputSetup:
         sim = self.platform.build_sim(engine)
         meter = IPSMeter(t_max)
         latencies: typing.List[float] = []
-        processes = [
-            engine.process(_agent_process(sim, engine, agent_id, t_max,
-                                          routines_per_agent, self.host,
-                                          meter, self.needs_sync,
-                                          self.needs_bootstrap,
-                                          latencies),
-                           name=f"agent-{agent_id}")
-            for agent_id in range(num_agents)
-        ]
-        engine.run(engine.all_of(processes))
+        if _fast.enabled() and hasattr(sim, "agent_chain"):
+            # Fused fast path: each agent is a callback chain instead of
+            # a generator process.  The chains create the same events in
+            # the same order, so every modelled number is bit-identical
+            # to the generator path (REPRO_FASTPATH=0).
+            agents = [
+                sim.agent_chain(agent_id, t_max, routines_per_agent,
+                                self.host, meter, self.needs_sync,
+                                self.needs_bootstrap, latencies)
+                for agent_id in range(num_agents)
+            ]
+        else:
+            agents = [
+                engine.process(_agent_process(sim, engine, agent_id,
+                                              t_max, routines_per_agent,
+                                              self.host, meter,
+                                              self.needs_sync,
+                                              self.needs_bootstrap,
+                                              latencies),
+                               name=f"agent-{agent_id}")
+                for agent_id in range(num_agents)
+            ]
+        engine.run(engine.all_of(agents))
         utilisation = sim.utilisation() \
             if hasattr(sim, "utilisation") else 0.0
         result = ThroughputResult(platform=self.name,

@@ -18,6 +18,11 @@ import typing
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout, _PENDING
 
+#: Heap entries whose payload is a bound method (not an Event) are fired
+#: by calling it directly — the fast-path agent chains schedule their
+#: resume callback without an event object (see repro.gpu.platform).
+_METHOD = types.MethodType
+
 
 class Interrupt(Exception):
     """Raised inside a process when another process interrupts it."""
@@ -157,9 +162,12 @@ class Engine:
         return AnyOf(self, events)
 
     def step(self) -> None:
-        """Process the next queued event."""
+        """Process the next queued entry (an event or a bare callback)."""
         time, _seq, event = heapq.heappop(self._queue)
         self._now = time
+        if event.__class__ is _METHOD:
+            event(None)
+            return
         event._processed = True
         callbacks, event.callbacks = event.callbacks, []
         for callback in callbacks:
@@ -185,6 +193,9 @@ class Engine:
                                        "awaited event fired")
                 time, _seq, event = heappop(queue)
                 self._now = time
+                if event.__class__ is _METHOD:
+                    event(None)
+                    continue
                 event._processed = True
                 callbacks = event.callbacks
                 event.callbacks = []
@@ -197,6 +208,9 @@ class Engine:
         while queue and queue[0][0] <= deadline:
             time, _seq, event = heappop(queue)
             self._now = time
+            if event.__class__ is _METHOD:
+                event(None)
+                continue
             event._processed = True
             callbacks = event.callbacks
             event.callbacks = []

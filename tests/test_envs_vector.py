@@ -93,3 +93,15 @@ class TestSyncVectorEnv:
         vec.reset()
         step = vec.step([0, 0])
         assert step.dones[0] and not step.dones[1]
+
+    def test_heterogeneous_action_spaces_rejected(self):
+        # Catch is Discrete(3); MemoryCue is Discrete(2).  Slot 0's
+        # space sizes the policy head, so mixing must fail fast.
+        with pytest.raises(ValueError, match="heterogeneous"):
+            SyncVectorEnv([lambda: Catch(size=5),
+                           lambda: MemoryCue(delay=2)])
+
+    def test_same_sized_action_spaces_accepted(self):
+        vec = SyncVectorEnv([lambda: Catch(size=5),
+                             lambda: Catch(size=7)], seed=0)
+        assert vec.num_envs == 2

@@ -23,7 +23,8 @@ class TestExamples:
         assert {"quickstart.py", "atari_breakout.py",
                 "platform_comparison.py", "fpga_backend_demo.py",
                 "ablation_study.py", "lstm_memory.py",
-                "watch_games.py", "trace_dual_cu.py"} <= names
+                "watch_games.py", "trace_dual_cu.py",
+                "paac_batched.py"} <= names
 
     def test_watch_games(self):
         result = _run("watch_games.py", ["pong"])
@@ -45,6 +46,12 @@ class TestExamples:
         result = _run("atari_breakout.py", ["400"])
         assert result.returncode == 0, result.stderr
         assert "Training A3C on simulated breakout" in result.stdout
+
+    def test_paac_batched_tiny(self):
+        result = _run("paac_batched.py", ["400"])
+        assert result.returncode == 0, result.stderr
+        assert "Training PAAC on batched breakout" in result.stdout
+        assert "update rounds" in result.stdout
 
     def test_trace_dual_cu(self, tmp_path):
         import json

@@ -1,0 +1,68 @@
+"""Fused agent chains vs generator processes: bit-exact equivalence.
+
+The fast path (`repro.perf.runtime` enabled, the default) replaces the
+throughput experiment's generator agent processes with callback chains
+(`repro.gpu.platform._GPUAgentChain` / `_GA3CAgentChain` and the fused
+GA3C predictor/trainer).  The contract is that every modelled number —
+IPS, simulated seconds, utilisation, inference latencies — is
+bit-identical to the generator reference (``REPRO_FASTPATH=0``), not
+merely close: the chains must create the same events in the same heap
+order.
+"""
+
+import pytest
+
+from repro.obs import runtime as _obs
+from repro.obs.prof import baseline
+from repro.perf import runtime as _fast
+from repro.platforms.throughput import measure_ips
+
+FIELDS = ("ips", "sim_seconds", "utilisation", "routines",
+          "inference_latencies")
+
+# One scenario per simulator family — plain GPU device, the CPU
+# executor pool, GA3C's predictor/trainer queues — plus the batched
+# host model (different step_time through the same chain).
+SCENARIOS = ("gpu-cudnn-n8", "a3c-tf-cpu-n8", "ga3c-tf-n8",
+             "ga3c-tf-batched-n8")
+
+
+def _measure(name, num_agents):
+    scenario = baseline._BY_NAME[name]
+    return measure_ips(scenario.build(), num_agents,
+                       t_max=scenario.t_max,
+                       routines_per_agent=scenario.routines,
+                       host=scenario.build_host())
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+@pytest.mark.parametrize("num_agents", (1, 3, 8))
+def test_chain_matches_generator(name, num_agents):
+    assert _fast.enabled()
+    fast = _measure(name, num_agents)
+    with _fast.disabled_scope():
+        slow = _measure(name, num_agents)
+    for field in FIELDS:
+        assert getattr(fast, field) == getattr(slow, field), field
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_chain_matches_generator_with_telemetry(name):
+    """With observability on, the chains record the same task profiles
+    (scenario entries include the rounded attribution buckets)."""
+    with _obs.enabled_scope(reset=True):
+        fast_entry = baseline.run_scenario(name)[0]
+    with _fast.disabled_scope():
+        with _obs.enabled_scope(reset=True):
+            slow_entry = baseline.run_scenario(name)[0]
+    assert fast_entry == slow_entry
+
+
+def test_fpga_sims_keep_generator_path():
+    """FPGASim has no agent_chain; both modes run the generator and the
+    modelled numbers agree trivially."""
+    fast = _measure("fa3c-n8", 4)
+    with _fast.disabled_scope():
+        slow = _measure("fa3c-n8", 4)
+    for field in FIELDS:
+        assert getattr(fast, field) == getattr(slow, field), field

@@ -71,6 +71,31 @@ class TestMeasureIPS:
         assert host.train_prep_time == 0.0
         assert host.step_time > 0
 
+    def test_batched_host_model(self):
+        """The SoA-engine host amortises frame_skip frames over the
+        frozen calibration frame rate — the occupancy-curve input."""
+        from repro.gpu.calibration import GPUCalibration
+        host = HostModel.batched()
+        assert host.step_time == \
+            4 / GPUCalibration.batched_env_fps
+        assert host.step_time < HostModel().step_time
+        assert HostModel.batched(frames_per_second=8000.0,
+                                 frame_skip=2).step_time == 2 / 8000.0
+        with pytest.raises(ValueError):
+            HostModel.batched(frames_per_second=0.0)
+        with pytest.raises(ValueError):
+            HostModel.batched(frame_skip=0)
+
+    def test_batched_host_raises_modelled_throughput(self, topology):
+        """A cheaper host step lets the same agent count extract more
+        IPS from the accelerator (closer to the contention limit)."""
+        batched = measure_ips(GA3CTFPlatform(topology), 8,
+                              routines_per_agent=10,
+                              host=HostModel.batched())
+        scalar = measure_ips(GA3CTFPlatform(topology), 8,
+                             routines_per_agent=10)
+        assert batched.ips > scalar.ips
+
     def test_ga3c_agents_do_not_block_on_training(self, topology):
         """GA3C training is queued, not awaited: more routines finish
         per simulated second than the device could serve synchronously."""
