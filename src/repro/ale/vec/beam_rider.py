@@ -62,6 +62,7 @@ class VecBeamRider(VecAtariGame):
         self.sector_remaining[k] = BeamRider.SECTOR_SIZE
         self.sector_to_spawn[k] = BeamRider.SECTOR_SIZE
 
+    @hot_path
     def _spawn_enemy_slot(self, k: int) -> None:
         self.spawn_timer[k] -= 1
         if self.spawn_timer[k] > 0 or self.sector_to_spawn[k] == 0:
@@ -72,6 +73,7 @@ class VecBeamRider(VecAtariGame):
         self.enemies[k].append(np.array([float(beam), _BEAM_TOP]))
         self.sector_to_spawn[k] -= 1
 
+    @hot_path
     def _step_slot(self, k: int, action: int) -> float:
         if self.respawn[k] > 0:
             self.respawn[k] -= 1

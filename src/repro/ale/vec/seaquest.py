@@ -60,6 +60,7 @@ class VecSeaquest(VecAtariGame):
             self.divers_held[k] = 0
             self.respawn[k] = 0
 
+    @hot_path
     def _spawn_slot(self, k: int) -> None:
         rng = self.rngs[k]
         if rng.random() < Seaquest.SPAWN_PROBABILITY:
@@ -81,6 +82,7 @@ class VecSeaquest(VecAtariGame):
         self.torpedo[k] = None
         self.divers_held[k] = 0
 
+    @hot_path
     def _step_slot(self, k: int, action: int) -> float:
         if self.respawn[k] > 0:
             self.respawn[k] -= 1

@@ -91,6 +91,7 @@ class VecSpaceInvaders(VecAtariGame):
         else:
             self.grid_origin[k, 0] += direction * SpaceInvaders.MARCH_STEP
 
+    @hot_path
     def _drop_bombs_slot(self, k: int) -> None:
         rng = self.rngs[k]
         if rng.random() >= \
@@ -139,6 +140,7 @@ class VecSpaceInvaders(VecAtariGame):
                 remaining.append(bomb)
         self.bombs[k] = remaining
 
+    @hot_path
     def _step_slot(self, k: int, action: int) -> float:
         if self.respawn[k] > 0:
             self.respawn[k] -= 1

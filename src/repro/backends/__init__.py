@@ -25,10 +25,13 @@ from repro.backends.fpga import FPGABackend, register_fpga_backends
 from repro.backends.gpu import GPUBackend, register_gpu_backends
 from repro.backends.protocol import (
     AGENT_SEED_STRIDE,
+    EVAL_SEED_STRIDE,
     Backend,
     BackendCapabilities,
     PlatformBackend,
     derive_agent_seed,
+    derive_eval_seed,
+    derive_policy_seed,
 )
 from repro.backends.registry import (
     DEFAULT_BACKEND,
@@ -48,12 +51,15 @@ __all__ = [
     "Backend",
     "BackendCapabilities",
     "DEFAULT_BACKEND",
+    "EVAL_SEED_STRIDE",
     "FPGABackend",
     "GPUBackend",
     "PlatformBackend",
     "create",
     "default_topology",
     "derive_agent_seed",
+    "derive_eval_seed",
+    "derive_policy_seed",
     "is_registered",
     "names",
     "register",

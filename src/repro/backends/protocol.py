@@ -53,6 +53,34 @@ def derive_agent_seed(seed: int, agent_id: int) -> int:
     return seed * AGENT_SEED_STRIDE + agent_id
 
 
+#: Multiplier of the per-episode evaluation seed derivation.  A larger
+#: prime than :data:`AGENT_SEED_STRIDE` so evaluation episode streams
+#: never alias the training agents' environment streams.
+EVAL_SEED_STRIDE = 7919
+
+
+def derive_policy_seed(seed: int, agent_id: int) -> int:
+    """Per-agent *policy sampling* seed: ``seed + agent_id``.
+
+    Agents draw their action-sampling RNG from this stream.  It is
+    deliberately distinct from :func:`derive_agent_seed` (which seeds
+    the agent's *environment*): the offset form has been the policy
+    stream's identity since the first trainer and is kept bit-exact so
+    recorded runs and the bench baselines replay unchanged.
+    """
+    return seed + agent_id
+
+
+def derive_eval_seed(seed: int, episode: int) -> int:
+    """Per-episode *evaluation* seed: ``seed * EVAL_SEED_STRIDE +
+    episode``.
+
+    Greedy-evaluation episodes each get their own environment stream so
+    scores are independent of evaluation order and batch size.
+    """
+    return seed * EVAL_SEED_STRIDE + episode
+
+
 @dataclasses.dataclass(frozen=True)
 class BackendCapabilities:
     """What one execution platform supports.

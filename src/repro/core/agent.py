@@ -21,7 +21,7 @@ import typing
 import numpy as np
 
 from repro.core.config import A3CConfig
-from repro.core.execution import apply_rollout_update
+from repro.core.execution import apply_rollout_update, derive_policy_seed
 from repro.core.parameter_server import ParameterServer
 from repro.core.rollout import Rollout
 from repro.envs.base import Env
@@ -54,7 +54,8 @@ class A3CAgent:
         self.network = network
         self.server = server
         self.config = config
-        self.rng = rng or np.random.default_rng(config.seed + agent_id)
+        self.rng = rng or np.random.default_rng(
+            derive_policy_seed(config.seed, agent_id))
         self.local_params: ParameterSet = server.snapshot()
         self.rollout = Rollout()
         self._state = env.reset()

@@ -16,6 +16,7 @@ import typing
 
 import numpy as np
 
+from repro.core.execution import derive_eval_seed
 from repro.envs.base import Env
 from repro.nn.losses import softmax
 from repro.nn.parameters import ParameterSet
@@ -54,7 +55,7 @@ def evaluate_policy(env: Env, network, params: ParameterSet,
     scores = []
     total_steps = 0
     for episode in range(episodes):
-        env.seed(seed * 7919 + episode)
+        env.seed(derive_eval_seed(seed, episode))
         obs = env.reset()
         score = 0.0
         for _ in range(max_steps_per_episode):
@@ -83,7 +84,7 @@ def evaluate_recurrent_policy(env: Env, network, params: ParameterSet,
     scores = []
     total_steps = 0
     for episode in range(episodes):
-        env.seed(seed * 7919 + episode)
+        env.seed(derive_eval_seed(seed, episode))
         obs = env.reset()
         carry = network.initial_state()
         score = 0.0

@@ -20,11 +20,16 @@ import numpy as np
 # Protocol-level import only: the seeding contract is defined with the
 # backend protocol, but pulling it in must not drag the platform
 # adapters (and their sim stacks) into every trainer import.
-from repro.backends.protocol import derive_agent_seed
+from repro.backends.protocol import (
+    derive_agent_seed,
+    derive_eval_seed,
+    derive_policy_seed,
+)
 from repro.nn.losses import A3CLossResult, a3c_loss_and_head_gradients
 from repro.obs import runtime as _obs
 
 __all__ = ["apply_rollout_update", "derive_agent_seed",
+           "derive_eval_seed", "derive_policy_seed",
            "record_routine", "resolve_backend"]
 
 

@@ -25,6 +25,7 @@ from repro.core.config import A3CConfig
 from repro.core.execution import (
     apply_rollout_update,
     derive_agent_seed,
+    derive_policy_seed,
     record_routine,
     resolve_backend,
 )
@@ -88,7 +89,8 @@ class GA3CTrainer:
             for agent_id in range(config.num_agents):
                 self.workers.append(_GA3CWorker(
                     env=None,
-                    rng=np.random.default_rng(config.seed + agent_id),
+                    rng=np.random.default_rng(
+                        derive_policy_seed(config.seed, agent_id)),
                     state=observations[agent_id],
                     rollout=Rollout()))
         else:
@@ -97,7 +99,8 @@ class GA3CTrainer:
                 env.seed(derive_agent_seed(config.seed, agent_id))
                 self.workers.append(_GA3CWorker(
                     env=env,
-                    rng=np.random.default_rng(config.seed + agent_id),
+                    rng=np.random.default_rng(
+                        derive_policy_seed(config.seed, agent_id)),
                     state=env.reset(),
                     rollout=Rollout()))
         self._train_queue: collections.deque = collections.deque()

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.config import A3CConfig
 from repro.core.execution import (
     apply_rollout_update,
+    derive_policy_seed,
     record_routine,
     resolve_backend,
 )
@@ -67,7 +68,8 @@ class PAACTrainer:
                 [lambda i=i: env_factory(i)
                  for i in range(config.num_agents)],
                 seed=config.seed)
-        self.rngs = [np.random.default_rng(config.seed + agent_id)
+        self.rngs = [np.random.default_rng(
+                         derive_policy_seed(config.seed, agent_id))
                      for agent_id in range(config.num_agents)]
         self.vector_env.reset()
         self.episodes = 0

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.agent import RoutineStats
 from repro.core.config import A3CConfig
+from repro.core.execution import derive_policy_seed
 from repro.core.parameter_server import ParameterServer
 from repro.core.rollout import Rollout
 from repro.envs.base import Env
@@ -38,7 +39,8 @@ class RecurrentA3CAgent:
         self.network = network
         self.server = server
         self.config = config
-        self.rng = rng or np.random.default_rng(config.seed + agent_id)
+        self.rng = rng or np.random.default_rng(
+            derive_policy_seed(config.seed, agent_id))
         self.local_params: ParameterSet = server.snapshot()
         self.rollout = Rollout()
         self._state = env.reset()

@@ -120,7 +120,10 @@ class BatchedVectorEnv:
         self.action_space = engine.action_space
         self.observation_space = Box(0.0, 1.0, (stack, size, size))
         if seed is not None:
-            engine.seed([seed * 1009 + index
+            # Lazy for the same layering reason as SyncVectorEnv: the
+            # contract lives with the backend protocol.
+            from repro.backends.protocol import derive_agent_seed
+            engine.seed([derive_agent_seed(seed, index)
                          for index in range(self.num_envs)])
 
         batch = self.num_envs

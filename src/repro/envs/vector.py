@@ -52,8 +52,12 @@ class SyncVectorEnv:
                 "a vector must expose the same action count")
         self.num_envs = len(self.envs)
         if seed is not None:
+            # Lazy: the seeding contract lives with the backend
+            # protocol, and a module-scope import would drag the
+            # platform adapters into every envs import (layering).
+            from repro.backends.protocol import derive_agent_seed
             for index, env in enumerate(self.envs):
-                env.seed(seed * 1009 + index)
+                env.seed(derive_agent_seed(seed, index))
         self._scores = np.zeros(self.num_envs)
         self._observations: typing.Optional[np.ndarray] = None
 

@@ -18,7 +18,7 @@ Entry points:
 * :func:`lint_paths` / :func:`lint_source` (library / tests)
 
 See ``docs/static-analysis.md`` for the rule reference, the pragma
-syntax (``# repro-lint: ok[rule]``), and how to add a rule.
+syntax (``repro-lint: ok[rule]`` comments), and how to add a rule.
 """
 
 from repro.lint.config import LintConfig, load_config

@@ -14,7 +14,9 @@ rule.  It provides:
   ``if not _obs.enabled(): ...; return``, and latency-recorder
   sentinels (``lat = _lat.RoutineLatency(...) if _obs.enabled() else
   None`` followed by ``if lat is not None:`` / ``timed = lat is not
-  None``),
+  None``).  Optional recorder parameters (``lat=None``) are sentinels
+  too, and ``self.X`` gates when every assignment to ``X`` in the
+  enclosing class is an ``enabled()`` call,
 * the set of hot-path functions (``@hot_path`` decorator or configured
   dotted names).
 """
@@ -114,6 +116,7 @@ class FileContext:
             elif isinstance(node, ast.ImportFrom):
                 self._record_import_from(node)
         self._gate_cache: typing.Dict[int, typing.Set[int]] = {}
+        self._class_gate_cache: typing.Dict[int, typing.Set[str]] = {}
         hot = set(hot_functions)
         self.hot_function_nodes: typing.List[FunctionNode] = []
         for func in self._functions:
@@ -294,6 +297,10 @@ class FileContext:
         if isinstance(test, ast.Name) and \
                 (test.id in aliases or test.id in recorders):
             return "pos"
+        if isinstance(test, ast.Attribute):
+            name = dotted(test)
+            if name is not None and name in aliases:
+                return "pos"
         if isinstance(test, ast.Compare) and \
                 isinstance(test.left, ast.Name) and \
                 test.left.id in recorders and len(test.ops) == 1 and \
@@ -327,7 +334,64 @@ class FileContext:
                 for target in node.targets:
                     if isinstance(target, ast.Name):
                         aliases.add(target.id)
+        aliases.update(self._class_gate_attrs(func))
         return aliases
+
+    def _class_gate_attrs(self, func: FunctionNode) -> typing.Set[str]:
+        """``self.X`` names that gate like ``enabled()`` in ``func``.
+
+        An attribute qualifies when *every* ``self.X = ...`` assignment
+        in the enclosing class — and its same-file base classes, where
+        the flag usually lives (``self._observing = _obs.enabled()``
+        in a base ``__init__``, tested in subclass methods) — is an
+        ``enabled()`` call.  One non-gate assignment disqualifies the
+        attribute: its truthiness then no longer implies obs is on."""
+        node: typing.Optional[ast.AST] = func
+        while node is not None and not isinstance(node, ast.ClassDef):
+            node = self.parent(node)
+        if node is None:
+            return set()
+        cached = self._class_gate_cache.get(id(node))
+        if cached is not None:
+            return cached
+        by_name = {cd.name: cd for cd in ast.walk(self.tree)
+                   if isinstance(cd, ast.ClassDef)}
+        gate_assigned: typing.Set[str] = set()
+        other_assigned: typing.Set[str] = set()
+        seen: typing.Set[str] = set()
+        stack = [node]
+        while stack:
+            cls = stack.pop()
+            if cls.name in seen:
+                continue
+            seen.add(cls.name)
+            self._collect_self_flags(cls, gate_assigned, other_assigned)
+            for base in cls.bases:
+                if isinstance(base, ast.Name) and base.id in by_name:
+                    stack.append(by_name[base.id])
+        attrs = {"self." + name
+                 for name in gate_assigned - other_assigned}
+        self._class_gate_cache[id(node)] = attrs
+        return attrs
+
+    def _collect_self_flags(self, cls: ast.ClassDef,
+                            gate_assigned: typing.Set[str],
+                            other_assigned: typing.Set[str]) -> None:
+        for sub in ast.walk(cls):
+            if not isinstance(sub, (ast.Assign, ast.AugAssign,
+                                    ast.AnnAssign)):
+                continue
+            targets = sub.targets if isinstance(sub, ast.Assign) \
+                else [sub.target]
+            is_gate = isinstance(sub, ast.Assign) and \
+                isinstance(sub.value, ast.Call) and \
+                self._is_gate_call(sub.value)
+            for target in targets:
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self":
+                    (gate_assigned if is_gate
+                     else other_assigned).add(target.attr)
 
     def _recorder_aliases(self, func: FunctionNode,
                           aliases: typing.Set[str]
@@ -337,8 +401,27 @@ class FileContext:
         Covers ``lat = _lat.RoutineLatency(...)`` and the gated ternary
         ``lat = _lat.RoutineLatency(...) if _obs.enabled() else None``;
         such names become gate sentinels — see :meth:`_gate_test_kind`.
+
+        An optional recorder *parameter* (``lat=None`` /
+        ``latency=None`` — the shared-helper contract: callers pass a
+        recorder only while observing) is a sentinel too.  Only those
+        exact names qualify; a substring match would wrongly gate on
+        ``platform=None``.
         """
         recorders: typing.Set[str] = set()
+        pos_args = list(func.args.posonlyargs) + list(func.args.args)
+        pos_defaults = list(func.args.defaults)
+        defaulted = zip(pos_args[len(pos_args) - len(pos_defaults):],
+                        pos_defaults)
+        kw_defaulted = [(arg, default) for arg, default
+                        in zip(func.args.kwonlyargs,
+                               func.args.kw_defaults)
+                        if default is not None]
+        for arg, default in list(defaulted) + kw_defaulted:
+            if arg.arg in ("lat", "latency") and \
+                    isinstance(default, ast.Constant) and \
+                    default.value is None:
+                recorders.add(arg.arg)
         for node in ast.walk(func):
             if not isinstance(node, ast.Assign):
                 continue

@@ -1,0 +1,154 @@
+"""On-disk result cache for incremental lint runs.
+
+One JSON file (default ``.repro-lint-cache.json``, configurable via
+``cache-path`` in ``[tool.repro-lint]``) maps each linted file's
+display path to its content digest, serialised
+:class:`~repro.lint.program.ModuleSummary`, findings, and suppression
+stats.  The cache is keyed by a hash of the effective configuration
+(selected rules, rule options, schema versions): change the config and
+the whole cache silently invalidates.
+
+A warm ``repro lint --changed`` run then
+
+1. re-extracts summaries only for files whose digest changed (clean
+   files load their summary from the cache without re-parsing),
+2. rebuilds the (cheap) program index from all summaries,
+3. re-runs rules only on dirty files plus their reverse-dependency
+   cone — everyone whose interprocedural findings could read a dirty
+   file — and replays cached findings verbatim for the rest.
+
+The cache write is atomic (temp file + ``os.replace``) so a crashed
+run never leaves a torn cache behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import typing
+
+from repro.lint.findings import Finding
+from repro.lint.program import SCHEMA_VERSION, ModuleSummary
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+def config_cache_key(config, select: typing.Sequence[str]) -> str:
+    """Hash of everything that changes what a lint run computes."""
+    blob = json.dumps({
+        "cache": CACHE_VERSION,
+        "schema": SCHEMA_VERSION,
+        "select": sorted(select),
+        "exclude": sorted(config.exclude),
+        "rules": {name: config.options(name)
+                  for name in sorted(select)},
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class CacheStats:
+    """What a ``--changed`` run actually did, for the report."""
+
+    def __init__(self) -> None:
+        self.total = 0        # files collected
+        self.dirty = 0        # content changed (or new)
+        self.cone = 0         # clean, re-run as reverse dependents
+        self.analysed = 0     # dirty + cone: rules actually ran
+        self.reused = 0       # findings replayed from cache
+
+    def to_dict(self) -> typing.Dict[str, int]:
+        return {"total": self.total, "dirty": self.dirty,
+                "cone": self.cone, "analysed": self.analysed,
+                "reused": self.reused}
+
+    def line(self) -> str:
+        return (f"cache: {self.analysed} analysed "
+                f"({self.dirty} dirty + {self.cone} dependents), "
+                f"{self.reused} reused of {self.total} files")
+
+
+class LintCache:
+    """Digest-keyed store of per-file summaries and findings."""
+
+    def __init__(self, path: str, config_key: str):
+        self.path = path
+        self.config_key = config_key
+        self.files: typing.Dict[str, typing.Dict[str, object]] = {}
+
+    @classmethod
+    def load(cls, path: str, config_key: str) -> "LintCache":
+        cache = cls(path, config_key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(data, dict) \
+                or data.get("version") != CACHE_VERSION \
+                or data.get("config_key") != config_key:
+            return cache
+        files = data.get("files")
+        if isinstance(files, dict):
+            cache.files = files
+        return cache
+
+    def fresh_entry(self, display_path: str, digest: str
+                    ) -> typing.Optional[typing.Dict[str, object]]:
+        entry = self.files.get(display_path)
+        if entry is not None and entry.get("digest") == digest:
+            return entry
+        return None
+
+    @staticmethod
+    def summary_of(entry: typing.Dict[str, object]
+                   ) -> typing.Optional[ModuleSummary]:
+        raw = entry.get("summary")
+        if raw is None:
+            return None
+        return ModuleSummary.from_dict(raw)
+
+    @staticmethod
+    def findings_of(entry: typing.Dict[str, object]
+                    ) -> typing.List[Finding]:
+        return [Finding.from_dict(item)
+                for item in entry.get("findings", ())]
+
+    def update(self, display_path: str, digest: str,
+               summary: typing.Optional[ModuleSummary],
+               findings: typing.Sequence[Finding],
+               suppressed: int,
+               suppressed_by_rule: typing.Mapping[str, int],
+               warnings: typing.Sequence[str],
+               skipped: bool = False) -> None:
+        self.files[display_path] = {
+            "digest": digest,
+            "summary": summary.to_dict() if summary else None,
+            "findings": [f.cache_dict() for f in findings],
+            "suppressed": suppressed,
+            "suppressed_by_rule": dict(suppressed_by_rule),
+            "warnings": list(warnings),
+            "skipped": skipped,
+        }
+
+    def prune(self, keep: typing.Iterable[str]) -> None:
+        """Drop entries for files no longer in the run."""
+        keep_set = set(keep)
+        for stale in [p for p in self.files if p not in keep_set]:
+            del self.files[stale]
+
+    def save(self) -> None:
+        payload = {"version": CACHE_VERSION,
+                   "config_key": self.config_key,
+                   "files": self.files}
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import typing
 
 
@@ -13,6 +14,12 @@ class Finding:
     ``line``/``end_line`` are 1-based; ``col`` is 0-based (as in
     :mod:`ast`).  ``end_line`` lets the pragma matcher accept a
     suppression on any line of a multi-line statement.
+
+    ``chain`` carries the call/import path justifying an
+    *interprocedural* finding — one human-readable hop per entry,
+    first entry at the anchor, last at the hazard.  ``repro lint --why
+    <id>`` prints it; :meth:`finding_id` is the stable-within-a-run
+    identifier the flag takes.
     """
 
     rule: str
@@ -21,13 +28,42 @@ class Finding:
     col: int
     message: str
     end_line: typing.Optional[int] = None
+    chain: typing.Tuple[str, ...] = ()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}"
 
+    def finding_id(self) -> str:
+        """Short content hash: stable across runs while the finding
+        (rule, location, message) is unchanged."""
+        blob = f"{self.rule}|{self.path}|{self.line}|{self.col}|" \
+               f"{self.message}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:8]
+
     def as_dict(self) -> typing.Dict[str, object]:
-        return {"rule": self.rule, "path": self.path, "line": self.line,
-                "col": self.col, "message": self.message}
+        out: typing.Dict[str, object] = {
+            "id": self.finding_id(), "rule": self.rule,
+            "path": self.path, "line": self.line, "col": self.col,
+            "message": self.message}
+        if self.chain:
+            out["chain"] = list(self.chain)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, object]) -> "Finding":
+        return cls(rule=str(data["rule"]), path=str(data["path"]),
+                   line=int(data["line"]), col=int(data["col"]),
+                   message=str(data["message"]),
+                   end_line=(int(data["end_line"])
+                             if data.get("end_line") is not None else None),
+                   chain=tuple(str(hop)
+                               for hop in data.get("chain", ())))
+
+    def cache_dict(self) -> typing.Dict[str, object]:
+        """Round-trippable form (``as_dict`` plus ``end_line``)."""
+        out = self.as_dict()
+        out["end_line"] = self.end_line
+        return out
 
     def sort_key(self) -> typing.Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)

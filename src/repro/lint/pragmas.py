@@ -5,7 +5,11 @@ Three forms, all case-sensitive:
 * ``# repro-lint: ok[rule1,rule2]`` — trailing on a line of code:
   suppress those rules for any finding anchored to that line (a finding
   spanning several lines is suppressed by a pragma on *any* of them).
-  On a comment-only line the pragma applies to the next line instead.
+  On a comment-only line — or a decorator line, where a trailing
+  comment would otherwise govern only the ``@`` line itself — the
+  pragma applies to the next code line instead (skipping further
+  comment/decorator lines), so it can suppress a finding anchored to
+  the decorated ``def``.
 * ``# repro-lint: file-ok[rule1,rule2]`` — anywhere in the file:
   suppress those rules for the whole file.
 * ``# repro-lint: skip-file`` — do not lint this file at all.
@@ -16,7 +20,10 @@ Free-form prose after the bracket is encouraged — a pragma should say
     np.copyto(self.theta_flat(), template.flatten()) \
         # repro-lint: ok[seqlock] store not shared yet
 
-``ok[*]`` suppresses every rule on that line.
+``ok[*]`` suppresses every rule on that line.  Rule names in brackets
+are validated against the registry after the run: an unknown name
+(a typo'd pragma silently suppressing nothing) is reported as a
+warning, never silently accepted.
 """
 
 from __future__ import annotations
@@ -37,10 +44,13 @@ class PragmaIndex:
         self.skip_file = False
         self.file_rules: typing.Set[str] = set()
         self.line_rules: typing.Dict[int, typing.Set[str]] = {}
+        #: every ``(line, rule)`` named in a pragma, for validation.
+        self.declared: typing.List[typing.Tuple[int, str]] = []
         self._scan(source)
 
     def _scan(self, source: str) -> None:
-        for lineno, line in enumerate(source.splitlines(), start=1):
+        lines = source.splitlines()
+        for lineno, line in enumerate(lines, start=1):
             match = _PRAGMA.search(line)
             if not match:
                 continue
@@ -49,14 +59,25 @@ class PragmaIndex:
                 continue
             rules = {part.strip() for part
                      in match.group(3).split(",") if part.strip()}
+            for rule in sorted(rules):
+                self.declared.append((lineno, rule))
             if match.group(2) == "file-ok":
                 self.file_rules |= rules
                 continue
-            # A pragma on a comment-only line governs the next line.
+            # A pragma on a comment-only or decorator line governs the
+            # next code line (skipping further comment/decorator lines,
+            # so it reaches past a decorator stack to the `def`).
             target = lineno
-            if line.strip().startswith("#"):
+            if line.strip().startswith(("#", "@")):
                 target = lineno + 1
+                while target <= len(lines) and \
+                        lines[target - 1].strip().startswith(("#", "@")):
+                    target += 1
             self.line_rules.setdefault(target, set()).update(rules)
+
+    def rule_names(self) -> typing.Set[str]:
+        """Every rule name any pragma in this file refers to."""
+        return {rule for _, rule in self.declared}
 
     def suppresses(self, rule: str, line: int,
                    end_line: typing.Optional[int] = None) -> bool:

@@ -28,10 +28,19 @@ from repro.lint.findings import Finding
 
 
 class Rule:
-    """Base class; subclasses override :attr:`name` and :meth:`check`."""
+    """Base class; subclasses override :attr:`name` and :meth:`check`.
+
+    Interprocedural rules set :attr:`requires_program` and override
+    :meth:`check_module` instead: they run once per module against the
+    whole-program index (:class:`repro.lint.program.ProgramIndex`) and
+    must anchor every finding in *that* module, so incremental runs can
+    cache findings per file.
+    """
 
     name: str = ""
     description: str = ""
+    #: True for whole-program rules (they implement check_module).
+    requires_program: bool = False
 
     def __init__(self, options: typing.Optional[typing.Dict[str, object]]
                  = None):
@@ -48,6 +57,13 @@ class Rule:
         return [str(item) for item in value]
 
     def check(self, ctx) -> typing.Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def check_module(self, program, summary
+                     ) -> typing.Iterator[Finding]:
+        """Whole-program pass for one module (``requires_program``
+        rules only).  Findings must be anchored in ``summary.path``."""
         raise NotImplementedError
         yield  # pragma: no cover
 

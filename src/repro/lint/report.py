@@ -6,8 +6,12 @@ import json
 import typing
 
 from repro.lint.engine import LintRun
+from repro.lint.findings import Finding
 
-JSON_VERSION = 1
+#: v2: findings carry ``id`` and (interprocedural) ``chain``; the
+#: document gains ``suppressed_by_rule``, per-rule ``timing_ms``,
+#: ``warnings``, and ``cache`` stats on incremental runs.
+JSON_VERSION = 2
 
 
 def render_text(run: LintRun, verbose: bool = False) -> str:
@@ -18,6 +22,8 @@ def render_text(run: LintRun, verbose: bool = False) -> str:
                      f"{finding.message}")
     for result in run.errors:
         lines.append(f"{result.path}: error: {result.error}")
+    for path, message in run.warnings:
+        lines.append(f"{path}: warning: {message}")
     counts = run.counts_by_rule()
     if counts:
         per_rule = ", ".join(f"{rule}={count}"
@@ -30,10 +36,31 @@ def render_text(run: LintRun, verbose: bool = False) -> str:
     if run.suppressed:
         lines.append(f"{run.suppressed} finding(s) suppressed by "
                      "pragmas")
+    if run.cache_stats is not None:
+        lines.append(run.cache_stats.line())
     if verbose:
         skipped = [r.path for r in run.files if r.skipped]
         if skipped:
             lines.append("skipped: " + ", ".join(skipped))
+        if run.timing:
+            per_rule = ", ".join(
+                f"{name}={seconds * 1000:.1f}ms" for name, seconds
+                in sorted(run.timing.items()))
+            lines.append(f"timing: {per_rule}")
+    return "\n".join(lines)
+
+
+def render_why(finding: Finding) -> str:
+    """The ``--why <id>`` explainer block for one finding."""
+    lines = [f"finding {finding.finding_id()}: [{finding.rule}] "
+             f"{finding.location()}",
+             f"  {finding.message}"]
+    if finding.chain:
+        lines.append("  chain:")
+        for step, hop in enumerate(finding.chain, start=1):
+            lines.append(f"    {step}. {hop}")
+    else:
+        lines.append("  (single-file finding; no call/import chain)")
     return "\n".join(lines)
 
 
@@ -43,9 +70,16 @@ def render_json(run: LintRun) -> str:
         "version": JSON_VERSION,
         "files_checked": run.files_checked,
         "suppressed": run.suppressed,
+        "suppressed_by_rule": run.suppressed_by_rule(),
         "counts": run.counts_by_rule(),
         "findings": [finding.as_dict() for finding in run.findings],
         "errors": [{"path": r.path, "error": r.error}
                    for r in run.errors],
+        "warnings": [{"path": path, "message": message}
+                     for path, message in run.warnings],
+        "timing_ms": {name: round(seconds * 1000, 3)
+                      for name, seconds in sorted(run.timing.items())},
+        "cache": run.cache_stats.to_dict()
+        if run.cache_stats is not None else None,
     }
     return json.dumps(document, indent=2, sort_keys=True)

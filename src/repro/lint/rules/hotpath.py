@@ -21,13 +21,17 @@ local ``observing = _obs.enabled()`` alias, or the early-return guard
 * **string construction** — f-strings, ``str.format``, ``print`` /
   ``logging`` calls.  Error paths are cold: anything inside a ``raise``
   statement is exempt.
-* **allocation in loops** — calls that allocate per iteration inside a
+* **allocation per iteration** — calls that allocate on every pass of a
   ``for``/``while`` (``np.zeros``/``np.empty``/``np.array``/
   ``np.concatenate``/..., ``list()``/``dict()``/``set()``, ``.copy()``/
-  ``.astype()``/``.tolist()``, and comprehensions).  Hoist the buffer
-  out of the loop and fill it in place (``np.copyto``, ``out=``).
-  Bare ``[]``/``{}`` literals are exempt — resetting a handed-off list
-  is idiomatic and cheap next to building its contents.
+  ``.astype()``/``.tolist()``, and comprehensions).  The loop model is
+  precise (see :mod:`repro.lint.hazards`): ``for`` targets+bodies and
+  ``while`` tests+bodies are per-iteration; loop ``else`` clauses and
+  ``for`` iterables run once and are exempt unless an outer loop
+  repeats them.  Hoist the buffer out of the loop and fill it in place
+  (``np.copyto``, ``out=``).  Bare ``[]``/``{}`` literals are exempt —
+  resetting a handed-off list is idiomatic and cheap next to building
+  its contents.
 * **run-log shard writes** — anything rooted at
   :mod:`repro.obs.runlog`, and ``flush`` / ``heartbeat`` /
   ``maybe_heartbeat`` calls (the ``runlog-methods`` option) on objects
@@ -40,32 +44,64 @@ local ``observing = _obs.enabled()`` alias, or the early-return guard
   sentinel: ``lat = _lat.RoutineLatency(...) if _obs.enabled() else
   None`` then ``if lat is not None: lat.add_ns(...)`` — the gate
   analysis treats the ``is not None`` check as REPRO_OBS-gated.
+
+The per-function scan itself lives in :mod:`repro.lint.hazards`, shared
+with the whole-program index so ``hot-path-transitive`` applies exactly
+the same discipline through the call graph.
 """
 
 from __future__ import annotations
 
-import ast
-import typing
-
-from repro.lint import astutil
+from repro.lint import astutil, hazards
 from repro.lint.registry import Rule, register
 
-_ALLOC_NP = {"zeros", "ones", "empty", "full", "array", "arange",
-             "concatenate", "stack", "vstack", "hstack", "tile",
-             "repeat", "copy", "zeros_like", "ones_like", "empty_like",
-             "full_like"}
-_ALLOC_BUILTINS = {"list", "dict", "set", "tuple", "bytearray"}
-_ALLOC_METHODS = {"copy", "astype", "tolist", "flatten", "ravel"}
-_STRING_BUILDERS = {"print"}
-_WALLCLOCK = {"time", "time_ns", "monotonic", "monotonic_ns",
-              "perf_counter", "perf_counter_ns"}
-_COMPREHENSIONS = (ast.ListComp, ast.DictComp, ast.SetComp,
-                   ast.GeneratorExp)
-_RUNLOG_DEFAULT_METHODS = ("flush", "heartbeat", "maybe_heartbeat")
-# "measure" is deliberately absent: the receiver-mentions-"lat"
-# heuristic would catch `platform.measure(...)` ("platform" contains
-# "lat"), which is a throughput run, not a latency recorder.
-_LATENCY_DEFAULT_METHODS = ("add_ns", "finish")
+
+def hazard_finding_message(hazard: hazards.Hazard, label: str) -> str:
+    """The ``hot-path`` finding text for one hazard in ``label()``."""
+    if hazard.kind == "latency":
+        return (f"latency-recorder call `{hazard.name}(...)` in hot "
+                f"path {label}() is not behind the REPRO_OBS gate; "
+                "use the sentinel idiom `lat = ... if _obs.enabled() "
+                "else None` and `if lat is not None:`")
+    if hazard.kind == "runlog":
+        return (f"runlog shard write `{hazard.name}(...)` in hot "
+                f"path {label}() is not behind the REPRO_OBS gate; "
+                "shard flushes serialise a full snapshot to disk — "
+                "wrap them in `if _obs.enabled():`")
+    if hazard.kind == "obs":
+        return (f"obs call `{hazard.name}(...)` in hot path {label}() "
+                "is not behind the REPRO_OBS gate; wrap it in "
+                "`if _obs.enabled():`")
+    if hazard.kind == "wallclock":
+        return (f"wall-clock read `{hazard.name}()` in hot path "
+                f"{label}() outside the REPRO_OBS gate; use `"
+                f"{hazard.name}() if _obs.enabled() else 0.0` so the "
+                "disabled path stays clock-free")
+    if hazard.kind == "string":
+        if hazard.subkind == "fstring":
+            return (f"f-string built in hot path {label}() outside "
+                    "the REPRO_OBS gate; hoist it behind "
+                    "`if _obs.enabled():` (error paths inside "
+                    "`raise` are exempt)")
+        if hazard.subkind == "format":
+            return (f"str.format() in hot path {label}() outside the "
+                    "REPRO_OBS gate")
+        return (f"`{hazard.name}` call in hot path {label}() outside "
+                "the REPRO_OBS gate")
+    # alloc
+    if hazard.subkind == "comprehension":
+        return (f"comprehension allocates per iteration inside a loop "
+                f"of hot path {label}(); hoist it out or fill a "
+                "preallocated buffer")
+    if hazard.subkind == "np":
+        return (f"`{hazard.name}` allocates per iteration inside a "
+                f"loop of hot path {label}(); hoist the buffer and "
+                "fill it in place (np.copyto / out=)")
+    if hazard.subkind == "method":
+        return (f"{hazard.name}() allocates per iteration inside a "
+                f"loop of hot path {label}(); hoist it out of the loop")
+    return (f"`{hazard.name}()` allocates per iteration inside a loop "
+            f"of hot path {label}(); hoist it out of the loop")
 
 
 @register
@@ -79,197 +115,20 @@ class HotPathRule(Rule):
     def __init__(self, options=None):
         super().__init__(options)
         self._shard_methods = set(self.list_option(
-            "runlog-methods", _RUNLOG_DEFAULT_METHODS))
+            "runlog-methods", hazards.RUNLOG_DEFAULT_METHODS))
         self._latency_methods = set(self.list_option(
-            "latency-methods", _LATENCY_DEFAULT_METHODS))
+            "latency-methods", hazards.LATENCY_DEFAULT_METHODS))
 
     def check(self, ctx: astutil.FileContext):
         for func in ctx.hot_function_nodes:
-            yield from self._check_function(ctx, func)
-
-    def _check_function(self, ctx: astutil.FileContext,
-                        func: astutil.FunctionNode):
-        label = ctx.qualname(func)
-        loops = self._loop_nodes(func)
-        for node in ast.walk(func):
-            if isinstance(node, ast.Call):
-                yield from self._check_call(ctx, func, label, node, loops)
-            elif isinstance(node, ast.JoinedStr):
-                if not ctx.is_gated(func, node) \
-                        and not ctx.in_raise(node):
-                    yield ctx.finding(
-                        self, node,
-                        f"f-string built in hot path {label}() outside "
-                        "the REPRO_OBS gate; hoist it behind "
-                        "`if _obs.enabled():` (error paths inside "
-                        "`raise` are exempt)")
-            elif isinstance(node, _COMPREHENSIONS):
-                if id(node) in loops and not ctx.is_gated(func, node):
-                    yield ctx.finding(
-                        self, node,
-                        f"comprehension allocates per iteration inside "
-                        f"a loop of hot path {label}(); hoist it out or "
-                        "fill a preallocated buffer")
-
-    def _check_call(self, ctx: astutil.FileContext,
-                    func: astutil.FunctionNode, label: str,
-                    node: ast.Call, loops: typing.Set[int]):
-        gated = ctx.is_gated(func, node)
-        lat_call = self._latency_call_name(ctx, node)
-        if lat_call is not None:
-            if not gated:
-                yield ctx.finding(
-                    self, node,
-                    f"latency-recorder call `{lat_call}(...)` in hot "
-                    f"path {label}() is not behind the REPRO_OBS gate; "
-                    "use the sentinel idiom `lat = ... if "
-                    "_obs.enabled() else None` and `if lat is not "
-                    "None:`")
-            return
-        shard_call = self._runlog_call_name(ctx, node)
-        if shard_call is not None:
-            if not gated:
-                yield ctx.finding(
-                    self, node,
-                    f"runlog shard write `{shard_call}(...)` in hot "
-                    f"path {label}() is not behind the REPRO_OBS gate; "
-                    "shard flushes serialise a full snapshot to disk — "
-                    "wrap them in `if _obs.enabled():`")
-            return
-        obs_name = ctx.is_obs_call(node)
-        if obs_name is not None:
-            terminal = obs_name.split(".")[-1]
-            if terminal == "enabled":
-                return
-            if terminal == "span" and self._is_with_context(ctx, node):
-                return
-            if not gated:
-                yield ctx.finding(
-                    self, node,
-                    f"obs call `{obs_name}(...)` in hot path {label}() "
-                    "is not behind the REPRO_OBS gate; wrap it in "
-                    "`if _obs.enabled():`")
-            return
-        name = astutil.dotted(node.func)
-        parts = name.split(".") if name else []
-        if parts and parts[0] in ctx.time_aliases and len(parts) == 2 \
-                and parts[1] in _WALLCLOCK:
-            if not gated:
-                yield ctx.finding(
-                    self, node,
-                    f"wall-clock read `{name}()` in hot path {label}() "
-                    "outside the REPRO_OBS gate; use `"
-                    f"{name}() if _obs.enabled() else 0.0` so the "
-                    "disabled path stays clock-free")
-            return
-        if not gated and not ctx.in_raise(node):
-            if name in _STRING_BUILDERS or \
-                    (parts and parts[0] in ("logging", "log", "logger")):
-                yield ctx.finding(
-                    self, node,
-                    f"`{name}` call in hot path {label}() outside the "
-                    "REPRO_OBS gate")
-                return
-            if isinstance(node.func, ast.Attribute) \
-                    and node.func.attr == "format" \
-                    and isinstance(node.func.value,
-                                   (ast.Constant, ast.JoinedStr)):
-                yield ctx.finding(
-                    self, node,
-                    f"str.format() in hot path {label}() outside the "
-                    "REPRO_OBS gate")
-                return
-        if id(node) in loops and not gated:
-            yield from self._check_allocation(ctx, label, node, name)
-
-    def _check_allocation(self, ctx: astutil.FileContext, label: str,
-                          node: ast.Call, name: typing.Optional[str]):
-        parts = name.split(".") if name else []
-        if len(parts) == 2 and parts[0] in ctx.numpy_aliases \
-                and parts[1] in _ALLOC_NP:
-            yield ctx.finding(
-                self, node,
-                f"`{name}` allocates per iteration inside a loop of "
-                f"hot path {label}(); hoist the buffer and fill it in "
-                "place (np.copyto / out=)")
-        elif name in _ALLOC_BUILTINS:
-            yield ctx.finding(
-                self, node,
-                f"`{name}()` allocates per iteration inside a loop of "
-                f"hot path {label}(); hoist it out of the loop")
-        elif isinstance(node.func, ast.Attribute) \
-                and node.func.attr in _ALLOC_METHODS \
-                and not (parts and parts[0] in ctx.numpy_aliases):
-            yield ctx.finding(
-                self, node,
-                f".{node.func.attr}() allocates per iteration inside a "
-                f"loop of hot path {label}(); hoist it out of the loop")
-
-    def _latency_call_name(self, ctx: astutil.FileContext,
-                           node: ast.Call) -> typing.Optional[str]:
-        """The dotted name of a latency-recorder call, or ``None``.
-
-        Module-rooted :mod:`repro.obs.lat` calls are always in scope;
-        method calls match only when the method is a configured latency
-        method *and* the dotted receiver mentions ``lat`` — so an
-        unrelated ``writer.finish()`` never trips the rule.
-        """
-        name = ctx.is_lat_call(node)
-        if name is not None:
-            return name
-        if not isinstance(node.func, ast.Attribute) \
-                or node.func.attr not in self._latency_methods:
-            return None
-        name = astutil.dotted(node.func)
-        if name is None:
-            return None
-        receiver = name.rsplit(".", 1)[0].lower()
-        if "lat" in receiver:
-            return name
-        return None
-
-    def _runlog_call_name(self, ctx: astutil.FileContext,
-                          node: ast.Call) -> typing.Optional[str]:
-        """The dotted name of a run-log shard write, or ``None``.
-
-        Module-rooted runlog calls are always in scope; method calls
-        match only when the method is a configured shard method *and*
-        the dotted receiver mentions ``shard`` or ``runlog`` — so a
-        plain ``stream.flush()`` never trips the rule.
-        """
-        name = ctx.is_runlog_call(node)
-        if name is not None:
-            return name
-        if not isinstance(node.func, ast.Attribute) \
-                or node.func.attr not in self._shard_methods:
-            return None
-        name = astutil.dotted(node.func)
-        if name is None:
-            return None
-        receiver = name.lower()
-        if "shard" in receiver or "runlog" in receiver:
-            return name
-        return None
-
-    def _loop_nodes(self, func: astutil.FunctionNode) -> typing.Set[int]:
-        """ids of nodes that sit inside a for/while loop of ``func``."""
-        inside: typing.Set[int] = set()
-
-        def visit(node: ast.AST, in_loop: bool) -> None:
-            for child in ast.iter_child_nodes(node):
-                if isinstance(child, (ast.FunctionDef,
-                                      ast.AsyncFunctionDef)):
-                    continue
-                child_in_loop = in_loop or isinstance(
-                    child, (ast.For, ast.AsyncFor, ast.While))
-                if in_loop:
-                    inside.add(id(child))
-                visit(child, child_in_loop)
-
-        visit(func, False)
-        return inside
-
-    def _is_with_context(self, ctx: astutil.FileContext,
-                         node: ast.Call) -> bool:
-        parent = ctx.parent(node)
-        return isinstance(parent, ast.withitem)
+            label = ctx.qualname(func)
+            for hazard in hazards.scan_hazards(ctx, func,
+                                               self._shard_methods,
+                                               self._latency_methods):
+                if hazard.kind == "alloc" and not hazard.in_loop:
+                    continue       # one-off allocation is fine in a leaf
+                yield astutil.Finding(
+                    rule=self.name, path=ctx.relpath,
+                    line=hazard.lineno, col=hazard.col,
+                    end_line=hazard.end_lineno,
+                    message=hazard_finding_message(hazard, label))

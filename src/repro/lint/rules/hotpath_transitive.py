@@ -1,0 +1,139 @@
+"""Rule ``hot-path-transitive``: hot-path discipline through calls.
+
+The ``hot-path`` rule checks the body of each ``@hot_path`` function;
+this rule follows its *calls* through the whole-program call graph
+(up to ``depth`` edges, default 3) and flags hot functions that reach
+an ungated hazard inside a plain helper — the classic leak where the
+leaf stays clean but delegates its telemetry or allocation to a callee
+the per-file rule never connects to the hot caller.
+
+Resolution comes from :class:`repro.lint.program.ProgramIndex` and is
+over-approximate; see that module.  Semantics:
+
+* Traversal stops at callees that are themselves hot — their bodies
+  are already held to the discipline directly (by ``hot-path``) and
+  their own calls get their own traversal from their module.
+* Traversal skips call sites that are themselves obs-gated
+  (``if observing: record_routine(...)``) — everything reached through
+  a gated call only runs while observing, which is the discipline.
+* Non-allocation hazards (obs calls, wall-clock reads, string
+  building, runlog shard writes, latency recorders) are violations at
+  any call distance.
+* Allocation hazards count only when they are *per-iteration in
+  effect*: inside a loop of the callee itself, or reached through a
+  call site that sits in a loop somewhere along the chain — a one-off
+  allocation in straight-line helper code is fine.
+
+Each finding is anchored at the first call site inside the hot
+function and carries the full chain (``chain`` entries, one hop per
+line — shown by ``repro lint --why <id>``); the message spells out the
+call path so the report alone is actionable.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+DEFAULT_DEPTH = 3
+
+
+@register
+class HotPathTransitiveRule(Rule):
+    name = "hot-path-transitive"
+    description = ("@hot_path functions must not reach ungated "
+                   "telemetry, wall-clock reads, string building, or "
+                   "per-iteration allocation through their callees")
+    requires_program = True
+
+    def __init__(self, options=None):
+        super().__init__(options)
+        try:
+            self._depth = int(self.options.get("depth", DEFAULT_DEPTH))
+        except (TypeError, ValueError):
+            self._depth = DEFAULT_DEPTH
+
+    def check_module(self, program, summary):
+        for func in summary.functions.values():
+            if func.hot:
+                yield from self._scan(program, summary, func)
+
+    def _scan(self, program, summary, func):
+        root = f"{summary.module}.{func.qualname}"
+        # BFS so the first chain reaching a hazard is the shortest.
+        # visited maps callee -> was it ever reached through a loop;
+        # a loop-reaching revisit upgrades (alloc hazards may only
+        # count on the loop path).
+        visited: typing.Dict[str, bool] = {root: True}
+        reported: typing.Set[typing.Tuple] = set()
+        Entry = collections.namedtuple(
+            "Entry", "full depth in_loop chain anchor")
+        queue: typing.Deque = collections.deque()
+        queue.append(Entry(root, 0, False, (), None))
+        while queue:
+            entry = queue.popleft()
+            callee = program.function(entry.full)
+            if callee is None:
+                continue
+            if entry.depth > 0:
+                yield from self._hazard_findings(
+                    program, summary, func, entry, callee, reported)
+            if entry.depth >= self._depth:
+                continue
+            caller_module = program.function_module(entry.full)
+            caller_path = program.function_path(entry.full)
+            for site in callee.calls:
+                if site.gated:
+                    continue      # obs-gated call: subtree gated too
+                for target in program.resolve_call(
+                        caller_module, callee.qualname, site):
+                    target_summary = program.function(target)
+                    if target_summary is None or target_summary.hot:
+                        continue          # hot callees checked directly
+                    in_loop = entry.in_loop or site.in_loop
+                    if target in visited and \
+                            (visited[target] or not in_loop):
+                        continue
+                    visited[target] = in_loop
+                    hop = (f"{caller_path}:{site.lineno}: "
+                           f"{callee.qualname}() calls "
+                           f"{target_summary.qualname}()"
+                           + (" inside a loop" if site.in_loop else ""))
+                    anchor = entry.anchor or site
+                    queue.append(Entry(target, entry.depth + 1,
+                                       in_loop,
+                                       entry.chain + (hop,), anchor))
+
+    def _hazard_findings(self, program, summary, func, entry, callee,
+                         reported):
+        callee_path = program.function_path(entry.full)
+        names = [func.qualname] + [
+            hop.split(" calls ")[-1].split("(")[0].replace(")", "")
+            for hop in entry.chain]
+        via = " -> ".join(f"{name}()" for name in names)
+        for hazard in callee.hazards:
+            if hazard.kind == "alloc" and \
+                    not (hazard.in_loop or entry.in_loop):
+                continue
+            key = (entry.anchor.lineno, entry.anchor.col, entry.full,
+                   hazard.lineno, hazard.col, hazard.kind, hazard.name)
+            if key in reported:
+                continue
+            reported.add(key)
+            chain = entry.chain + (
+                f"{callee_path}:{hazard.lineno}: "
+                f"{callee.qualname}() has {hazard.describe()}",)
+            yield Finding(
+                rule=self.name, path=summary.path,
+                line=entry.anchor.lineno, col=entry.anchor.col,
+                end_line=entry.anchor.end_lineno,
+                message=(f"hot path {func.qualname}() reaches "
+                         f"{hazard.describe()} at "
+                         f"{callee_path}:{hazard.lineno} via {via} "
+                         f"(depth {entry.depth}); gate the hazard, "
+                         "hoist it out of the call chain, or mark the "
+                         "callee @hot_path to lint it directly"),
+                chain=chain)

@@ -1,0 +1,8 @@
+# LINT-PATH: repro/core/fixture_layering_bad.py
+# LINT-OPTIONS: {"layering": {"layers": ["trainers: repro.core", "platforms: repro.fpga"], "forbid": ["trainers -> platforms"]}}
+"""Corpus: layering true positive — module-scope downward import."""
+from repro.fpga import platform as fpga_platform   # EXPECT: layering
+
+
+def build():
+    return fpga_platform

@@ -1,0 +1,10 @@
+# LINT-PATH: repro/core/fixture_layering_good.py
+# LINT-OPTIONS: {"layering": {"layers": ["trainers: repro.core", "platforms: repro.fpga"], "forbid": ["trainers -> platforms"]}}
+"""Corpus: layering true negative — a lazy (function-scoped) import is
+the sanctioned way to cross downward: nothing binds at module import
+time, so layer load order stays acyclic."""
+
+
+def build():
+    from repro.fpga import platform as fpga_platform
+    return fpga_platform

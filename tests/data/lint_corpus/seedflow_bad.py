@@ -1,0 +1,24 @@
+# LINT-PATH: repro/core/fixture_seedflow_bad.py
+"""Corpus: seed-flow true positives (forked derivation contracts)."""
+import numpy as np
+
+
+def fork_contract(seed, worker_id):                # EXPECT: seed-flow
+    return seed * 31 + worker_id
+
+
+def inline_arithmetic(seed, num_workers):
+    rngs = []
+    for worker_id in range(num_workers):
+        rngs.append(np.random.default_rng(seed * 1009 + worker_id))  # EXPECT: seed-flow
+    return rngs
+
+
+def named_provenance(env, seed, agent_id):
+    agent_seed = seed * 7919 + agent_id
+    env.seed(agent_seed)                           # EXPECT: seed-flow
+    return env
+
+
+def parallel_contract_call(seed, worker_id):
+    return np.random.default_rng(fork_contract(seed, worker_id))  # EXPECT: seed-flow

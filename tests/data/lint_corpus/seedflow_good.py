@@ -1,0 +1,18 @@
+# LINT-PATH: repro/core/fixture_seedflow_good.py
+"""Corpus: seed-flow true negatives (the contract, and non-derivations)."""
+import numpy as np
+
+from repro.backends.protocol import derive_agent_seed
+
+
+def through_the_contract(seed, num_workers):
+    return [np.random.default_rng(derive_agent_seed(seed, wid))
+            for wid in range(num_workers)]
+
+
+def plain_passthrough(seed):
+    return np.random.default_rng(seed)
+
+
+def fixed_offset_not_a_stream(seed):
+    return np.random.default_rng(seed + 1)

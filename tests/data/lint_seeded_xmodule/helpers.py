@@ -1,0 +1,22 @@
+"""Hazard-bearing helpers for the seeded cross-module self-check.
+
+Deliberately clean under the per-file rules: nothing here is hot and
+nothing seeds an RNG, so every finding must arrive through the
+whole-program index (``hot.drain`` reaching these hazards, and
+``hot.build_rng`` consuming the forked seed contract).
+"""
+import numpy as np
+
+from repro.obs import runtime as _obs
+
+
+def emit(count):
+    _obs.metrics().counter("drained").inc(count)
+
+
+def scratch(n):
+    return np.zeros(n)
+
+
+def fork_seed(seed, worker_id):
+    return seed * 31 + worker_id

@@ -1,0 +1,28 @@
+"""Seeded cross-module violations for the CI lint self-check.
+
+Everything wrong here crosses a module boundary, so only the
+whole-program rules can see it: the hot loop lives in this file while
+its hazards hide in :mod:`helpers`; the seed contract is forked in
+``helpers`` and consumed here; ``laya``/``layb`` form a cross-package
+import cycle.  CI lints these files and asserts a non-zero exit whose
+output names all three program rules — proof the interprocedural
+pipeline is actually wired, not just configured.
+"""
+import numpy as np
+
+from repro.perf.hotpath import hot_path
+
+from . import helpers
+
+
+@hot_path
+def drain(batches):
+    total = 0
+    for batch in batches:
+        total += int(helpers.scratch(len(batch))[0])
+    helpers.emit(total)
+    return total
+
+
+def build_rng(seed, worker_id):
+    return np.random.default_rng(helpers.fork_seed(seed, worker_id))

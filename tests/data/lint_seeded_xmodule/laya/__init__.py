@@ -1,0 +1,4 @@
+"""One half of a deliberate cross-package import cycle (self-check)."""
+from tests.data.lint_seeded_xmodule.layb import PONG
+
+PING = "ping-" + PONG

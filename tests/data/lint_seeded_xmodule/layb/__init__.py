@@ -1,0 +1,4 @@
+"""Other half of the deliberate cross-package import cycle."""
+from tests.data.lint_seeded_xmodule.laya import PING
+
+PONG = "pong-" + PING

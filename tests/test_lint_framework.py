@@ -9,6 +9,7 @@ import pytest
 from repro.cli import main
 from repro.lint import (
     LintConfig,
+    LintRun,
     all_rules,
     lint_paths,
     lint_source,
@@ -88,6 +89,70 @@ class TestPragmas:
         assert not index.suppresses("determinism", 1)
 
 
+class TestPragmaEdgeCases:
+    def test_crlf_line_endings(self):
+        source = VIOLATING.replace(
+            "np.random.rand(3)",
+            "np.random.rand(3)  # repro-lint: ok[determinism] fixture")
+        source = source.replace("\n", "\r\n")
+        result = lint_source(source, "x.py", LintConfig())
+        assert result.error is None
+        assert not result.findings
+        assert result.suppressed == 1
+
+    def test_one_bracket_suppresses_two_rules_on_one_line(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.perf.hotpath import hot_path\n"
+            "\n"
+            "\n"
+            "@hot_path\n"
+            "def leaf(n):\n"
+            "    x = 0.0\n"
+            "    for _ in range(n):\n"
+            "        x += np.zeros(3)[0] + np.random.rand()"
+            "  # repro-lint: ok[hot-path, determinism] fixture\n"
+            "    return x\n")
+        result = lint_source(source, "x.py", LintConfig())
+        assert not result.findings
+        assert result.suppressed == 2
+        assert result.suppressed_by_rule == {"determinism": 1,
+                                             "hot-path": 1}
+
+    def test_pragma_on_decorator_line_reaches_the_def(self):
+        source = (
+            "import functools\n"
+            "\n"
+            "\n"
+            "@functools.lru_cache()"
+            "  # repro-lint: ok[seed-flow] fixture contract\n"
+            "def fork(seed, worker_id):\n"
+            "    return seed * 31 + worker_id\n")
+        result = lint_source(source, "x.py", LintConfig())
+        assert not result.findings
+        assert result.suppressed == 1
+
+    def test_unknown_rule_pragma_warns(self):
+        source = "x = 1  # repro-lint: ok[hot-pth] typo\n"
+        result = lint_source(source, "x.py", LintConfig())
+        assert not result.findings
+        assert len(result.warnings) == 1
+        assert "hot-pth" in result.warnings[0]
+        assert "line 1" in result.warnings[0]
+        run = LintRun(files=[result])
+        assert run.warnings == [("x.py", result.warnings[0])]
+        assert "warning: pragma names unknown rule 'hot-pth'" \
+            in render_text(run)
+        assert not run.findings        # warnings never become findings
+
+    def test_known_rule_pragma_does_not_warn(self):
+        source = ("import numpy as np\n"
+                  "NOISE = np.random.rand(3)"
+                  "  # repro-lint: ok[determinism] fixture\n")
+        result = lint_source(source, "x.py", LintConfig())
+        assert result.warnings == []
+
+
 class TestConfig:
     def test_repo_pyproject_loads(self):
         config = load_config(str(REPO_ROOT / "pyproject.toml"))
@@ -159,7 +224,7 @@ class TestReporters:
 
     def test_json_report_schema(self):
         document = json.loads(render_json(self.run_on_violating()))
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["files_checked"] == 1
         assert document["counts"] == {"determinism": 1}
         finding = document["findings"][0]
@@ -167,6 +232,13 @@ class TestReporters:
         assert finding["path"] == "x.py"
         assert finding["line"] == 3
         assert "message" in finding and "col" in finding
+        assert "id" in finding                     # stable --why handle
+        # v2 additions: per-rule suppression counts and rule timings.
+        assert document["suppressed_by_rule"] == {}
+        assert isinstance(document["timing_ms"], dict)
+        assert all(isinstance(v, (int, float))
+                   for v in document["timing_ms"].values())
+        assert document["warnings"] == []
 
     def test_syntax_error_reported_not_raised(self):
         result = lint_source("def broken(:\n", "x.py", LintConfig())
@@ -228,5 +300,7 @@ class TestCLI:
         code = main(self.lint_args(str(SEEDED), "--format", "json"))
         assert code == 0
         document = json.loads(capsys.readouterr().out)
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["counts"]["determinism"] >= 1
+        assert "suppressed_by_rule" in document
+        assert "timing_ms" in document

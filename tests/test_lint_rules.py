@@ -3,12 +3,14 @@
 Every file in ``tests/data/lint_corpus/`` declares its synthetic
 repository path on line 1 (``# LINT-PATH: ...``) and marks each line
 where a finding is expected with a trailing ``# EXPECT: rule`` comment.
-The runner asserts the linter produces *exactly* the expected
-``(line, rule)`` set — unexpected findings fail as loudly as missed
-ones, so every rule keeps at least one true positive and one true
-negative under test.
+A second-line ``# LINT-OPTIONS: {json}`` header feeds per-rule options
+(the layering cases declare their own layer map this way).  The runner
+asserts the linter produces *exactly* the expected ``(line, rule)``
+set — unexpected findings fail as loudly as missed ones, so every rule
+keeps at least one true positive and one true negative under test.
 """
 
+import json
 import pathlib
 import re
 
@@ -20,6 +22,7 @@ CORPUS_DIR = pathlib.Path(__file__).parent / "data" / "lint_corpus"
 CORPUS = sorted(CORPUS_DIR.glob("*.py"))
 
 _LINT_PATH = re.compile(r"#\s*LINT-PATH:\s*(\S+)")
+_LINT_OPTIONS = re.compile(r"#\s*LINT-OPTIONS:\s*(\{.*\})")
 _EXPECT = re.compile(r"#\s*EXPECT:\s*([\w-]+(?:\s*,\s*[\w-]+)*)")
 
 
@@ -28,13 +31,18 @@ def load_case(path):
     lines = source.splitlines()
     header = _LINT_PATH.match(lines[0])
     assert header, f"{path.name} must start with a # LINT-PATH: header"
+    options = {}
+    if len(lines) > 1:
+        options_header = _LINT_OPTIONS.match(lines[1])
+        if options_header:
+            options = json.loads(options_header.group(1))
     expected = set()
     for lineno, line in enumerate(lines, start=1):
         match = _EXPECT.search(line)
         if match:
             for rule in re.split(r"\s*,\s*", match.group(1)):
                 expected.add((lineno, rule))
-    return source, header.group(1), expected
+    return source, header.group(1), options, expected
 
 
 def test_corpus_is_present_and_balanced():
@@ -43,20 +51,22 @@ def test_corpus_is_present_and_balanced():
     positives = set()
     negatives_exist = False
     for path in CORPUS:
-        _, _, expected = load_case(path)
+        _, _, _, expected = load_case(path)
         if expected:
             positives |= {rule for _, rule in expected}
         else:
             negatives_exist = True
     assert positives == {"attribution", "determinism", "fp32-order",
-                         "hot-path", "seqlock"}
+                         "hot-path", "hot-path-transitive", "layering",
+                         "seed-flow", "seqlock"}
     assert negatives_exist
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
 def test_corpus_file(path):
-    source, relpath, expected = load_case(path)
-    result = lint_source(source, relpath, LintConfig())
+    source, relpath, options, expected = load_case(path)
+    result = lint_source(source, relpath,
+                         LintConfig(rule_options=options))
     assert result.error is None, result.error
     actual = {(f.line, f.rule) for f in result.findings}
     missed = expected - actual
