@@ -5,7 +5,8 @@ The layering this package pins down (see ``docs/architecture.md``)::
     envs  ->  trainers  ->  backends  ->  sims
                  |             |
                  |             +-- fa3c-fpga / fa3c-single-cu /
-                 |                 fa3c-alt1 / fa3c-alt2
+                 |                 fa3c-alt1 / fa3c-alt2 /
+                 |                 fa3c-fp16 / fa3c-int8
                  |                 (repro.fpga: platform / binding /
                  |                  simloop)
                  |             +-- a3c-cudnn / a3c-tf-gpu / a3c-tf-cpu /
@@ -35,6 +36,7 @@ from repro.backends.protocol import (
 )
 from repro.backends.registry import (
     DEFAULT_BACKEND,
+    capability,
     create,
     default_topology,
     is_registered,
@@ -55,6 +57,7 @@ __all__ = [
     "FPGABackend",
     "GPUBackend",
     "PlatformBackend",
+    "capability",
     "create",
     "default_topology",
     "derive_agent_seed",

@@ -8,7 +8,9 @@ protocol and plugs it into the registry under:
 * ``fa3c-fpga``       — the proposed dual-CU-pair design;
 * ``fa3c-single-cu``  — one 2N-PE CU per pair;
 * ``fa3c-alt1``       — FW parameter layout everywhere;
-* ``fa3c-alt2``       — both layouts materialised in DRAM.
+* ``fa3c-alt2``       — both layouts materialised in DRAM;
+* ``fa3c-fp16``       — fp16 storage / fp32 accumulate datapath;
+* ``fa3c-int8``       — symmetric int8 quantized datapath.
 """
 
 from __future__ import annotations
@@ -20,10 +22,13 @@ from repro.backends.registry import default_topology, register
 from repro.fpga.platform import FA3CPlatform
 from repro.perf import stageplan as _stageplan
 
-_FPGA_CAPABILITIES = BackendCapabilities(kind="fpga", needs_sync=True,
-                                         needs_bootstrap=True,
-                                         batched_inference=False,
-                                         supports_tracing=True)
+def _fpga_capabilities(precision: str = "fp32") -> BackendCapabilities:
+    """The FA3C capability set at one datapath precision."""
+    return BackendCapabilities(kind="fpga", needs_sync=True,
+                               needs_bootstrap=True,
+                               batched_inference=False,
+                               supports_tracing=True,
+                               precision=precision)
 
 #: (kind, batch builder) pairs of one A3C routine's task shapes.
 _ROUTINE_TASKS = (("inference", lambda t_max: 1),
@@ -35,7 +40,10 @@ class FPGABackend(PlatformBackend):
     """:class:`FA3CPlatform` behind the backend protocol."""
 
     def __init__(self, registry_name: str, platform: FA3CPlatform):
-        super().__init__(registry_name, platform, _FPGA_CAPABILITIES)
+        # The capability mirrors the platform config, so a config-level
+        # precision override is reflected in what the backend declares.
+        super().__init__(registry_name, platform,
+                         _fpga_capabilities(platform.config.precision))
 
     def _build_sim(self, engine, tracer):
         return self.platform.build_sim(engine, tracer=tracer)
@@ -94,6 +102,8 @@ def register_fpga_backends() -> None:
     for registry_name, constructor in (("fa3c-fpga", "fa3c"),
                                        ("fa3c-single-cu", "single_cu"),
                                        ("fa3c-alt1", "alt1"),
-                                       ("fa3c-alt2", "alt2")):
+                                       ("fa3c-alt2", "alt2"),
+                                       ("fa3c-fp16", "fp16"),
+                                       ("fa3c-int8", "int8")):
         register(registry_name, _factory(registry_name, constructor),
                  replace=True)

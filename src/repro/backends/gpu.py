@@ -79,18 +79,22 @@ class GPUBackend(PlatformBackend):
             lambda: self.platform.task_buckets(task, batch))
 
 
-#: registry name -> (platform class, capabilities).
+#: registry name -> (platform class, capabilities).  The software
+#: baselines all compute in fp32 (the paper's configuration); the
+#: explicit declaration keeps the capability surface uniform with the
+#: precision-parametric FPGA family.
 _GPU_BACKENDS: typing.Dict[str, tuple] = {
     "a3c-cudnn": (A3CcuDNNPlatform,
-                  BackendCapabilities(kind="gpu")),
+                  BackendCapabilities(kind="gpu", precision="fp32")),
     "a3c-tf-gpu": (A3CTFGPUPlatform,
-                   BackendCapabilities(kind="gpu")),
+                   BackendCapabilities(kind="gpu", precision="fp32")),
     "a3c-tf-cpu": (A3CTFCPUPlatform,
-                   BackendCapabilities(kind="host")),
+                   BackendCapabilities(kind="host", precision="fp32")),
     "ga3c-tf": (GA3CTFPlatform,
                 BackendCapabilities(kind="gpu", needs_sync=False,
                                     needs_bootstrap=False,
-                                    batched_inference=True)),
+                                    batched_inference=True,
+                                    precision="fp32")),
 }
 
 

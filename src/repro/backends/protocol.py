@@ -90,6 +90,10 @@ class BackendCapabilities:
     parameters nor run their own bootstrap inference (the predictor
     batches it).  ``supports_tracing`` marks sims whose ``build_sim``
     accepts a :class:`~repro.sim.Tracer` for per-CU stage Gantt charts.
+    ``precision`` is the operand storage format of the datapath (a
+    :mod:`repro.precision` name); the registry validates it at create
+    time, so an unregistered or misspelt precision fails on ``create``
+    rather than deep inside a timing query.
     """
 
     kind: str                        # "fpga" | "gpu" | "host"
@@ -97,6 +101,7 @@ class BackendCapabilities:
     needs_bootstrap: bool = True
     batched_inference: bool = False  # requests batched across agents
     supports_tracing: bool = False
+    precision: str = "fp32"          # repro.precision name
 
 
 @typing.runtime_checkable

@@ -10,9 +10,12 @@ backend is one ``register`` call — no trainer or CLI edits.
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 import typing
 
-from repro.backends.protocol import Backend
+from repro.backends.protocol import Backend, BackendCapabilities
+from repro.precision import resolve_precision
 
 #: ``factory(topology, **overrides) -> Backend``.  ``topology`` may be
 #: ``None``, in which case the factory builds the paper's default A3C
@@ -60,7 +63,41 @@ def create(name: str, topology=None, **overrides) -> Backend:
         known = ", ".join(sorted(_REGISTRY))
         raise ValueError(f"unknown backend {name!r}; registered: "
                          f"{known}") from None
-    return factory(topology, **overrides)
+    backend = factory(topology, **overrides)
+    _validate_capabilities(name, backend)
+    return backend
+
+
+def _validate_capabilities(name: str, backend: Backend) -> None:
+    """Reject a backend whose declared precision the repo cannot model.
+
+    Runs on every :func:`create` so a factory declaring e.g. ``"int4"``
+    fails at registry-create time with the capability named, instead of
+    surfacing later as a timing-model KeyError.
+    """
+    declared = getattr(backend.capabilities, "precision", "fp32")
+    try:
+        resolve_precision(declared)
+    except ValueError as error:
+        raise ValueError(f"backend {name!r} declares an unsupported "
+                         f"precision capability: {error}") from None
+
+
+def capability(backend: Backend, capability_name: str):
+    """Read one :class:`BackendCapabilities` field by name.
+
+    Unknown capability names raise with the nearest valid field named,
+    so a query for ``"precison"`` points at ``"precision"`` instead of
+    failing opaquely.
+    """
+    capabilities = backend.capabilities
+    fields = [f.name for f in dataclasses.fields(BackendCapabilities)]
+    if capability_name not in fields:
+        matches = difflib.get_close_matches(capability_name, fields, n=1)
+        hint = f" (did you mean {matches[0]!r}?)" if matches else ""
+        raise ValueError(f"unknown capability {capability_name!r}{hint}; "
+                         f"valid: {', '.join(fields)}")
+    return getattr(capabilities, capability_name)
 
 
 def resolve(backend: typing.Union[str, Backend, None],

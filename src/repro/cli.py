@@ -246,16 +246,48 @@ def cmd_obs_report(args) -> int:
     return 0
 
 
+def cmd_backends_list(args) -> int:
+    """Tabulate every registered backend with its capability surface."""
+    del args
+    from repro import backends
+
+    def flag(value: bool) -> str:
+        return "yes" if value else "no"
+
+    rows = []
+    for name in backends.names():
+        backend = backends.create(name)
+        caps = backend.capabilities
+        rows.append({
+            "backend": name,
+            "display": backend.name,
+            "kind": caps.kind,
+            "precision": caps.precision,
+            "sync": flag(caps.needs_sync),
+            "bootstrap": flag(caps.needs_bootstrap),
+            "batched": flag(caps.batched_inference),
+            "tracing": flag(caps.supports_tracing),
+        })
+    print(format_table(rows))
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.obs.prof import baseline as bench
 
-    if args.wallclock and args.latency:
-        print("bench: --wallclock and --latency are mutually exclusive")
+    modes = sum(1 for mode in (args.wallclock, args.latency,
+                               args.ablation) if mode)
+    if modes > 1:
+        print("bench: --wallclock, --latency, and --ablation are "
+              "mutually exclusive")
         return 2
     runlog = _open_runlog(args, "bench",
                           wallclock=bool(args.wallclock),
-                          latency=bool(args.latency))
-    if args.wallclock:
+                          latency=bool(args.latency),
+                          ablation=args.ablation or "")
+    if args.ablation:
+        code = _cmd_bench_ablation(args, runlog)
+    elif args.wallclock:
         code = _cmd_bench_wallclock(args, bench, runlog)
     elif args.latency:
         code = _cmd_bench_latency(args, bench, runlog)
@@ -266,6 +298,17 @@ def cmd_bench(args) -> int:
             code, "error"))
         print(f"run log: {runlog.path}")
     return code
+
+
+def _cmd_bench_ablation(args, runlog=None) -> int:
+    """Accuracy vs modelled IPS vs modelled energy per precision."""
+    from repro.power.ablation import precision_ablation
+
+    rows = precision_ablation()
+    print(format_table(rows, title="precision ablation (FA3C, 8 agents)"))
+    if runlog is not None:
+        runlog.update(ablation={"precision": rows})
+    return 0
 
 
 def _cmd_bench_modelled(args, bench, runlog=None) -> int:
@@ -876,8 +919,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--report-dir", default=None,
                        help="write per-scenario attribution tables and "
                             "folded profiles here")
+    bench.add_argument("--ablation", choices=["precision"],
+                       default=None,
+                       help="run an ablation study instead of the gate "
+                            "(precision: accuracy vs IPS vs energy per "
+                            "datapath precision)")
     _add_runlog_arguments(bench)
     bench.set_defaults(func=cmd_bench)
+
+    backends_cmd = sub.add_parser(
+        "backends", help="inspect the execution-backend registry")
+    backends_sub = backends_cmd.add_subparsers(dest="backends_command",
+                                               required=True)
+    backends_list = backends_sub.add_parser(
+        "list", help="tabulate registered backends and capabilities")
+    backends_list.set_defaults(func=cmd_backends_list)
 
     runs = sub.add_parser(
         "runs", help="list and diff recorded run directories")

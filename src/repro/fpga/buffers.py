@@ -26,8 +26,18 @@ import numpy as np
 
 from repro.obs import runtime as _obs
 
-#: On-chip buffer row width in words (= DRAM burst width).
+#: On-chip buffer row width in fp32 words (= DRAM burst width).
 ROW_WORDS = 16
+
+
+def row_words_for(precision) -> int:
+    """Row width in words for an operand precision.
+
+    Block-RAM rows are one DRAM beat (512 bits) wide regardless of
+    operand width, so narrower words pack more per row — the same
+    capacity in bits holds ``words_per_beat`` words per row.
+    """
+    return precision.words_per_beat
 
 
 class OnChipBuffer:
@@ -93,16 +103,19 @@ class OnChipBuffer:
 class LineBuffer:
     """A one-dimensional register array feeding operands to the PEs."""
 
-    def __init__(self, width: int):
+    def __init__(self, width: int, word_bits: int = 32):
         if width < 1:
             raise ValueError(f"line buffer width must be >= 1: {width}")
+        if word_bits < 1:
+            raise ValueError(f"word bits must be >= 1: {word_bits}")
         self.width = width
+        self.word_bits = word_bits
         self.registers = np.zeros(width, dtype=np.float32)
 
     @property
     def register_count(self) -> int:
-        """32-bit registers this line buffer occupies."""
-        return self.width * 32
+        """Register bits this line buffer occupies (fp32 words default)."""
+        return self.width * self.word_bits
 
     def load(self, values: np.ndarray) -> None:
         """Replace the whole register contents."""

@@ -22,7 +22,9 @@ import numpy as np
 from repro.obs import runtime as _obs
 from repro.perf.hotpath import hot_path
 
-#: Words per DRAM interface beat (512-bit bus / 32-bit words).
+#: Words per DRAM interface beat at fp32 (512-bit bus / 32-bit words).
+#: Channels accept per-instance overrides for narrower operand widths
+#: (the bus is fixed at 512 bits; narrower words pack more per beat).
 WORDS_PER_BEAT = 16
 WORD_BYTES = 4
 
@@ -51,16 +53,21 @@ class DRAMChannel:
     """One DDR4 channel: burst transfers, traffic and busy-cycle counts."""
 
     def __init__(self, name: str, efficiency: float = 0.7,
-                 latency_cycles: int = 40):
+                 latency_cycles: int = 40,
+                 words_per_beat: int = WORDS_PER_BEAT,
+                 word_bytes: int = WORD_BYTES):
         """``efficiency`` is the achievable fraction of the peak burst rate
         (row misses, refresh, read/write turnaround); ``latency_cycles`` is
         the first-word latency hidden by prefetching but paid by dependent
-        accesses."""
+        accesses.  ``words_per_beat``/``word_bytes`` describe the operand
+        width the channel moves (fp32 defaults)."""
         if not 0.0 < efficiency <= 1.0:
             raise ValueError(f"efficiency must be in (0, 1]: {efficiency}")
         self.name = name
         self.efficiency = efficiency
         self.latency_cycles = latency_cycles
+        self.words_per_beat = words_per_beat
+        self.word_bytes = word_bytes
         self.traffic = TrafficCounter()
         self.busy_cycles = 0
 
@@ -72,7 +79,7 @@ class DRAMChannel:
         """
         # math.ceil over the same float64 quotient np.ceil would see:
         # identical result without the numpy scalar round-trip.
-        beats = -(-words // WORDS_PER_BEAT)
+        beats = -(-words // self.words_per_beat)
         cycles = math.ceil(beats / self.efficiency)
         if not sequential:
             cycles += self.latency_cycles
@@ -87,9 +94,9 @@ class DRAMChannel:
         if _obs.enabled():
             metrics = _obs.metrics()
             metrics.counter("fpga.dram.bytes").inc(
-                words * WORD_BYTES, channel=self.name, dir="load")
+                words * self.word_bytes, channel=self.name, dir="load")
             metrics.counter("fpga.dram.bursts").inc(
-                -(-words // WORDS_PER_BEAT), channel=self.name)
+                -(-words // self.words_per_beat), channel=self.name)
             metrics.counter("fpga.dram.busy_cycles").inc(
                 cycles, channel=self.name, dir="load")
         return cycles
@@ -103,9 +110,9 @@ class DRAMChannel:
         if _obs.enabled():
             metrics = _obs.metrics()
             metrics.counter("fpga.dram.bytes").inc(
-                words * WORD_BYTES, channel=self.name, dir="store")
+                words * self.word_bytes, channel=self.name, dir="store")
             metrics.counter("fpga.dram.bursts").inc(
-                -(-words // WORDS_PER_BEAT), channel=self.name)
+                -(-words // self.words_per_beat), channel=self.name)
             metrics.counter("fpga.dram.busy_cycles").inc(
                 cycles, channel=self.name, dir="store")
         return cycles

@@ -25,7 +25,11 @@ import typing
 
 import numpy as np
 
-#: Patch edge in words: the DRAM interface moves 16 words per burst beat.
+#: Patch edge in words: the DRAM interface moves 16 fp32 words per burst
+#: beat.  Narrower operands pack more words per beat, so the precision-
+#: parametric timing model passes ``patch=precision.words_per_beat`` to
+#: the padding/footprint helpers below; the functional load/store paths
+#: default to the fp32 patch.
 PATCH = 16
 
 
@@ -66,16 +70,17 @@ def fw_layout_to_weight(matrix: np.ndarray,
         .reshape(weight_shape)
 
 
-def _padded_shape(rows: int, cols: int) -> typing.Tuple[int, int]:
-    pad_rows = -rows % PATCH
-    pad_cols = -cols % PATCH
+def _padded_shape(rows: int, cols: int,
+                  patch: int = PATCH) -> typing.Tuple[int, int]:
+    pad_rows = -rows % patch
+    pad_cols = -cols % patch
     return rows + pad_rows, cols + pad_cols
 
 
-def pad_to_patches(matrix: np.ndarray) -> np.ndarray:
-    """Zero-pad a matrix so both dimensions are multiples of 16."""
+def pad_to_patches(matrix: np.ndarray, patch: int = PATCH) -> np.ndarray:
+    """Zero-pad a matrix so both dimensions are patch multiples."""
     rows, cols = matrix.shape
-    p_rows, p_cols = _padded_shape(rows, cols)
+    p_rows, p_cols = _padded_shape(rows, cols, patch)
     if (p_rows, p_cols) == (rows, cols):
         return matrix.astype(np.float32)
     padded = np.zeros((p_rows, p_cols), dtype=np.float32)
@@ -130,7 +135,7 @@ def load_bw_from_dram(image: np.ndarray, rows: int,
     return np.ascontiguousarray(transposed[:cols, :rows])
 
 
-def image_words(rows: int, cols: int) -> int:
+def image_words(rows: int, cols: int, patch: int = PATCH) -> int:
     """Number of words the DRAM image occupies (with patch padding)."""
-    p_rows, p_cols = _padded_shape(rows, cols)
+    p_rows, p_cols = _padded_shape(rows, cols, patch)
     return p_rows * p_cols

@@ -18,8 +18,10 @@ import typing
 
 import numpy as np
 
+from repro.nn.quant import fake_quant_int8, fp16_storage
 from repro.obs import runtime as _obs
 from repro.perf.hotpath import hot_path
+from repro.precision import FP32, Precision
 
 
 class ProcessingElement:
@@ -72,14 +74,31 @@ class ProcessingElement:
 
 
 class PEArray:
-    """``n_pe`` PEs evaluated in lockstep with cycle accounting."""
+    """``n_pe`` PEs evaluated in lockstep with cycle accounting.
 
-    def __init__(self, n_pe: int = 64):
+    ``precision`` selects the *operand storage* format: narrower formats
+    coerce both operand matrices to their storage precision before the
+    MAC, while accumulation always happens in fp32 (the paper's
+    datapath, widened multipliers feeding fp32 adders).  At fp32 the
+    coercion is skipped entirely, so the reference path stays
+    bit-identical by construction.
+    """
+
+    def __init__(self, n_pe: int = 64, precision: Precision = FP32):
         if n_pe < 1:
             raise ValueError(f"need at least one PE: {n_pe}")
         self.n_pe = n_pe
+        self.precision = precision
         self.total_cycles = 0
         self.busy_pe_cycles = 0
+
+    def _coerce(self, operand: np.ndarray) -> np.ndarray:
+        """Round an operand matrix to the storage precision (fp32 out)."""
+        if self.precision.name == "fp16":
+            return fp16_storage(operand)
+        if self.precision.name == "int8":
+            return fake_quant_int8(np.asarray(operand, dtype=np.float32))
+        return operand
 
     def utilisation(self) -> float:
         """Average fraction of PEs busy over all counted cycles."""
@@ -100,6 +119,9 @@ class PEArray:
         """
         if operand_a.shape != operand_b.shape:
             raise ValueError("operand shapes differ")
+        if self.precision.name != "fp32":
+            operand_a = self._coerce(operand_a)
+            operand_b = self._coerce(operand_b)
         freq, n_outputs = operand_a.shape
         rounds = -(-n_outputs // self.n_pe)
         self.total_cycles += rounds * freq

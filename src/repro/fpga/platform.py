@@ -27,11 +27,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.fpga.dram import WORDS_PER_BEAT
 from repro.fpga.resources import VU9P, DeviceCapacity, ResourceModel
 from repro.fpga.timing import GLOBAL, LOCAL, StageTiming, TimingModel
 from repro.nn.network import NetworkTopology
 from repro.obs.prof import buckets as _prof
+from repro.precision import Precision, resolve_precision
 from repro.sim import Engine, Tracer
 
 if typing.TYPE_CHECKING:                     # pragma: no cover
@@ -55,14 +55,33 @@ class FPGAConfig:
     device: DeviceCapacity = VU9P
     pcie_bandwidth: float = 11e9     # effective host-link bytes/s
     pcie_latency: float = 8e-6       # per-DMA descriptor latency
+    precision: str = "fp32"          # operand width of the datapath
 
     @property
     def cus_per_pair(self) -> int:
         return 1 if self.single_cu else 2
 
     @property
+    def precision_spec(self) -> Precision:
+        """The resolved :class:`~repro.precision.Precision`."""
+        return resolve_precision(self.precision)
+
+    @property
+    def words_per_beat(self) -> int:
+        """Operands per 512-bit DRAM beat (16 at fp32)."""
+        return self.precision_spec.words_per_beat
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per operand in DRAM and over the host link."""
+        return self.precision_spec.storage_bytes
+
+    @property
     def pe_per_cu(self) -> int:
-        return 2 * self.n_pe if self.single_cu else self.n_pe
+        """PEs one CU hosts: ``n_pe`` is the fp32 PE budget; narrower
+        operands pack more MACs into the same DSP/logic budget."""
+        base = 2 * self.n_pe if self.single_cu else self.n_pe
+        return base * self.precision_spec.pe_scale
 
 
 class FA3CPlatform:
@@ -74,7 +93,8 @@ class FA3CPlatform:
         self.config = config or FPGAConfig()
         self.timing = TimingModel(topology, n_pe=self.config.pe_per_cu,
                                   layout_mode=self.config.layout_mode,
-                                  num_rus=self.config.num_rus)
+                                  num_rus=self.config.num_rus,
+                                  precision=self.config.precision_spec)
 
     # -- constructors for the Section 5.4 configurations --------------------
 
@@ -101,10 +121,26 @@ class FA3CPlatform:
         return cls(topology, FPGAConfig(name="FA3C-Alt2",
                                         layout_mode="alt2", **overrides))
 
+    # -- quantized-datapath variants (precision-parametric family) ----------
+
+    @classmethod
+    def fp16(cls, topology: NetworkTopology,
+             **overrides) -> "FA3CPlatform":
+        """fp16 storage with fp32 accumulate: 32 words/beat, 2x PEs."""
+        overrides.setdefault("precision", "fp16")
+        return cls(topology, FPGAConfig(name="FA3C-FP16", **overrides))
+
+    @classmethod
+    def int8(cls, topology: NetworkTopology,
+             **overrides) -> "FA3CPlatform":
+        """int8 symmetric quantized datapath: 64 words/beat, 4x PEs."""
+        overrides.setdefault("precision", "int8")
+        return cls(topology, FPGAConfig(name="FA3C-INT8", **overrides))
+
     # -- analytic latencies ---------------------------------------------------
 
     def _words_seconds(self, words: int) -> float:
-        beats = -(-words // WORDS_PER_BEAT)
+        beats = -(-words // self.config.words_per_beat)
         return beats / self.config.dram_efficiency / self.config.clock_hz
 
     def stage_seconds(self, stage: StageTiming) -> float:
@@ -173,7 +209,8 @@ class FA3CPlatform:
         num_cus = self.config.cu_pairs * self.config.cus_per_pair
         return ResourceModel(num_cus=num_cus, n_pe=self.config.pe_per_cu,
                              num_rus=self.config.num_rus,
-                             device=self.config.device)
+                             device=self.config.device,
+                             precision=self.config.precision_spec)
 
     def build_sim(self, engine: Engine,
                   tracer: typing.Optional["Tracer"] = None) -> "FPGASim":

@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.precision import FP32, Precision
+
 
 @dataclasses.dataclass(frozen=True)
 class DeviceCapacity:
@@ -70,26 +72,35 @@ class ResourceModel:
     """Estimate the Table 4 breakdown for a CU configuration."""
 
     def __init__(self, num_cus: int = 4, n_pe: int = 64, num_rus: int = 4,
-                 num_channels: int = 2, device: DeviceCapacity = VU9P):
+                 num_channels: int = 2, device: DeviceCapacity = VU9P,
+                 precision: Precision = FP32):
         self.num_cus = num_cus
         self.n_pe = n_pe
         self.num_rus = num_rus
         self.num_channels = num_channels
         self.device = device
+        self.precision = precision
 
     def components(self) -> typing.List[ComponentUsage]:
-        """Per-component usage in Table 4 order."""
+        """Per-component usage in Table 4 order.
+
+        ``n_pe`` counts the *instantiated* PEs per CU; at narrower
+        precisions ``pe_scale`` of them share one fp32 PE's DSP/logic
+        budget, and the buffer/interconnect fabric is sized by that fp32-
+        equivalent footprint (capacity in bits, not in words).
+        """
         total_pes = self.num_cus * self.n_pe
-        scale = total_pes / 256  # buffers/datapath scale with PE count
+        dp = self.precision.pe_scale  # PEs per fp32 PE's resource budget
+        scale = total_pes / dp / 256  # fp32-equivalent datapath footprint
         rus = self.num_cus // 2 * self.num_rus or self.num_rus
 
         def s(value: float) -> int:
             return int(round(value * scale))
 
         return [
-            ComponentUsage("PEs", total_pes * _PER_PE_LUTS,
-                           total_pes * _PER_PE_REGS, 0,
-                           total_pes * _PER_PE_DSPS),
+            ComponentUsage("PEs", total_pes * _PER_PE_LUTS // dp,
+                           total_pes * _PER_PE_REGS // dp, 0,
+                           total_pes * _PER_PE_DSPS // dp),
             ComponentUsage("Parameter buffer", s(20_800), s(1_700),
                            s(256), 0),
             ComponentUsage("Gradient buffer", s(8_900), s(600), s(128), 0),

@@ -14,7 +14,6 @@ from __future__ import annotations
 import typing
 
 from repro.fpga.binding import BoundTask
-from repro.fpga.dram import WORD_BYTES, WORDS_PER_BEAT
 from repro.fpga.timing import GLOBAL, LOCAL, StageTiming
 from repro.obs import runtime as _obs
 from repro.obs.prof import buckets as _prof
@@ -107,22 +106,25 @@ class FPGASim:
         traffic = metrics.counter("fpga.dram.bytes")
         bursts = metrics.counter("fpga.dram.bursts")
         stripe = len(self.global_channels)
+        config = self.platform.config
+        word_bytes = config.word_bytes
+        words_per_beat = config.words_per_beat
         for direction, words_by_channel in (("load", stage.loads),
                                             ("store", stage.stores)):
             local_words = words_by_channel.get(LOCAL, 0)
             if local_words:
                 name = self.local_channels[pair].name
-                traffic.inc(local_words * WORD_BYTES, channel=name,
+                traffic.inc(local_words * word_bytes, channel=name,
                             dir=direction)
-                bursts.inc(-(-local_words // WORDS_PER_BEAT),
+                bursts.inc(-(-local_words // words_per_beat),
                            channel=name)
             global_words = words_by_channel.get(GLOBAL, 0)
             if global_words:
                 share = -(-global_words // stripe)
                 for channel in self.global_channels:
-                    traffic.inc(share * WORD_BYTES, channel=channel.name,
+                    traffic.inc(share * word_bytes, channel=channel.name,
                                 dir=direction)
-                    bursts.inc(-(-share // WORDS_PER_BEAT),
+                    bursts.inc(-(-share // words_per_beat),
                                channel=channel.name)
 
     def _run_stage(self, stage: StageTiming, pair: int):
@@ -359,14 +361,15 @@ class FPGASim:
             yield self.engine.timeout(bound.pcie_out_seconds)
             return
         timing = self.platform.timing
+        word_bytes = self.platform.config.word_bytes
         yield self.engine.timeout(
-            self._pcie_seconds(batch * timing.input_words(1) * 4))
+            self._pcie_seconds(batch * timing.input_words(1) * word_bytes))
         stages = timing.inference_task(batch)
         yield from self._run_task(stages, self.infer_cus[pair], pair,
                                   task="inference")
         last = self.platform.topology.layers[-1]
         yield self.engine.timeout(
-            self._pcie_seconds(batch * last.num_outputs * 4))
+            self._pcie_seconds(batch * last.num_outputs * word_bytes))
 
     def train(self, agent_id: int, batch: int):
         """Process body for one training task."""

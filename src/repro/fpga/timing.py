@@ -25,6 +25,7 @@ import typing
 
 from repro.fpga.layouts import image_words
 from repro.nn.network import LayerSpec, NetworkTopology
+from repro.precision import FP32, Precision
 
 #: Logical channel names: the paper places global and local parameters in
 #: different memory channels when more than one is available (Section 4.1).
@@ -82,7 +83,8 @@ def _parallel_gc(n_pe: int, spec: LayerSpec) -> int:
     return min(n_pe, ksq * max(1, n_pe // ksq), spec.num_weights)
 
 
-def _parallel_bw(n_pe: int, spec: LayerSpec, layout_mode: str) -> int:
+def _parallel_bw(n_pe: int, spec: LayerSpec, layout_mode: str,
+                 fetch_words: int = 16) -> int:
     """PEs usable in BW.
 
     With the BW layout a buffer row spans M_w = floor(O/K^2) input
@@ -100,10 +102,11 @@ def _parallel_bw(n_pe: int, spec: LayerSpec, layout_mode: str) -> int:
     """
     if layout_mode == "alt1":
         if spec.kind == "dense":
-            # 16 words/cycle fetch rate, halved because the FW-order
-            # stream defeats the line buffers' double buffering (no TLU
-            # prefetch path in this configuration).
-            return max(1, min(n_pe, 8))
+            # One beat of operands per cycle (16 fp32 words), halved
+            # because the FW-order stream defeats the line buffers'
+            # double buffering (no TLU prefetch path in this
+            # configuration).  Narrower operands raise the fetch rate.
+            return max(1, min(n_pe, fetch_words // 2))
         window_limit = spec.out_width * spec.kernel
         return max(1, min(n_pe, window_limit))
     return n_pe
@@ -121,13 +124,19 @@ class TimingModel:
     TASK_OVERHEAD_CYCLES = 24
 
     def __init__(self, topology: NetworkTopology, n_pe: int = 64,
-                 layout_mode: str = "fa3c", num_rus: int = 8):
+                 layout_mode: str = "fa3c", num_rus: int = 8,
+                 precision: Precision = FP32):
         if layout_mode not in LAYOUT_MODES:
             raise ValueError(f"unknown layout mode {layout_mode!r}")
         self.topology = topology
         self.n_pe = n_pe
         self.layout_mode = layout_mode
         self.num_rus = num_rus
+        self.precision = precision
+        # One DRAM beat in operands: the patch edge, burst-alignment
+        # unit, and per-cycle fetch width all follow the operand width
+        # (16 at fp32 — every count below is then unchanged).
+        self._beat_words = precision.words_per_beat
 
     # -- per-layer parameter footprints -----------------------------------
 
@@ -136,8 +145,9 @@ class TimingModel:
         weights + burst-aligned biases)."""
         rows = spec.in_channels * spec.kernel ** 2
         cols = spec.out_channels
-        bias_words = -(-spec.out_channels // 16) * 16
-        return image_words(rows, cols) + bias_words
+        beat = self._beat_words
+        bias_words = -(-spec.out_channels // beat) * beat
+        return image_words(rows, cols, patch=beat) + bias_words
 
     def total_param_words(self) -> int:
         """One full parameter set in DRAM (all layers)."""
@@ -147,16 +157,18 @@ class TimingModel:
     def feature_words(self, spec: LayerSpec, batch: int) -> int:
         """Output feature-map words.
 
-        Rows are packed contiguously and each *transfer* is aligned to the
-        16-word burst, so the internal fragmentation stays below 1 % of
-        the traffic (Section 4.3).
+        Rows are packed contiguously and each *transfer* is aligned to
+        the burst beat (16 words at fp32), so the internal fragmentation
+        stays below 1 % of the traffic (Section 4.3).
         """
-        return batch * (-(-spec.num_outputs // 16) * 16)
+        beat = self._beat_words
+        return batch * (-(-spec.num_outputs // beat) * beat)
 
     def input_words(self, batch: int) -> int:
         """Network-input words per batch (burst-aligned as a whole)."""
         c, h, w = self.topology.input_shape
-        return batch * (-(-(c * h * w) // 16) * 16)
+        beat = self._beat_words
+        return batch * (-(-(c * h * w) // beat) * beat)
 
     # -- stages ------------------------------------------------------------
 
@@ -207,7 +219,8 @@ class TimingModel:
         the preceding layer for the next GC.
         """
         macs = spec.macs_bw(batch)
-        parallel = _parallel_bw(self.n_pe, spec, self.layout_mode)
+        parallel = _parallel_bw(self.n_pe, spec, self.layout_mode,
+                                fetch_words=self._beat_words)
         compute = -(-macs // parallel) + self.STAGE_OVERHEAD_CYCLES
         param_words = self.param_image_words(spec)
         loads = {LOCAL: param_words}

@@ -40,6 +40,19 @@ class TransposeLoadUnit:
         self.patches_transposed = 0
         self.words_loaded = 0
 
+    @classmethod
+    def for_precision(cls, precision, fifo_depth: int = 4,
+                      emulate: bool = False) -> "TransposeLoadUnit":
+        """A TLU sized to one DRAM beat of the given operand precision.
+
+        The transpose array edge equals the words-per-beat of the
+        precision (16 at fp32, 32 at fp16, 64 at int8): each beat still
+        fills exactly one register row, so the shift-transpose schedule
+        is unchanged — only the patch edge grows with packing density.
+        """
+        return cls(patch=precision.words_per_beat, fifo_depth=fifo_depth,
+                   emulate=emulate)
+
     @property
     def register_words(self) -> int:
         """Register words the transpose array occupies."""

@@ -19,6 +19,13 @@ its intent:
 * ``np.dot`` / ``np.inner`` / ``np.vdot`` — always flagged here; use
   ``np.matmul``/``@`` (the documented GEMM primitive) or an ordered
   reduce, or pragma the call with the reason order cannot leak.
+
+Quantized-kernel modules are outside the bit-exact contract by design
+(their datapath rounds through a storage precision before accumulating)
+and are exempted by *configuration*, not per-call pragmas: list them
+under the ``quantized-modules`` option and the rule skips those files
+entirely.  A config declaration keeps the exemption reviewable in one
+place and prevents pragma creep inside the quantized kernels.
 """
 
 from __future__ import annotations
@@ -48,6 +55,11 @@ class Fp32OrderRule(Rule):
                    "axis/order intent")
 
     def check(self, ctx: astutil.FileContext):
+        quantized = self.list_option("quantized-modules", ())
+        if quantized and path_matches_any(ctx.relpath, quantized):
+            # Declared quantized-kernel module: outside the bit-exact
+            # contract, exempt by configuration rather than pragma.
+            return
         if not path_matches_any(ctx.relpath,
                                 self.list_option("modules",
                                                  _DEFAULT_MODULES)):

@@ -70,16 +70,25 @@ def col2im(cols: np.ndarray, input_shape: typing.Tuple[int, int, int, int],
 
 
 def conv_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
-                 stride: int) -> typing.Tuple[np.ndarray, np.ndarray]:
+                 stride: int, policy=None, key: str = ""
+                 ) -> typing.Tuple[np.ndarray, np.ndarray]:
     """FW stage of a convolution layer.
 
     Returns ``(y, cols)`` where ``cols`` is the im2col matrix cached for the
     GC stage (FA3C likewise saves forward feature maps in DRAM for reuse by
     the training task, Section 4.3).
+
+    ``policy`` is an optional :class:`~repro.nn.quant.PrecisionPolicy`
+    coercing the *parameters* to their storage precision (activations are
+    coerced by the layer, which owns the forward cache); at fp32 the
+    policy is ``None`` and no extra call happens.
     """
     o, i, k, _ = weight.shape
     if x.shape[1] != i:
         raise ValueError(f"input channels {x.shape[1]} != weight {i}")
+    if policy is not None:
+        weight = policy(weight, f"{key}.weight")
+        bias = policy(bias, f"{key}.bias")
     cols, (oh, ow) = im2col(x, k, stride)
     flat_w = weight.reshape(o, i * k * k)
     y = np.einsum("ok,nkp->nop", flat_w, cols, optimize=True)
@@ -88,14 +97,19 @@ def conv_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
 
 
 def conv_backward_input(dy: np.ndarray, weight: np.ndarray, stride: int,
-                        input_shape: typing.Tuple[int, int, int, int]
-                        ) -> np.ndarray:
+                        input_shape: typing.Tuple[int, int, int, int],
+                        policy=None, key: str = "") -> np.ndarray:
     """BW stage: gradients of the input feature map.
 
-    ``dy`` has shape ``(N, O, OH, OW)``.
+    ``dy`` has shape ``(N, O, OH, OW)``.  ``policy`` re-coerces the
+    weight to the same stored values the FW stage multiplied by
+    (straight-through estimation: gradients flow in fp32 through the
+    quantized parameters).
     """
     n, o, oh, ow = dy.shape
     _, i, k, _ = weight.shape
+    if policy is not None:
+        weight = policy(weight, f"{key}.weight")
     flat_w = weight.reshape(o, i * k * k)
     dy_flat = dy.reshape(n, o, oh * ow)
     dcols = np.einsum("ok,nop->nkp", flat_w, dy_flat, optimize=True)
@@ -117,14 +131,23 @@ def conv_grad_params(cols: np.ndarray, dy: np.ndarray, weight_shape:
     return dw.reshape(weight_shape), db
 
 
-def dense_forward(x: np.ndarray, weight: np.ndarray,
-                  bias: np.ndarray) -> np.ndarray:
-    """FW stage of a fully-connected layer; ``x`` is ``(N, in_features)``."""
+def dense_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                  policy=None, key: str = "") -> np.ndarray:
+    """FW stage of a fully-connected layer; ``x`` is ``(N, in_features)``.
+
+    ``policy`` optionally coerces the parameters to storage precision.
+    """
+    if policy is not None:
+        weight = policy(weight, f"{key}.weight")
+        bias = policy(bias, f"{key}.bias")
     return x @ weight.T + bias
 
 
-def dense_backward_input(dy: np.ndarray, weight: np.ndarray) -> np.ndarray:
-    """BW stage of a fully-connected layer."""
+def dense_backward_input(dy: np.ndarray, weight: np.ndarray,
+                         policy=None, key: str = "") -> np.ndarray:
+    """BW stage of a fully-connected layer (straight-through weights)."""
+    if policy is not None:
+        weight = policy(weight, f"{key}.weight")
     return dy @ weight
 
 

@@ -27,6 +27,9 @@ class Layer:
 
     def __init__(self, name: str):
         self.name = name
+        #: Optional :class:`~repro.nn.quant.PrecisionPolicy`; ``None``
+        #: (the fp32 reference path) adds no calls at all.
+        self.policy = None
 
     def param_shapes(self) -> typing.Dict[str, Shape]:
         """Mapping of parameter name -> shape; empty for stateless layers."""
@@ -99,9 +102,12 @@ class Conv2D(Layer):
 
     def forward(self, x: np.ndarray, params: ParameterSet) -> np.ndarray:
         x = np.ascontiguousarray(x, dtype=np.float32)
+        if self.policy is not None:
+            x = self.policy(x, f"{self.name}.act")
         self._input_shape = x.shape
         y, cols = F.conv_forward(x, params[f"{self.name}.weight"],
-                                 params[f"{self.name}.bias"], self.stride)
+                                 params[f"{self.name}.bias"], self.stride,
+                                 policy=self.policy, key=self.name)
         self._cols = cols
         return y
 
@@ -110,7 +116,8 @@ class Conv2D(Layer):
         if self._input_shape is None:
             raise RuntimeError(f"{self.name}: backward before forward")
         return F.conv_backward_input(dy, params[f"{self.name}.weight"],
-                                     self.stride, self._input_shape)
+                                     self.stride, self._input_shape,
+                                     policy=self.policy, key=self.name)
 
     def grad_params(self, dy: np.ndarray, grads: ParameterSet) -> None:
         if self._cols is None:
@@ -146,13 +153,17 @@ class Dense(Layer):
 
     def forward(self, x: np.ndarray, params: ParameterSet) -> np.ndarray:
         x = np.ascontiguousarray(x, dtype=np.float32)
+        if self.policy is not None:
+            x = self.policy(x, f"{self.name}.act")
         self._x = x
         return F.dense_forward(x, params[f"{self.name}.weight"],
-                               params[f"{self.name}.bias"])
+                               params[f"{self.name}.bias"],
+                               policy=self.policy, key=self.name)
 
     def backward_input(self, dy: np.ndarray,
                        params: ParameterSet) -> np.ndarray:
-        return F.dense_backward_input(dy, params[f"{self.name}.weight"])
+        return F.dense_backward_input(dy, params[f"{self.name}.weight"],
+                                      policy=self.policy, key=self.name)
 
     def grad_params(self, dy: np.ndarray, grads: ParameterSet) -> None:
         if self._x is None:

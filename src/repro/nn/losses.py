@@ -53,7 +53,8 @@ class A3CLossResult:
 
 def a3c_loss_and_head_gradients(logits: np.ndarray, values: np.ndarray,
                                 actions: np.ndarray, returns: np.ndarray,
-                                entropy_beta: float = 0.01) -> A3CLossResult:
+                                entropy_beta: float = 0.01,
+                                policy=None) -> A3CLossResult:
     """Evaluate the A3C objective and its gradients at the network heads.
 
     Args:
@@ -62,12 +63,20 @@ def a3c_loss_and_head_gradients(logits: np.ndarray, values: np.ndarray,
         actions: ``(N,)`` integer actions taken.
         returns: ``(N,)`` bootstrapped n-step returns R_t.
         entropy_beta: weight of the entropy regularisation term.
+        policy: optional :class:`~repro.nn.quant.PrecisionPolicy`
+            modelling the PCIe readback of FW outputs at storage
+            precision before the host-side loss (``None`` = fp32 host).
 
     The losses are *summed* over the batch (the original A3C accumulates
     gradients over the t_max steps rather than averaging).  The advantage
     (R - V) is treated as a constant in the policy objective, i.e. the value
     head receives gradient only from the value loss.
     """
+    if policy is not None:
+        logits = policy(np.asarray(logits, dtype=np.float32),
+                        "head.logits")
+        values = policy(np.asarray(values, dtype=np.float32),
+                        "head.values")
     n, num_actions = logits.shape
     if actions.shape != (n,) or returns.shape != (n,) \
             or values.shape != (n,):

@@ -22,6 +22,7 @@ import numpy as np
 from repro.nn.initializers import torch_dqn_init, zeros
 from repro.nn.layers import Conv2D, Dense, Flatten, Layer, ReLU
 from repro.nn.parameters import ParameterSet
+from repro.nn.quant import policy_for
 
 Shape = typing.Tuple[int, ...]
 
@@ -155,6 +156,15 @@ class Sequential:
     def output_shape(self) -> Shape:
         return self._shapes[-1]
 
+    def set_policy(self, policy) -> None:
+        """Install one precision policy on every layer (``None`` = fp32).
+
+        The shared policy gives the quantized datapath one calibration
+        state across the stack; keys stay distinct per layer/tensor.
+        """
+        for layer in self.layers:
+            layer.policy = policy
+
     def init_params(self, rng: typing.Optional[np.random.Generator] = None,
                     weight_init=torch_dqn_init,
                     bias_init=zeros) -> ParameterSet:
@@ -222,7 +232,8 @@ class A3CNetwork:
     def __init__(self, num_actions: int,
                  input_shape: Shape = DEFAULT_INPUT_SHAPE,
                  fc4_width: int = 32, hidden: int = 256,
-                 conv_channels: typing.Tuple[int, int] = (16, 32)):
+                 conv_channels: typing.Tuple[int, int] = (16, 32),
+                 precision: str = "fp32"):
         if num_actions + 1 > fc4_width:
             raise ValueError(f"fc4_width={fc4_width} too small for "
                              f"{num_actions} actions plus a value output")
@@ -244,6 +255,10 @@ class A3CNetwork:
             ReLU("ReLU3"),
             Dense("FC4", hidden, fc4_width),
         ], input_shape)
+        self.precision = precision
+        self.policy = policy_for(precision)
+        if self.policy is not None:
+            self.model.set_policy(self.policy)
 
     @property
     def input_shape(self) -> Shape:
@@ -291,7 +306,7 @@ class MLPPolicyNetwork:
     """
 
     def __init__(self, num_actions: int, input_shape: Shape,
-                 hidden: int = 64):
+                 hidden: int = 64, precision: str = "fp32"):
         self.num_actions = num_actions
         features = int(np.prod(input_shape))
         self.model = Sequential([
@@ -300,6 +315,10 @@ class MLPPolicyNetwork:
             ReLU("ReLU1"),
             Dense("FC2", hidden, num_actions + 1),
         ], input_shape)
+        self.precision = precision
+        self.policy = policy_for(precision)
+        if self.policy is not None:
+            self.model.set_policy(self.policy)
 
     @property
     def input_shape(self) -> Shape:

@@ -1,0 +1,159 @@
+"""Quantized-datapath numerics: int8 fake-quant and fp16 storage.
+
+FA3C's datapath is fp32 end to end; the precision-parametric backends
+model narrower *storage* formats with fp32 accumulation, the standard
+FPGA inference recipe:
+
+* **fp16** — operands are stored (and moved over DRAM/PCIe) as IEEE
+  half floats but every MAC accumulates in fp32.  Emulated by rounding
+  through ``np.float16`` and widening back.
+* **int8** — symmetric per-tensor quantization: a tensor is mapped to
+  ``[-127, 127]`` by a positive scale (``amax / 127``), stored as int8,
+  and dequantized to fp32 before the MAC.  Emulated as *fake quant*
+  (quantize-dequantize in fp32) so the rest of the stack stays fp32.
+
+A :class:`PrecisionPolicy` bundles the coercions a network applies at
+layer boundaries.  The int8 policy supports two modes:
+
+* **dynamic** — each tensor is scaled by its own amax at every call
+  (what the forward pass uses before calibration);
+* **calibrated** — :meth:`Int8Policy.observe` records per-key amax
+  ranges over sample batches, :meth:`~Int8Policy.freeze` locks them, and
+  subsequent calls reuse the frozen scales.  Frozen scales make the
+  fake-quant function piecewise constant around a point, which is what
+  lets ``nn/gradcheck.py`` validate the straight-through gradients.
+
+Everything here is elementwise, so no accumulation-order rules apply;
+the module is declared in ``[tool.repro-lint.fp32-order]
+quantized-modules`` to document that exemption explicitly.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.precision import Precision, resolve_precision
+
+#: Symmetric int8 uses the full signed range minus the asymmetric -128
+#: code, so quantize(x) == -quantize(-x) holds exactly.
+INT8_LEVELS = 127
+
+
+def int8_scale(x: np.ndarray) -> float:
+    """Symmetric per-tensor scale: ``amax / 127`` (1.0 for all-zero)."""
+    amax = float(np.max(np.abs(np.asarray(x, dtype=np.float32)))) \
+        if np.asarray(x).size else 0.0
+    return amax / INT8_LEVELS if amax > 0.0 else 1.0
+
+
+def quantize_int8(x: np.ndarray, scale: float) -> np.ndarray:
+    """Quantize fp32 values to int8 codes with round-half-to-even."""
+    if scale <= 0.0:
+        raise ValueError(f"int8 scale must be positive: {scale}")
+    codes = np.rint(np.asarray(x, dtype=np.float32) / np.float32(scale))
+    return np.clip(codes, -INT8_LEVELS, INT8_LEVELS).astype(np.int8)
+
+
+def dequantize_int8(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Map int8 codes back to fp32: ``codes * scale``."""
+    return codes.astype(np.float32) * np.float32(scale)
+
+
+def fake_quant_int8(x: np.ndarray,
+                    scale: typing.Optional[float] = None) -> np.ndarray:
+    """Quantize-dequantize in fp32 (dynamic per-tensor scale if omitted).
+
+    The result is within ``scale / 2`` of the input everywhere inside the
+    representable range ``[-127 * scale, 127 * scale]``.
+    """
+    if scale is None:
+        scale = int8_scale(x)
+    return dequantize_int8(quantize_int8(x, scale), scale)
+
+
+def fp16_storage(x: np.ndarray) -> np.ndarray:
+    """Round fp32 values through IEEE fp16 storage and widen back."""
+    return np.asarray(x, dtype=np.float32) \
+        .astype(np.float16).astype(np.float32)
+
+
+class PrecisionPolicy:
+    """Coercion a quantized datapath applies at layer boundaries.
+
+    Calling the policy coerces a tensor to its storage precision and
+    returns fp32 (accumulation precision).  ``key`` names the tensor for
+    calibrated modes; dynamic policies ignore it.
+    """
+
+    #: The precision name this policy realises.
+    name = "fp32"
+
+    def __call__(self, x: np.ndarray, key: str = "") -> np.ndarray:
+        raise NotImplementedError
+
+    def observe(self, key: str, x: np.ndarray) -> None:
+        """Record calibration statistics for ``key`` (no-op by default)."""
+
+    def freeze(self) -> None:
+        """Lock calibration; later calls reuse the frozen scales."""
+
+
+class Fp16Policy(PrecisionPolicy):
+    """fp16 storage, fp32 accumulate — stateless rounding."""
+
+    name = "fp16"
+
+    def __call__(self, x: np.ndarray, key: str = "") -> np.ndarray:
+        return fp16_storage(x)
+
+
+class Int8Policy(PrecisionPolicy):
+    """Symmetric per-tensor int8 fake quant (dynamic until frozen)."""
+
+    name = "int8"
+
+    def __init__(self):
+        self._amax: typing.Dict[str, float] = {}
+        self.frozen = False
+
+    def observe(self, key: str, x: np.ndarray) -> None:
+        if self.frozen:
+            raise RuntimeError("int8 policy is frozen; cannot observe")
+        amax = float(np.max(np.abs(np.asarray(x, dtype=np.float32)))) \
+            if np.asarray(x).size else 0.0
+        self._amax[key] = max(self._amax.get(key, 0.0), amax)
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def scale_for(self, key: str, x: np.ndarray) -> float:
+        """The scale a call with this ``key`` uses right now."""
+        if self.frozen and key in self._amax:
+            amax = self._amax[key]
+            return amax / INT8_LEVELS if amax > 0.0 else 1.0
+        return int8_scale(x)
+
+    def scales(self) -> typing.Dict[str, float]:
+        """Frozen per-key scales (calibration snapshot for tests/docs)."""
+        return {key: amax / INT8_LEVELS if amax > 0.0 else 1.0
+                for key, amax in sorted(self._amax.items())}
+
+    def __call__(self, x: np.ndarray, key: str = "") -> np.ndarray:
+        return fake_quant_int8(x, self.scale_for(key, x))
+
+
+def policy_for(precision) -> typing.Optional[PrecisionPolicy]:
+    """The coercion policy for a precision (``None`` for fp32).
+
+    Returning ``None`` rather than an identity policy keeps the fp32
+    reference path free of any extra calls — bit-identity by
+    construction, not by careful rounding.
+    """
+    spec: Precision = resolve_precision(precision)
+    if spec.name == "fp16":
+        return Fp16Policy()
+    if spec.name == "int8":
+        return Int8Policy()
+    return None

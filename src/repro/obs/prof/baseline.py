@@ -102,6 +102,12 @@ SCENARIOS: typing.Tuple[Scenario, ...] = (
     Scenario("ga3c-tf-batched-n8", "ga3c-tf", host="batched"),
     Scenario("a3c-tf-gpu-n8", "a3c-tf-gpu"),
     Scenario("a3c-tf-cpu-n8", "a3c-tf-cpu"),
+    # Precision-parametric datapaths: same FA3C microarchitecture at
+    # narrower operand storage (more words per DRAM beat, more PEs per
+    # DSP budget).  Separate scenarios so the fp32 entries above stay
+    # untouched — their gate is zero-drift by construction.
+    Scenario("fa3c-fp16-n8", "fa3c-fp16"),
+    Scenario("fa3c-int8-n8", "fa3c-int8"),
 )
 
 _BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}

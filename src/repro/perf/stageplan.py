@@ -20,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.fpga.dram import WORD_BYTES, WORDS_PER_BEAT
 from repro.fpga.timing import GLOBAL, LOCAL, StageTiming
 from repro.obs.prof import buckets as _prof
 
@@ -28,10 +27,12 @@ ConfigKey = typing.Tuple
 
 #: FPGAConfig fields that influence modelled stage timing, traffic, or
 #: attribution.  ``device`` is capacity metadata and deliberately absent.
+#: ``precision`` changes words-per-beat, PE density, and byte accounting,
+#: so omitting it would alias quantized and fp32 plans in the cache.
 CONFIG_KEY_FIELDS = (
     "name", "clock_hz", "n_pe", "cu_pairs", "single_cu", "layout_mode",
     "dram_efficiency", "double_buffering", "global_channels", "num_rus",
-    "pcie_bandwidth", "pcie_latency",
+    "pcie_bandwidth", "pcie_latency", "precision",
 )
 
 
@@ -40,7 +41,8 @@ def config_key(config) -> ConfigKey:
     return (config.name, config.clock_hz, config.n_pe, config.cu_pairs,
             config.single_cu, config.layout_mode, config.dram_efficiency,
             config.double_buffering, config.global_channels,
-            config.num_rus, config.pcie_bandwidth, config.pcie_latency)
+            config.num_rus, config.pcie_bandwidth, config.pcie_latency,
+            config.precision)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,19 +107,21 @@ def build_stage_plan(platform, stage: StageTiming) -> StagePlan:
     kind, layer = _prof.split_stage_name(stage.name)
     overhead = min(stage.overhead_cycles, stage.compute_cycles)
     dma_words = stage.total_load_words + stage.total_store_words
+    word_bytes = config.word_bytes
+    words_per_beat = config.words_per_beat
     local_traffic = []
     global_traffic = []
     for direction, words_by_channel in (("load", stage.loads),
                                         ("store", stage.stores)):
         words = words_by_channel.get(LOCAL, 0)
         if words:
-            local_traffic.append((direction, words * WORD_BYTES,
-                                  -(-words // WORDS_PER_BEAT)))
+            local_traffic.append((direction, words * word_bytes,
+                                  -(-words // words_per_beat)))
         words = words_by_channel.get(GLOBAL, 0)
         if words:
             dir_share = -(-words // config.global_channels)
-            global_traffic.append((direction, dir_share * WORD_BYTES,
-                                   -(-dir_share // WORDS_PER_BEAT)))
+            global_traffic.append((direction, dir_share * word_bytes,
+                                   -(-dir_share // words_per_beat)))
     return StagePlan(
         stage=stage,
         name=stage.name,
@@ -148,10 +152,12 @@ def build_task_plan(platform, kind: str, batch: int) -> TaskPlan:
     if kind == "inference":
         stages = timing.inference_task(batch)
         pcie_in = config.pcie_latency \
-            + batch * timing.input_words(1) * 4 / config.pcie_bandwidth
+            + batch * timing.input_words(1) * config.word_bytes \
+            / config.pcie_bandwidth
         last = platform.topology.layers[-1]
         pcie_out = config.pcie_latency \
-            + batch * last.num_outputs * 4 / config.pcie_bandwidth
+            + batch * last.num_outputs * config.word_bytes \
+            / config.pcie_bandwidth
     elif kind == "train":
         stages = timing.training_task(batch)
     elif kind == "sync":

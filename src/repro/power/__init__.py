@@ -1,5 +1,6 @@
 """Power and energy-efficiency models (paper Section 5.3, Figure 9)."""
 
+from repro.power.ablation import PRECISION_BACKENDS, precision_ablation
 from repro.power.model import (
     PLATFORM_POWER,
     EnergyReport,
@@ -7,4 +8,11 @@ from repro.power.model import (
     PowerModel,
 )
 
-__all__ = ["EnergyReport", "PLATFORM_POWER", "PowerEnvelope", "PowerModel"]
+__all__ = [
+    "EnergyReport",
+    "PLATFORM_POWER",
+    "PRECISION_BACKENDS",
+    "PowerEnvelope",
+    "PowerModel",
+    "precision_ablation",
+]

@@ -1,0 +1,89 @@
+"""Precision ablation: accuracy vs throughput vs energy per datapath.
+
+``repro bench --ablation precision`` runs the FA3C configuration at each
+supported operand precision and reports, side by side:
+
+* **accuracy** — the max absolute policy-logit deviation of a seeded
+  :class:`~repro.nn.network.A3CNetwork` forward pass against the fp32
+  reference (0 for fp32 by construction);
+* **throughput** — modelled inferences/second from the discrete-event
+  contention simulation, same load as the bench matrix;
+* **energy** — modelled watts from the Section 5.3 dummy-platform
+  methodology, plus derived IPS/W and mJ per inference.
+
+The table quantifies the quantization trade the precision-parametric
+datapath exists to expose: int8 moves 4x the words per DRAM beat and
+packs 4x the PEs per DSP budget, buying throughput and efficiency at a
+bounded logit error.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.power.model import PowerModel
+
+#: Precision -> backend registry name, in ablation-report order.
+PRECISION_BACKENDS: typing.Tuple[typing.Tuple[str, str], ...] = (
+    ("fp32", "fa3c-fpga"),
+    ("fp16", "fa3c-fp16"),
+    ("int8", "fa3c-int8"),
+)
+
+#: Seeds for the accuracy probe (fixed: the ablation is deterministic).
+_PARAM_SEED = 7
+_STATE_SEED = 11
+_PROBE_BATCH = 8
+_NUM_ACTIONS = 6
+
+
+def max_logit_error(precision: str, num_actions: int = _NUM_ACTIONS,
+                    batch: int = _PROBE_BATCH) -> float:
+    """Max |logit - fp32 logit| of a seeded forward at ``precision``.
+
+    Both networks share identical fp32 parameters and inputs; only the
+    datapath coercion differs, so the deviation is purely quantization
+    error.  fp32 returns exactly 0.0 (same code path, no coercion).
+    """
+    from repro.nn.network import A3CNetwork
+
+    reference = A3CNetwork(num_actions)
+    params = reference.init_params(np.random.default_rng(_PARAM_SEED))
+    states = np.random.default_rng(_STATE_SEED).uniform(
+        0.0, 1.0, size=(batch,) + reference.input_shape
+    ).astype(np.float32)
+    ref_logits, _ = reference.forward(states, params)
+    if precision == "fp32":
+        return 0.0
+    quantized = A3CNetwork(num_actions, precision=precision)
+    logits, _ = quantized.forward(states, params)
+    return float(np.max(np.abs(logits - ref_logits)))
+
+
+def precision_ablation(num_agents: int = 8, t_max: int = 5,
+                       routines: int = 25
+                       ) -> typing.List[typing.Dict[str, object]]:
+    """One row per precision: accuracy, modelled IPS, modelled energy."""
+    from repro import backends
+    from repro.platforms import measure_ips
+
+    model = PowerModel()
+    rows = []
+    for precision, backend in PRECISION_BACKENDS:
+        platform = backends.create(backend)
+        result = measure_ips(platform, num_agents, t_max=t_max,
+                             routines_per_agent=routines)
+        report = model.report(result)
+        rows.append({
+            "precision": precision,
+            "backend": backend,
+            "ips": round(result.ips, 1),
+            "watts": round(report.watts, 2),
+            "ips_per_watt": round(report.inferences_per_watt, 1),
+            "mj_per_inference": round(1000.0 * report.watts / result.ips,
+                                      4) if result.ips else None,
+            "max_abs_logit_err": round(max_logit_error(precision), 6),
+        })
+    return rows

@@ -52,6 +52,11 @@ PLATFORM_POWER: typing.Dict[str, PowerEnvelope] = {
     "FA3C-SingleCU": PowerEnvelope(idle_delta=5.0, active=18.5),
     "FA3C-Alt1": PowerEnvelope(idle_delta=5.0, active=18.5),
     "FA3C-Alt2": PowerEnvelope(idle_delta=5.0, active=19.5),
+    # Quantized-datapath variants: narrower multipliers and fewer DRAM
+    # beats per task cut the dynamic (utilisation-proportional) draw;
+    # the static idle delta of a configured, clocked device is unchanged.
+    "FA3C-FP16": PowerEnvelope(idle_delta=5.0, active=15.5),
+    "FA3C-INT8": PowerEnvelope(idle_delta=5.0, active=13.0),
     "A3C-cuDNN": PowerEnvelope(idle_delta=10.0, active=25.5),
     "A3C-TF-GPU": PowerEnvelope(idle_delta=10.0, active=28.0),
     "GA3C-TF": PowerEnvelope(idle_delta=10.0, active=30.0),

@@ -1,0 +1,106 @@
+"""The repo-wide precision vocabulary.
+
+FA3C's datapath is single-precision throughout (paper Section 4.2.1),
+but quantized FPGA RL engines trade operand width for PE density,
+DRAM beats, and energy (QForce-RL; the Guo et al. accelerator survey
+names quantization as the standard PE-density lever).  This module is
+the single place the stack spells out what an operand width *means*:
+
+* ``repro.nn`` derives its quantize/dequantize emulation policy from a
+  :class:`Precision` (see :mod:`repro.nn.quant`);
+* ``repro.fpga`` derives words-per-DRAM-beat, PE density, TLU patch
+  edge, and buffer capacity from it;
+* ``repro.backends`` declares it as a per-backend capability, validated
+  at registry-create time.
+
+The three members are deliberately a closed set: the 512-bit DDR4 beat
+and the DSP budget divide evenly by 32/16/8-bit operands, which is what
+keeps the fp32 arithmetic bit-identical (every scaling factor is exactly
+1 at fp32).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import typing
+
+#: Bits per DDR4 burst beat (the 512-bit interface of Section 4.3).
+BEAT_BITS = 512
+
+
+@dataclasses.dataclass(frozen=True)
+class Precision:
+    """One operand width and its datapath consequences.
+
+    ``storage_bits`` is the width operands occupy in DRAM, on-chip
+    buffers, and the DMA stream; ``accumulate_bits`` is the accumulator
+    width (FA3C-style MACs keep a wide accumulator even for narrow
+    operands, so quantized backends accumulate in fp32).
+    """
+
+    name: str
+    storage_bits: int
+    accumulate_bits: int = 32
+    is_float: bool = True
+
+    def __post_init__(self):
+        if BEAT_BITS % self.storage_bits:
+            raise ValueError(f"storage width {self.storage_bits} does not "
+                             f"divide the {BEAT_BITS}-bit DRAM beat")
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes one operand occupies in DRAM."""
+        return self.storage_bits // 8
+
+    @property
+    def words_per_beat(self) -> int:
+        """Operands moved per 512-bit DRAM beat (16/32/64)."""
+        return BEAT_BITS // self.storage_bits
+
+    @property
+    def pe_scale(self) -> int:
+        """PE density multiplier at a fixed DSP/logic budget.
+
+        A DSP slice that hosts one fp32 MAC hosts two fp16 or four int8
+        MACs (the survey's Table-of-levers observation), so narrower
+        operands multiply the PE count the same budget yields.
+        """
+        return 32 // self.storage_bits
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+FP32 = Precision("fp32", storage_bits=32)
+FP16 = Precision("fp16", storage_bits=16)
+INT8 = Precision("int8", storage_bits=8, is_float=False)
+
+#: The closed set of supported precisions, by name.
+PRECISIONS: typing.Dict[str, Precision] = {
+    FP32.name: FP32,
+    FP16.name: FP16,
+    INT8.name: INT8,
+}
+
+
+def resolve_precision(precision: typing.Union[str, Precision]) -> Precision:
+    """A :class:`Precision` from a name or an instance.
+
+    Unknown names raise a ``ValueError`` that names the nearest valid
+    precision (same style as the linter's unknown-rule pragma warning).
+    """
+    if isinstance(precision, Precision):
+        return precision
+    try:
+        return PRECISIONS[precision]
+    except KeyError:
+        hint = ""
+        matches = difflib.get_close_matches(str(precision),
+                                            sorted(PRECISIONS), n=1)
+        if matches:
+            hint = f" (did you mean {matches[0]!r}?)"
+        raise ValueError(
+            f"unknown precision {precision!r}; supported: "
+            f"{', '.join(sorted(PRECISIONS))}{hint}") from None

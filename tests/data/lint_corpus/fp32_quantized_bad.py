@@ -1,0 +1,15 @@
+# LINT-PATH: repro/nn/ops.py
+# LINT-OPTIONS: {"fp32-order": {"quantized-modules": ["repro/nn/quant.py"]}}
+"""Corpus: the quantized-modules exemption is surgical.
+
+Same options as ``fp32_quantized_ok.py``, but this file is *not* one of
+the declared quantized modules, so the bit-exact contract still applies
+in full.
+"""
+import numpy as np
+
+
+def ordinary_kernel(a, b):
+    unordered = np.dot(a, b)                       # EXPECT: fp32-order
+    implicit = np.sum(a)                           # EXPECT: fp32-order
+    return unordered + implicit

@@ -1,0 +1,16 @@
+# LINT-PATH: repro/nn/quant.py
+# LINT-OPTIONS: {"fp32-order": {"quantized-modules": ["repro/nn/quant.py"]}}
+"""Corpus: declared quantized-kernel modules are exempt from fp32-order.
+
+The module path is inside the rule's default ``repro/nn`` scope, but the
+``quantized-modules`` config declaration lifts it out of the bit-exact
+contract — no pragmas needed on the calls below.
+"""
+import numpy as np
+
+
+def quantized_kernel(a, b):
+    unordered = np.dot(a, b)
+    implicit = np.sum(a)
+    method = (a * b).sum()
+    return unordered + implicit + method

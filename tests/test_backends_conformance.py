@@ -46,7 +46,8 @@ class TestRegistry:
 
     def test_expected_platforms_registered(self):
         for name in ("fa3c-fpga", "fa3c-single-cu", "fa3c-alt1",
-                     "fa3c-alt2", "a3c-cudnn", "a3c-tf-gpu",
+                     "fa3c-alt2", "fa3c-fp16", "fa3c-int8",
+                     "a3c-cudnn", "a3c-tf-gpu",
                      "a3c-tf-cpu", "ga3c-tf"):
             assert backends.is_registered(name)
 
@@ -172,6 +173,104 @@ class TestSimulation:
                               routines_per_agent=4)
         assert adapted.ips == direct.ips
         assert adapted.platform == direct.platform
+
+
+class TestPrecision:
+    """Precision capability contract over the whole registry."""
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_declared_precision_resolves(self, name):
+        from repro.precision import resolve_precision
+        backend = backends.create(name)
+        spec = resolve_precision(backend.capabilities.precision)
+        assert spec.accumulate_bits == 32
+
+    def test_quantized_family_registered_with_capabilities(self):
+        assert backends.create("fa3c-fp16").capabilities.precision \
+            == "fp16"
+        assert backends.create("fa3c-int8").capabilities.precision \
+            == "int8"
+        # Capability mirrors the platform config, including overrides.
+        overridden = backends.create("fa3c-fpga", precision="fp16")
+        assert overridden.capabilities.precision == "fp16"
+
+    def test_fp32_reference_unchanged_bitwise(self):
+        """Every fp32 backend's modelled numbers are byte-for-byte the
+        pre-refactor arithmetic: all precision scaling factors are
+        exactly 1 at fp32, so nothing can drift."""
+        reference = backends.create("fa3c-fpga")
+        config = reference.platform.config
+        assert config.words_per_beat == 16
+        assert config.word_bytes == 4
+        assert config.pe_per_cu == 64
+        for name in ALL_BACKENDS:
+            backend = backends.create(name)
+            if backend.capabilities.precision != "fp32":
+                continue
+            a = measure_ips(backend, 2, routines_per_agent=4)
+            b = measure_ips(backends.create(name), 2,
+                            routines_per_agent=4)
+            assert a.ips == b.ips
+
+    @pytest.mark.parametrize("name", ("fa3c-fp16", "fa3c-int8"))
+    def test_quantized_latency_banded_and_deterministic(self, name):
+        """Quantized datapaths are tolerance-banded against fp32 (they
+        model the same network, so latency lands within the packing
+        bound) and exactly deterministic run to run."""
+        fp32 = backends.create("fa3c-fpga")
+        quantized = backends.create(name)
+        scale = quantized.platform.config.precision_spec.pe_scale
+        ref = fp32.infer_step(1)
+        got = quantized.infer_step(1)
+        # Never slower than fp32; never faster than the ideal packing
+        # bound allows (compute and DMA both scale at most by `scale`).
+        assert got <= ref
+        assert got >= ref / (2 * scale)
+        again = backends.create(name).infer_step(1)
+        assert got == again
+        run_a = measure_ips(backends.create(name), 2,
+                            routines_per_agent=4)
+        run_b = measure_ips(backends.create(name), 2,
+                            routines_per_agent=4)
+        assert run_a.ips == run_b.ips
+
+    def test_int8_wins_modelled_ips_and_energy(self):
+        """The ablation ordering the datapath exists to expose."""
+        from repro.power import PowerModel
+        model = PowerModel()
+        results = {}
+        for name in ("fa3c-fpga", "fa3c-int8"):
+            result = measure_ips(backends.create(name), 4,
+                                 routines_per_agent=8)
+            results[name] = (result.ips,
+                             model.report(result).watts)
+        fp32_ips, fp32_watts = results["fa3c-fpga"]
+        int8_ips, int8_watts = results["fa3c-int8"]
+        assert int8_ips > fp32_ips
+        assert int8_watts < fp32_watts
+        assert int8_ips / int8_watts > fp32_ips / fp32_watts
+
+    def test_unsupported_precision_rejected_at_create_time(self):
+        from repro.backends.protocol import BackendCapabilities
+
+        class BadBackend:
+            registry_name = "bad-int4"
+            capabilities = BackendCapabilities(kind="fpga",
+                                               precision="int4")
+
+        backends.register("bad-int4", lambda topology=None: BadBackend())
+        try:
+            with pytest.raises(ValueError, match="int4"):
+                backends.create("bad-int4")
+        finally:
+            from repro.backends import registry as _registry
+            _registry._REGISTRY.pop("bad-int4", None)
+
+    def test_capability_query_suggests_nearest_field(self):
+        backend = backends.create("fa3c-int8")
+        assert backends.capability(backend, "precision") == "int8"
+        with pytest.raises(ValueError, match="did you mean 'precision'"):
+            backends.capability(backend, "precison")
 
 
 class TestEvaluationShim:
